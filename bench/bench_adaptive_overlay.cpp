@@ -1,0 +1,81 @@
+// Adaptive overlay experiments (the Section 2.1 claims, quantified):
+//   B1  sketch-based admission control vs random peer selection
+//   B2  loss tolerance: completion time vs per-link loss rate
+//   B3  churn tolerance: completion under peer crash/rejoin
+//   B4  value of adaptation: completion vs reconfiguration interval
+// All runs use the count-only overlay simulator with Recode/BF connections.
+#include <cstdio>
+
+#include "overlay/simulator.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace icd;
+
+overlay::AdaptiveOverlayConfig base_config(std::uint64_t seed) {
+  overlay::AdaptiveOverlayConfig config;
+  config.base.n = 400;
+  config.base.seed = seed;
+  config.peer_count = 12;
+  config.origin_fanout = 2;
+  config.connections_per_peer = 2;
+  config.reconfigure_interval = 25;
+  config.max_rounds = 60000;
+  return config;
+}
+
+template <typename Mutate>
+void sweep(const char* title, const char* xlabel,
+           const std::vector<double>& xs, Mutate&& mutate) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%12s %14s %14s %14s %10s\n", xlabel, "mean rounds",
+              "last finisher", "ctrl packets", "complete");
+  for (const double x : xs) {
+    double mean = 0, last = 0, control = 0;
+    std::size_t complete = 0, runs = 3;
+    for (std::uint64_t s = 0; s < runs; ++s) {
+      auto config = base_config(77001 + s);
+      mutate(config, x);
+      const auto result = overlay::run_adaptive_overlay(config);
+      mean += result.mean_completion;
+      last += static_cast<double>(result.last_completion);
+      control += static_cast<double>(result.control_packets);
+      complete += result.completed_peers;
+    }
+    std::printf("%12.3f %14.1f %14.1f %14.1f %7zu/%zu\n", x,
+                mean / static_cast<double>(runs),
+                last / static_cast<double>(runs),
+                control / static_cast<double>(runs), complete,
+                runs * base_config(0).peer_count);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // B1: admission control on/off (x = 0 random selection, 1 sketch-based).
+  sweep("B1: sketch admission control vs random peer selection",
+        "admission", {0.0, 1.0}, [](auto& config, double x) {
+          config.sketch_admission = x > 0.5;
+        });
+
+  // B2: loss tolerance.
+  sweep("B2: completion vs per-link loss rate (Recode/BF overlay)",
+        "loss", {0.0, 0.05, 0.1, 0.2, 0.3, 0.4},
+        [](auto& config, double x) { config.loss_rate = x; });
+
+  // B3: churn tolerance.
+  sweep("B3: completion vs churn rate (peer crash + empty rejoin)",
+        "churn/round", {0.0, 0.005, 0.01, 0.02},
+        [](auto& config, double x) { config.churn_rate = x; });
+
+  // B4: adaptation interval (0 = never reconfigure after join).
+  sweep("B4: completion vs reconfiguration interval",
+        "interval", {0.0, 10.0, 25.0, 50.0, 100.0, 400.0},
+        [](auto& config, double x) {
+          config.reconfigure_interval = static_cast<std::size_t>(x);
+        });
+
+  return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses. Each bench binary prints the
+// rows/series of one table or figure from the paper, in a fixed-width
+// format suitable for eyeballing against the original plots.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "overlay/scenario.hpp"
+#include "overlay/sim_config.hpp"
+#include "overlay/strategy.hpp"
+#include "overlay/transfer.hpp"
+#include "util/random.hpp"
+
+namespace icd::bench {
+
+/// Correlation sweep points used by Figures 5-8 (the paper plots x up to
+/// the feasibility limit of each scenario; infeasible points clamp and the
+/// realized correlation is printed).
+inline std::vector<double> correlation_sweep(double max, double step = 0.05) {
+  std::vector<double> points;
+  for (double c = 0.0; c <= max + 1e-9; c += step) points.push_back(c);
+  return points;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void print_strategy_columns() {
+  std::printf("%11s", "corr");
+  for (const auto strategy : overlay::kAllStrategies) {
+    std::printf("%12s", std::string(overlay::strategy_name(strategy)).c_str());
+  }
+  std::printf("\n");
+}
+
+/// Averages `trials` runs of `run(seed)` (each returning a metric).
+template <typename Fn>
+double average_over_trials(std::size_t trials, std::uint64_t base_seed,
+                           Fn&& run) {
+  double total = 0.0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    total += run(base_seed + 1000003 * t);
+  }
+  return total / static_cast<double>(trials);
+}
+
+}  // namespace icd::bench

@@ -1,0 +1,100 @@
+// Table 4(c): "High level structure comparison at 8 bits per element" —
+// Bloom filter vs approximate reconciliation tree: size in bits, accuracy,
+// and search cost.
+//
+// Paper's reference rows:  Bloom filters   8n  98%  O(n)
+//                          A.R.T. (corr=5) 8n  92%  O(d log n)
+// The ART uses the optimal budget split from Figure 4(a) (5 bits leaf /
+// 3 bits internal). The search-cost column is measured wall time for the
+// difference search: the Bloom scan touches all |S_B| elements, so it
+// grows with n; the ART search grows with d log n, so at large n / small d
+// it pulls ahead — the second block demonstrates the crossover.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "art/art_summary.hpp"
+#include "art/reconciliation_tree.hpp"
+#include "filter/bloom.hpp"
+#include "reconcile/set_difference.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace icd;
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::uint64_t> random_keys(std::size_t n, util::Xoshiro256& rng) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(rng());
+  return keys;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void compare_at(std::size_t set_size, std::size_t differences, int trials) {
+  constexpr double kBits = 8.0;
+  // Optimal split per Figure 4(a) at correction 5.
+  constexpr double kLeafBits = 5.0;
+  constexpr double kInternalBits = 3.0;
+
+  double bloom_found = 0, art_found = 0;
+  double bloom_seconds = 0, art_seconds = 0;
+  std::size_t bloom_bits = 0, art_bits = 0;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    util::Xoshiro256 rng(9000 + trial);
+    auto remote_keys = random_keys(set_size, rng);
+    auto local_keys = remote_keys;
+    const auto extra = random_keys(differences, rng);
+    local_keys.insert(local_keys.end(), extra.begin(), extra.end());
+
+    auto filter = filter::BloomFilter::with_bits_per_element(set_size, kBits);
+    filter.insert_all(remote_keys);
+    bloom_bits = filter.bit_count();
+    auto start = Clock::now();
+    bloom_found += static_cast<double>(
+        reconcile::bloom_set_difference(local_keys, filter).size());
+    bloom_seconds += seconds_since(start);
+
+    const art::ReconciliationTree remote(remote_keys);
+    const art::ReconciliationTree local(local_keys);
+    const auto summary =
+        art::ArtSummary::build(remote, kLeafBits, kInternalBits);
+    art_bits = summary.total_bits();
+    start = Clock::now();
+    art_found += static_cast<double>(
+        art::find_local_differences(local, summary, 5).size());
+    art_seconds += seconds_since(start);
+  }
+
+  std::printf("\n--- n = %zu, d = %zu ---\n", set_size, differences);
+  std::printf("%-22s %12s %10s %14s %12s\n", "structure", "size (bits)",
+              "accuracy", "search (us)", "paper acc");
+  std::printf("%-22s %12zu %9.1f%% %14.1f %12s\n", "Bloom filter", bloom_bits,
+              100.0 * bloom_found / (trials * static_cast<double>(differences)),
+              1e6 * bloom_seconds / trials, "98%");
+  std::printf("%-22s %12zu %9.1f%% %14.1f %12s\n", "A.R.T. (correction=5)",
+              art_bits,
+              100.0 * art_found / (trials * static_cast<double>(differences)),
+              1e6 * art_seconds / trials, "92%");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== Table 4(c): structure comparison at 8 bits/element ===");
+  // The paper's operating point.
+  compare_at(10000, 100, 10);
+  // Large set, small difference: the regime where the ART's O(d log n)
+  // search beats the Bloom filter's O(n) scan.
+  compare_at(200000, 10, 3);
+  std::printf(
+      "\nNote: ART search excludes local tree construction (a live peer\n"
+      "maintains its tree incrementally); the Bloom scan touches all n\n"
+      "elements while the ART search touches O(d log n) nodes.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Adaptive overlay demo: the Section 2.1 environment end to end.
+//
+// Twelve peers download a file through an overlay that suffers 10% link
+// loss and periodic peer crashes, while peers join at staggered times.
+// The run is repeated with overlay adaptation (periodic reconfiguration +
+// sketch-based sender selection) switched off and on, printing completion
+// statistics for both.
+//
+// Build & run:  ./examples/adaptive_overlay
+#include <cstdio>
+
+#include "overlay/simulator.hpp"
+
+int main() {
+  using namespace icd::overlay;
+
+  AdaptiveOverlayConfig config;
+  config.base.n = 400;
+  config.base.seed = 20260612;
+  config.peer_count = 12;
+  config.origin_fanout = 2;
+  config.connections_per_peer = 2;
+  config.loss_rate = 0.10;
+  config.churn_rate = 0.002;
+  config.join_stagger = 15;
+  config.strategy = Strategy::kRecodeBloom;
+  config.max_rounds = 60000;
+
+  std::printf("adaptive overlay: 12 peers, 10%% loss, churn, staggered "
+              "joins, Recode/BF connections\n\n");
+  std::printf("%-28s %12s %14s %12s %10s\n", "configuration", "mean rounds",
+              "last finisher", "ctrl pkts", "complete");
+
+  struct Variant {
+    const char* name;
+    std::size_t interval;
+    bool admission;
+  };
+  const Variant variants[] = {
+      {"static, random senders", 0, false},
+      {"adaptive, random senders", 25, false},
+      {"adaptive, sketch admission", 25, true},
+  };
+  for (const auto& variant : variants) {
+    auto run_config = config;
+    run_config.reconfigure_interval = variant.interval;
+    run_config.sketch_admission = variant.admission;
+    const auto result = run_adaptive_overlay(run_config);
+    std::printf("%-28s %12.1f %14zu %12zu %7zu/%zu\n", variant.name,
+                result.mean_completion, result.last_completion,
+                result.control_packets, result.completed_peers,
+                config.peer_count);
+  }
+
+  std::printf("\nadaptation keeps the overlay alive under churn; sketches "
+              "steer peers to novel content.\n");
+  return 0;
+}

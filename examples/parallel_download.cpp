@@ -1,0 +1,133 @@
+// Parallel downloads from partial senders: the Figure 7/8 experiment as an
+// application, with real payloads and real decoding.
+//
+// A client downloads the same file three ways:
+//   (a) from one full mirror,
+//   (b) from two partial peers (each holding a different ~60% of the
+//       symbol pool) using naive random forwarding,
+//   (c) from the same two partial peers using informed Recode/BF sessions.
+// It prints rounds-to-decode for each, demonstrating the paper's claim that
+// informed partial senders are nearly additive "as with a true digital
+// fountain".
+//
+// Build & run:  ./examples/parallel_download
+#include <cstdio>
+#include <vector>
+
+#include "core/origin.hpp"
+#include "core/peer.hpp"
+#include "core/session.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace icd;
+
+constexpr std::size_t kBlocks = 500;
+constexpr std::size_t kBlockSize = 32;
+
+struct World {
+  std::vector<std::uint8_t> file;
+  core::OriginServer origin;
+  codec::DegreeDistribution dist;
+
+  World()
+      : file(make_file()),
+        origin(file, kBlockSize,
+               codec::DegreeDistribution::robust_soliton(kBlocks), 2718),
+        dist(codec::DegreeDistribution::robust_soliton(kBlocks)) {}
+
+  static std::vector<std::uint8_t> make_file() {
+    util::Xoshiro256 rng(3);
+    std::vector<std::uint8_t> file(kBlocks * kBlockSize);
+    for (auto& byte : file) byte = static_cast<std::uint8_t>(rng());
+    return file;
+  }
+
+  core::Peer make_peer(const std::string& name) const {
+    return core::Peer(name, origin.parameters(), dist);
+  }
+};
+
+/// (a) Baseline: one full mirror at one symbol per round.
+std::size_t full_mirror(const World& world) {
+  core::OriginServer mirror(world.file, kBlockSize, world.dist, 2718,
+                            /*stream_index=*/7);
+  core::Peer client = world.make_peer("client");
+  std::size_t rounds = 0;
+  while (!client.has_content()) {
+    client.receive_encoded(mirror.next());
+    ++rounds;
+  }
+  return rounds;
+}
+
+/// Loads two partial peers with ~60% of a shared symbol pool each.
+std::pair<core::Peer, core::Peer> make_partials(const World& world) {
+  core::OriginServer feed(world.file, kBlockSize, world.dist, 2718,
+                          /*stream_index=*/9);
+  core::Peer p1 = world.make_peer("peer1");
+  core::Peer p2 = world.make_peer("peer2");
+  // 700 distinct symbols; each peer holds 420 of them, 140 in common.
+  std::vector<codec::EncodedSymbol> pool;
+  for (int i = 0; i < 700; ++i) pool.push_back(feed.next());
+  for (int i = 0; i < 420; ++i) p1.receive_encoded(pool[static_cast<std::size_t>(i)]);
+  for (int i = 280; i < 700; ++i) p2.receive_encoded(pool[static_cast<std::size_t>(i)]);
+  return {std::move(p1), std::move(p2)};
+}
+
+/// (b)/(c): download from both partial peers, one symbol each per round.
+std::size_t parallel_partial(const World& world, overlay::Strategy strategy) {
+  auto [p1, p2] = make_partials(world);
+  core::Peer client = world.make_peer("client");
+
+  core::SessionOptions options;
+  options.strategy = strategy;
+  options.requested_symbols = 320;  // ~half the need, per sender
+  core::InformedSession s1(p1, client, options);
+  options.seed ^= 0x5eed;
+  core::InformedSession s2(p2, client, options);
+  s1.handshake();
+  s2.handshake();
+
+  std::size_t rounds = 0;
+  while (!client.has_content() && rounds < 20000) {
+    s1.step();
+    if (!client.has_content()) s2.step();
+    ++rounds;
+  }
+  if (!client.has_content() || client.content(world.file.size()) != world.file) {
+    return 0;  // failed
+  }
+  return rounds;
+}
+
+}  // namespace
+
+int main() {
+  World world;
+  std::printf("parallel download of %zu blocks (%zu KB)\n", kBlocks,
+              kBlocks * kBlockSize / 1024);
+
+  const auto base = full_mirror(world);
+  std::printf("\n(a) one full mirror:            %5zu rounds (baseline)\n",
+              base);
+
+  const auto naive =
+      parallel_partial(world, overlay::Strategy::kRandom);
+  std::printf("(b) two partials, Random:       %5zu rounds (%.2fx)\n", naive,
+              naive ? static_cast<double>(base) / static_cast<double>(naive)
+                    : 0.0);
+
+  const auto informed =
+      parallel_partial(world, overlay::Strategy::kRecodeBloom);
+  std::printf("(c) two partials, Recode/BF:    %5zu rounds (%.2fx)\n",
+              informed,
+              informed
+                  ? static_cast<double>(base) / static_cast<double>(informed)
+                  : 0.0);
+
+  std::printf("\ninformed collaboration turns two partial peers into "
+              "nearly two mirrors.\n");
+  return informed != 0 && naive != 0 ? 0 : 1;
+}

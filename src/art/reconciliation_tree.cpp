@@ -1,0 +1,123 @@
+#include "art/reconciliation_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace icd::art {
+
+namespace {
+constexpr std::uint64_t kPositionSeedSalt = 0x705171055a17edULL;
+constexpr std::uint64_t kValueSeedSalt = 0x7a1ce5eed5a17edULL;
+}  // namespace
+
+ReconciliationTree::ReconciliationTree(const std::vector<std::uint64_t>& keys,
+                                       std::uint64_t seed)
+    : seed_(seed) {
+  std::vector<Item> items;
+  items.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    items.push_back(Item{position_hash(key), key});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Item& a, const Item& b) { return a.position < b.position; });
+  // Drop duplicate keys (same key => same position). Distinct keys whose
+  // 64-bit positions collide are astronomically unlikely; if it happens the
+  // first key wins and the set shrinks by one.
+  items.erase(std::unique(items.begin(), items.end(),
+                          [](const Item& a, const Item& b) {
+                            return a.position == b.position;
+                          }),
+              items.end());
+  element_count_ = items.size();
+  if (element_count_ == 0) return;
+  nodes_.reserve(2 * element_count_);
+  root_ = build(items, 0, items.size(), 63);
+}
+
+std::int32_t ReconciliationTree::build(std::vector<Item>& items,
+                                       std::size_t lo, std::size_t hi,
+                                       int bit) {
+  if (hi - lo == 1) {
+    Node leaf;
+    leaf.key = items[lo].key;
+    leaf.value = value_hash(items[lo].key);
+    leaf.count = 1;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  }
+  // Collapse trivial levels: skip bits on which this span does not split.
+  while (bit >= 0) {
+    const std::uint64_t mask = std::uint64_t{1} << bit;
+    if ((items[lo].position & mask) != (items[hi - 1].position & mask)) break;
+    --bit;
+  }
+  if (bit < 0) {
+    // All remaining positions identical — impossible after dedup.
+    throw std::logic_error("ReconciliationTree: duplicate positions survived");
+  }
+  const std::uint64_t mask = std::uint64_t{1} << bit;
+  // Items are sorted, so the 0-bit run is a prefix of the span.
+  const auto split = static_cast<std::size_t>(
+      std::lower_bound(items.begin() + static_cast<std::ptrdiff_t>(lo),
+                       items.begin() + static_cast<std::ptrdiff_t>(hi), mask,
+                       [&](const Item& item, std::uint64_t) {
+                         return (item.position & mask) == 0;
+                       }) -
+      items.begin());
+  const std::int32_t left = build(items, lo, split, bit - 1);
+  const std::int32_t right = build(items, split, hi, bit - 1);
+  Node node;
+  node.left = left;
+  node.right = right;
+  node.value = nodes_[static_cast<std::size_t>(left)].value ^
+               nodes_[static_cast<std::size_t>(right)].value;
+  node.count = nodes_[static_cast<std::size_t>(left)].count +
+               nodes_[static_cast<std::size_t>(right)].count;
+  nodes_.push_back(node);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::size_t ReconciliationTree::depth() const {
+  if (root_ == kNoChild) return 0;
+  // Iterative post-order depth computation; nodes_ is in child-before-parent
+  // order by construction, so one forward pass suffices.
+  std::vector<std::size_t> depth_of(nodes_.size(), 0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (!n.is_leaf()) {
+      depth_of[i] = 1 + std::max(depth_of[static_cast<std::size_t>(n.left)],
+                                 depth_of[static_cast<std::size_t>(n.right)]);
+    }
+  }
+  return depth_of[static_cast<std::size_t>(root_)];
+}
+
+std::vector<std::uint64_t> ReconciliationTree::leaf_values() const {
+  std::vector<std::uint64_t> values;
+  values.reserve(element_count_);
+  for (const Node& n : nodes_) {
+    if (n.is_leaf()) values.push_back(n.value);
+  }
+  return values;
+}
+
+std::vector<std::uint64_t> ReconciliationTree::internal_values() const {
+  std::vector<std::uint64_t> values;
+  values.reserve(element_count_);
+  for (const Node& n : nodes_) {
+    if (!n.is_leaf()) values.push_back(n.value);
+  }
+  return values;
+}
+
+std::uint64_t ReconciliationTree::position_hash(std::uint64_t key) const {
+  return util::hash64(key, seed_ ^ kPositionSeedSalt);
+}
+
+std::uint64_t ReconciliationTree::value_hash(std::uint64_t key) const {
+  return util::hash64(key, seed_ ^ kValueSeedSalt);
+}
+
+}  // namespace icd::art

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// Approximate reconciliation trees (Section 5.3) — local tree side.
+///
+/// Construction mirrors the paper's Figure 3:
+///  1. Every element key is hashed into a large universe ("we hash each
+///     element initially before inserting it into the virtual tree") — this
+///     randomizes positions so the collapsed tree is balanced, depth
+///     O(log n) w.h.p.
+///  2. The virtual binary trie over the hashed positions is collapsed by
+///     "removing trivial edges between nodes that correspond to the same
+///     set", leaving <= 2n - 1 nodes.
+///  3. Each element is hashed *again* into a value universe ("each leaf
+///     element is hashed again ... to avoid spatial correlation,
+///     particularly in the higher order bits"); an internal node's value is
+///     the XOR of its children's values.
+///
+/// The tree itself never travels: its node values are summarized in two
+/// Bloom filters (ArtSummary) which are what a peer transmits.
+namespace icd::art {
+
+class ReconciliationTree {
+ public:
+  struct Node {
+    /// XOR of the value hashes of all elements in this subtree.
+    std::uint64_t value = 0;
+    /// Child indices into nodes(), or kNoChild for leaves.
+    std::int32_t left = kNoChild;
+    std::int32_t right = kNoChild;
+    /// Number of elements beneath (1 for leaves).
+    std::uint32_t count = 0;
+    /// Original element key; valid only when is_leaf().
+    std::uint64_t key = 0;
+
+    bool is_leaf() const { return left == kNoChild && right == kNoChild; }
+  };
+
+  static constexpr std::int32_t kNoChild = -1;
+  /// Shared default seed so independently built trees are comparable
+  /// (position/value hash families must coincide across peers).
+  static constexpr std::uint64_t kSharedSeed = 0xa57e11a7e0c0ffeeULL;
+
+  /// Builds the collapsed tree over `keys` (duplicates are ignored).
+  explicit ReconciliationTree(const std::vector<std::uint64_t>& keys,
+                              std::uint64_t seed = kSharedSeed);
+
+  /// Number of elements in the underlying set.
+  std::size_t element_count() const { return element_count_; }
+  bool empty() const { return element_count_ == 0; }
+  std::uint64_t seed() const { return seed_; }
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  /// Index of the root node; only valid when !empty().
+  std::int32_t root() const { return root_; }
+
+  /// Depth of the collapsed tree (edges on the longest path; 0 for a single
+  /// leaf). O(log n) w.h.p. thanks to position hashing.
+  std::size_t depth() const;
+
+  /// Value hashes of all leaves / of all internal (branching) nodes —
+  /// exactly what gets inserted into the summary's two Bloom filters.
+  std::vector<std::uint64_t> leaf_values() const;
+  std::vector<std::uint64_t> internal_values() const;
+
+  /// The position and value hashes, exposed so that tests and the summary
+  /// builder agree on the mapping.
+  std::uint64_t position_hash(std::uint64_t key) const;
+  std::uint64_t value_hash(std::uint64_t key) const;
+
+ private:
+  struct Item {
+    std::uint64_t position;
+    std::uint64_t key;
+  };
+
+  std::int32_t build(std::vector<Item>& items, std::size_t lo, std::size_t hi,
+                     int bit);
+
+  std::uint64_t seed_;
+  std::size_t element_count_ = 0;
+  std::int32_t root_ = kNoChild;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace icd::art

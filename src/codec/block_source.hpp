@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// Splits content into the fixed-length source blocks x_1..x_l of Section
+/// 5.4.1 ("a piece of content is divided into a collection of l fixed-length
+/// blocks, each of size suitable for packetization").
+namespace icd::codec {
+
+class BlockSource {
+ public:
+  /// Splits `content` into blocks of `block_size` bytes, zero-padding the
+  /// final block. `block_size` must be > 0; empty content yields one
+  /// all-zero block so that l >= 1 always holds.
+  BlockSource(std::span<const std::uint8_t> content, std::size_t block_size);
+
+  std::size_t block_count() const { return blocks_.size(); }
+  std::size_t block_size() const { return block_size_; }
+  std::size_t content_size() const { return content_size_; }
+
+  const std::vector<std::uint8_t>& block(std::size_t i) const {
+    return blocks_.at(i);
+  }
+  const std::vector<std::vector<std::uint8_t>>& blocks() const {
+    return blocks_;
+  }
+
+  /// Reassembles the original content (strips the padding) from any
+  /// complete set of blocks with this geometry.
+  static std::vector<std::uint8_t> restore(
+      const std::vector<std::vector<std::uint8_t>>& blocks,
+      std::size_t content_size);
+
+ private:
+  std::size_t block_size_;
+  std::size_t content_size_;
+  std::vector<std::vector<std::uint8_t>> blocks_;
+};
+
+}  // namespace icd::codec

@@ -1,0 +1,59 @@
+#include "codec/decoder.hpp"
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace icd::codec {
+
+Decoder::Decoder(CodeParameters params, DegreeDistribution dist)
+    : params_(params), dist_(std::move(dist)) {
+  if (params_.block_count == 0) {
+    throw std::invalid_argument("Decoder: block_count must be > 0");
+  }
+}
+
+bool Decoder::add_symbol(const EncodedSymbol& symbol) {
+  ++received_;
+  auto keys = symbol_neighbors(params_, dist_, symbol.id);
+  return peeler_.add_equation(std::move(keys), symbol.payload);
+}
+
+std::vector<std::vector<std::uint8_t>> Decoder::blocks() const {
+  if (!complete()) {
+    throw std::logic_error("Decoder::blocks: decoding incomplete");
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(params_.block_count);
+  for (std::uint32_t i = 0; i < params_.block_count; ++i) {
+    out.push_back(peeler_.value(i));
+  }
+  return out;
+}
+
+double measure_decode_overhead(std::uint32_t block_count,
+                               std::size_t block_size,
+                               const DegreeDistribution& dist,
+                               std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> content(block_count * block_size);
+  for (auto& byte : content) byte = static_cast<std::uint8_t>(rng());
+
+  const BlockSource source(content, block_size);
+  Encoder encoder(source, dist, seed);
+  Decoder decoder(encoder.parameters(), dist);
+  // Safety valve far beyond any sane overhead; prevents infinite loops if a
+  // distribution is degenerate (e.g. all degree 2 can never finish).
+  const std::size_t max_symbols = 40ULL * block_count + 1000;
+  while (!decoder.complete() && decoder.received_count() < max_symbols) {
+    decoder.add_symbol(encoder.next());
+  }
+  if (!decoder.complete()) {
+    throw std::runtime_error(
+        "measure_decode_overhead: decoding did not converge");
+  }
+  return static_cast<double>(decoder.received_count()) /
+         static_cast<double>(block_count);
+}
+
+}  // namespace icd::codec

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/degree.hpp"
+#include "codec/encoder.hpp"
+#include "codec/peeling.hpp"
+#include "codec/symbol.hpp"
+
+/// Block-level fountain decoder: recovers the l source blocks from any
+/// sufficiently large set of encoded symbols using the substitution rule.
+/// "Some implementations are capable of efficiently reconstructing the file
+/// having received only 3-5% more than the number of symbols in the original
+/// file" — measure_decode_overhead() reports this code's actual figure.
+namespace icd::codec {
+
+class Decoder {
+ public:
+  /// Must be constructed with the same parameters and distribution as the
+  /// encoder that produced the symbols.
+  Decoder(CodeParameters params, DegreeDistribution dist);
+
+  /// Feeds one encoded symbol. Returns true if it led to recovering at
+  /// least one new source block.
+  bool add_symbol(const EncodedSymbol& symbol);
+
+  std::size_t recovered_count() const { return peeler_.known_count(); }
+  std::size_t received_count() const { return received_; }
+  bool complete() const { return recovered_count() == params_.block_count; }
+
+  /// Symbols that arrived fully redundant.
+  std::size_t redundant_count() const { return peeler_.redundant_count(); }
+
+  /// Recovered source blocks in index order; only valid when complete().
+  std::vector<std::vector<std::uint8_t>> blocks() const;
+
+  const CodeParameters& parameters() const { return params_; }
+
+ private:
+  CodeParameters params_;
+  DegreeDistribution dist_;
+  PeelingDecoder<std::uint32_t> peeler_;
+  std::size_t received_ = 0;
+};
+
+/// Runs a fresh encode/decode session over random content of
+/// `block_count` blocks of `block_size` bytes and returns the decoding
+/// overhead (symbols consumed / block_count, >= 1).
+double measure_decode_overhead(std::uint32_t block_count,
+                               std::size_t block_size,
+                               const DegreeDistribution& dist,
+                               std::uint64_t seed);
+
+}  // namespace icd::codec

@@ -1,0 +1,105 @@
+#include "codec/degree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace icd::codec {
+
+DegreeDistribution::DegreeDistribution(std::vector<double> weights)
+    : pmf_(std::move(weights)) {
+  if (pmf_.empty()) {
+    throw std::invalid_argument("DegreeDistribution: empty support");
+  }
+  double total = 0;
+  for (const double w : pmf_) {
+    if (w < 0 || !std::isfinite(w)) {
+      throw std::invalid_argument("DegreeDistribution: bad weight");
+    }
+    total += w;
+  }
+  if (total <= 0) {
+    throw std::invalid_argument("DegreeDistribution: zero total mass");
+  }
+  cdf_.reserve(pmf_.size());
+  double acc = 0;
+  for (double& w : pmf_) {
+    w /= total;
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  cdf_.back() = 1.0;  // guard against fp drift
+}
+
+DegreeDistribution DegreeDistribution::ideal_soliton(std::size_t l) {
+  if (l == 0) throw std::invalid_argument("ideal_soliton: l must be > 0");
+  std::vector<double> weights(l, 0.0);
+  weights[0] = 1.0 / static_cast<double>(l);
+  for (std::size_t d = 2; d <= l; ++d) {
+    weights[d - 1] = 1.0 / (static_cast<double>(d) * (d - 1));
+  }
+  return DegreeDistribution(std::move(weights));
+}
+
+DegreeDistribution DegreeDistribution::robust_soliton(std::size_t l, double c,
+                                                      double delta) {
+  if (l == 0) throw std::invalid_argument("robust_soliton: l must be > 0");
+  if (c <= 0 || delta <= 0 || delta >= 1) {
+    throw std::invalid_argument("robust_soliton: bad c/delta");
+  }
+  const double dl = static_cast<double>(l);
+  const double big_r = c * std::log(dl / delta) * std::sqrt(dl);
+  const auto spike =
+      std::clamp<std::size_t>(static_cast<std::size_t>(dl / big_r), 1, l);
+
+  std::vector<double> weights(l, 0.0);
+  // rho: ideal soliton
+  weights[0] = 1.0 / dl;
+  for (std::size_t d = 2; d <= l; ++d) {
+    weights[d - 1] = 1.0 / (static_cast<double>(d) * (d - 1));
+  }
+  // tau: the robust additive term
+  for (std::size_t d = 1; d < spike; ++d) {
+    weights[d - 1] += big_r / (static_cast<double>(d) * dl);
+  }
+  // At very small l the robust term's log can go negative; clamp at zero
+  // (the distribution degenerates gracefully toward the ideal soliton).
+  weights[spike - 1] += big_r * std::max(0.0, std::log(big_r / delta)) / dl;
+  return DegreeDistribution(std::move(weights));
+}
+
+DegreeDistribution DegreeDistribution::truncated(std::size_t cap) const {
+  if (cap == 0) throw std::invalid_argument("truncated: cap must be > 0");
+  const std::size_t n = std::min(cap, pmf_.size());
+  return DegreeDistribution(
+      std::vector<double>(pmf_.begin(), pmf_.begin() + n));
+}
+
+DegreeDistribution DegreeDistribution::constant(std::size_t degree) {
+  if (degree == 0) throw std::invalid_argument("constant: degree must be > 0");
+  std::vector<double> weights(degree, 0.0);
+  weights[degree - 1] = 1.0;
+  return DegreeDistribution(std::move(weights));
+}
+
+std::size_t DegreeDistribution::sample(util::Xoshiro256& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double DegreeDistribution::pmf(std::size_t d) const {
+  if (d == 0 || d > pmf_.size()) return 0.0;
+  return pmf_[d - 1];
+}
+
+double DegreeDistribution::mean() const {
+  double m = 0;
+  for (std::size_t d = 1; d <= pmf_.size(); ++d) {
+    m += static_cast<double>(d) * pmf_[d - 1];
+  }
+  return m;
+}
+
+}  // namespace icd::codec

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+/// Degree distributions for sparse parity-check codes (Section 5.4.1).
+///
+/// Each encoded symbol is the XOR of a random subset of source blocks; the
+/// size of that subset (the symbol's *degree*) is drawn from an irregular,
+/// heavy-tailed distribution. "A heavy-tailed distribution was proven to be
+/// a good choice in [Luby et al. 97]" — we provide the ideal and robust
+/// soliton distributions from that line of work plus the truncated variant
+/// the paper's heuristics use for recoding (degree limit 50).
+namespace icd::codec {
+
+class DegreeDistribution {
+ public:
+  /// `weights[d-1]` is the unnormalized probability of degree d; weights
+  /// must be non-empty with a positive sum.
+  explicit DegreeDistribution(std::vector<double> weights);
+
+  /// Ideal soliton over {1..l}: p(1) = 1/l, p(d) = 1/(d(d-1)).
+  static DegreeDistribution ideal_soliton(std::size_t l);
+
+  /// Robust soliton (Luby): ideal soliton plus the spike/tail term with
+  /// parameters c and delta. The standard choice for LT codes; for
+  /// l ~ 10^4 its mean degree is ~11, matching the paper's Section 6.1
+  /// ("average degree of 11 for the encoded symbols").
+  static DegreeDistribution robust_soliton(std::size_t l, double c = 0.03,
+                                           double delta = 0.5);
+
+  /// The distribution truncated to degrees <= cap and renormalized. Used
+  /// for recoding, which imposes "a fixed degree limit primarily to keep
+  /// the listing of identifiers short" (cap 50 in the paper's experiments).
+  DegreeDistribution truncated(std::size_t cap) const;
+
+  /// All mass on a single degree; used in tests and ablations.
+  static DegreeDistribution constant(std::size_t degree);
+
+  /// Samples a degree in {1..max_degree()}.
+  std::size_t sample(util::Xoshiro256& rng) const;
+
+  /// Probability of degree d (0 outside the support).
+  double pmf(std::size_t d) const;
+
+  double mean() const;
+  std::size_t max_degree() const { return pmf_.size(); }
+
+ private:
+  std::vector<double> pmf_;  // pmf_[d-1] = P(degree = d)
+  std::vector<double> cdf_;
+};
+
+}  // namespace icd::codec

@@ -1,0 +1,48 @@
+#include "codec/encoder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/random.hpp"
+
+namespace icd::codec {
+
+std::vector<std::uint32_t> symbol_neighbors(const CodeParameters& params,
+                                            const DegreeDistribution& dist,
+                                            std::uint64_t symbol_id) {
+  if (params.block_count == 0) {
+    throw std::invalid_argument("symbol_neighbors: block_count must be > 0");
+  }
+  util::Xoshiro256 rng(util::hash64(symbol_id, params.session_seed));
+  const std::size_t degree =
+      std::min<std::size_t>(dist.sample(rng), params.block_count);
+  const auto picks =
+      util::sample_without_replacement(params.block_count, degree, rng);
+  std::vector<std::uint32_t> neighbors;
+  neighbors.reserve(picks.size());
+  for (const std::uint64_t p : picks) {
+    neighbors.push_back(static_cast<std::uint32_t>(p));
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  return neighbors;
+}
+
+Encoder::Encoder(const BlockSource& source, DegreeDistribution dist,
+                 std::uint64_t session_seed, std::uint64_t stream_seed)
+    : source_(source), dist_(std::move(dist)),
+      params_{static_cast<std::uint32_t>(source.block_count()), session_seed},
+      next_id_(util::hash64(session_seed ^ stream_seed, 0x5eedf00dULL)) {}
+
+EncodedSymbol Encoder::encode(std::uint64_t symbol_id) const {
+  EncodedSymbol symbol;
+  symbol.id = symbol_id;
+  for (const std::uint32_t b : neighbors(symbol_id)) {
+    xor_into(symbol.payload, source_.block(b));
+  }
+  return symbol;
+}
+
+EncodedSymbol Encoder::next() { return encode(next_id_++); }
+
+}  // namespace icd::codec

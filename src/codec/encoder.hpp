@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/block_source.hpp"
+#include "codec/degree.hpp"
+#include "codec/symbol.hpp"
+
+/// Memoryless digital-fountain encoder (Sections 2.3, 5.4.1).
+///
+/// The neighbor set of every symbol is derived deterministically from
+/// (symbol id, session seed), so a symbol is fully described on the wire by
+/// its 64-bit id — "senders with a copy of a file may continuously produce a
+/// streamed encoding of its content", and fountains seeded differently are
+/// uncorrelated ("Additivity").
+namespace icd::codec {
+
+/// Code geometry shared by an encoder and its decoders.
+struct CodeParameters {
+  std::uint32_t block_count = 0;
+  std::uint64_t session_seed = 0;
+
+  bool operator==(const CodeParameters&) const = default;
+};
+
+/// Derives the neighbor set (sorted, distinct source-block indices) of
+/// `symbol_id` under `params` and `dist`. Pure function of its arguments;
+/// encoder and decoder both call it, which is what keeps symbol headers to
+/// one id.
+std::vector<std::uint32_t> symbol_neighbors(const CodeParameters& params,
+                                            const DegreeDistribution& dist,
+                                            std::uint64_t symbol_id);
+
+class Encoder {
+ public:
+  /// The encoder keeps a reference to `source`; the caller must keep it
+  /// alive. `dist` is copied. `session_seed` defines the code (all encoders
+  /// and decoders of one session must agree); `stream_seed` only offsets
+  /// where next() starts in id space, so encoders with distinct stream
+  /// seeds emit disjoint (uncorrelated) symbol streams of the same code.
+  Encoder(const BlockSource& source, DegreeDistribution dist,
+          std::uint64_t session_seed, std::uint64_t stream_seed = 0);
+
+  const CodeParameters& parameters() const { return params_; }
+  const DegreeDistribution& distribution() const { return dist_; }
+
+  /// Produces the encoded symbol with the given id (XOR of its neighbor
+  /// blocks).
+  EncodedSymbol encode(std::uint64_t symbol_id) const;
+
+  /// Produces the next symbol of the fountain stream: ids are consumed
+  /// sequentially from a random 64-bit starting point, so streams from
+  /// different seeds do not collide.
+  EncodedSymbol next();
+
+  std::vector<std::uint32_t> neighbors(std::uint64_t symbol_id) const {
+    return symbol_neighbors(params_, dist_, symbol_id);
+  }
+
+ private:
+  const BlockSource& source_;
+  DegreeDistribution dist_;
+  CodeParameters params_;
+  std::uint64_t next_id_;
+};
+
+}  // namespace icd::codec

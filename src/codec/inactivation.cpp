@@ -1,0 +1,135 @@
+#include "codec/inactivation.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/random.hpp"
+
+namespace icd::codec {
+
+InactivationDecoder::InactivationDecoder(CodeParameters params,
+                                         DegreeDistribution dist)
+    : params_(params), dist_(std::move(dist)) {
+  if (params_.block_count == 0) {
+    throw std::invalid_argument("InactivationDecoder: block_count must be > 0");
+  }
+}
+
+bool InactivationDecoder::add_symbol(const EncodedSymbol& symbol) {
+  ++received_count_;
+  auto keys = symbol_neighbors(params_, dist_, symbol.id);
+  equations_.push_back(keys);
+  payloads_.push_back(symbol.payload);
+  return peeler_.add_equation(std::move(keys), symbol.payload);
+}
+
+bool InactivationDecoder::try_solve() {
+  if (complete()) return true;
+  if (received_count_ < params_.block_count) return false;
+
+  // Residual unknowns -> dense column indices.
+  std::unordered_map<std::uint32_t, std::size_t> column_of;
+  std::vector<std::uint32_t> unknown_ids;
+  for (std::uint32_t b = 0; b < params_.block_count; ++b) {
+    if (!peeler_.is_known(b)) {
+      column_of.emplace(b, unknown_ids.size());
+      unknown_ids.push_back(b);
+    }
+  }
+  const std::size_t u = unknown_ids.size();
+  const std::size_t words = (u + 63) / 64;
+
+  // Reduce every stored equation by the known values; keep the nonzero
+  // residual rows as (bitmask over unknowns, payload).
+  struct Row {
+    std::vector<std::uint64_t> bits;
+    std::vector<std::uint8_t> payload;
+  };
+  std::vector<Row> rows;
+  rows.reserve(equations_.size());
+  for (std::size_t e = 0; e < equations_.size(); ++e) {
+    Row row{std::vector<std::uint64_t>(words, 0), payloads_[e]};
+    bool nonzero = false;
+    for (const std::uint32_t b : equations_[e]) {
+      const auto it = column_of.find(b);
+      if (it == column_of.end()) {
+        xor_into(row.payload, peeler_.value(b));
+      } else {
+        row.bits[it->second >> 6] ^= std::uint64_t{1} << (it->second & 63);
+        nonzero = true;
+      }
+    }
+    if (nonzero) rows.push_back(std::move(row));
+  }
+  if (rows.size() < u) return false;  // rank can't reach u yet
+
+  // Forward elimination with partial pivoting by column.
+  std::vector<std::size_t> pivot_row_of(u, SIZE_MAX);
+  std::size_t next_row = 0;
+  for (std::size_t col = 0; col < u && next_row < rows.size(); ++col) {
+    const std::size_t word = col >> 6;
+    const std::uint64_t mask = std::uint64_t{1} << (col & 63);
+    std::size_t pivot = next_row;
+    while (pivot < rows.size() && !(rows[pivot].bits[word] & mask)) ++pivot;
+    if (pivot == rows.size()) continue;  // rank-deficient in this column
+    std::swap(rows[pivot], rows[next_row]);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (r != next_row && (rows[r].bits[word] & mask)) {
+        for (std::size_t w = 0; w < words; ++w) {
+          rows[r].bits[w] ^= rows[next_row].bits[w];
+        }
+        xor_into(rows[r].payload, rows[next_row].payload);
+      }
+    }
+    pivot_row_of[col] = next_row;
+    ++next_row;
+  }
+  for (std::size_t col = 0; col < u; ++col) {
+    if (pivot_row_of[col] == SIZE_MAX) return false;  // still underdetermined
+  }
+
+  // Full elimination above leaves each pivot row with a single set bit:
+  // its payload is the unknown's value.
+  for (std::size_t col = 0; col < u; ++col) {
+    peeler_.mark_known(unknown_ids[col],
+                       std::move(rows[pivot_row_of[col]].payload));
+  }
+  return complete();
+}
+
+std::vector<std::vector<std::uint8_t>> InactivationDecoder::blocks() const {
+  if (!complete()) {
+    throw std::logic_error("InactivationDecoder::blocks: incomplete");
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(params_.block_count);
+  for (std::uint32_t b = 0; b < params_.block_count; ++b) {
+    out.push_back(peeler_.value(b));
+  }
+  return out;
+}
+
+double measure_inactivation_overhead(std::uint32_t block_count,
+                                     std::size_t block_size,
+                                     const DegreeDistribution& dist,
+                                     std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> content(block_count * block_size);
+  for (auto& byte : content) byte = static_cast<std::uint8_t>(rng());
+  const BlockSource source(content, block_size);
+  Encoder encoder(source, dist, seed);
+  InactivationDecoder decoder(encoder.parameters(), dist);
+  const std::size_t max_symbols = 40ULL * block_count + 1000;
+  while (!decoder.complete() && decoder.received_count() < max_symbols) {
+    decoder.add_symbol(encoder.next());
+    if (decoder.received_count() >= block_count) decoder.try_solve();
+  }
+  if (!decoder.complete()) {
+    throw std::runtime_error(
+        "measure_inactivation_overhead: decoding did not converge");
+  }
+  return static_cast<double>(decoder.received_count()) /
+         static_cast<double>(block_count);
+}
+
+}  // namespace icd::codec

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/decoder.hpp"
+#include "codec/degree.hpp"
+#include "codec/encoder.hpp"
+#include "codec/peeling.hpp"
+#include "codec/symbol.hpp"
+
+/// Inactivation decoding: the substitution rule backed by Gaussian
+/// elimination over GF(2) on the stalled residual system.
+///
+/// Pure peeling needs a few percent extra symbols to finish (Section 6.1's
+/// decoding overhead); the paper notes that "using more sophisticated
+/// techniques for generating distributions ... will slightly improve all of
+/// our results". The orthogonal classical improvement implemented here is
+/// to stop waiting for fresh symbols once the received set is information-
+/// theoretically sufficient, and solve the remaining unknowns directly —
+/// trading O(u^3 / 64) bit-matrix work (u = residual unknowns, typically a
+/// few percent of l) for lower overhead. bench_ablations compares the two.
+namespace icd::codec {
+
+class InactivationDecoder {
+ public:
+  InactivationDecoder(CodeParameters params, DegreeDistribution dist);
+
+  /// Feeds one symbol through the peeling front end. Returns true if it
+  /// recovered at least one block immediately.
+  bool add_symbol(const EncodedSymbol& symbol);
+
+  /// Attempts to finish decoding by Gaussian elimination over the residual
+  /// unknowns. Cheap to call repeatedly: it exits immediately unless the
+  /// received-equation count can possibly cover the unknowns. Returns
+  /// complete().
+  bool try_solve();
+
+  std::size_t recovered_count() const { return peeler_.known_count(); }
+  std::size_t received_count() const { return received_count_; }
+  bool complete() const {
+    return recovered_count() == params_.block_count;
+  }
+
+  /// Recovered source blocks in index order; requires complete().
+  std::vector<std::vector<std::uint8_t>> blocks() const;
+
+  const CodeParameters& parameters() const { return params_; }
+
+ private:
+  CodeParameters params_;
+  DegreeDistribution dist_;
+  PeelingDecoder<std::uint32_t> peeler_;
+  /// Raw equations kept for the elimination phase.
+  std::vector<std::vector<std::uint32_t>> equations_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+  std::size_t received_count_ = 0;
+};
+
+/// Measures decoding overhead with inactivation: symbols consumed per
+/// source block when try_solve() runs after every arrival beyond l.
+double measure_inactivation_overhead(std::uint32_t block_count,
+                                     std::size_t block_size,
+                                     const DegreeDistribution& dist,
+                                     std::uint64_t seed);
+
+}  // namespace icd::codec

@@ -1,0 +1,176 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "codec/symbol.hpp"
+
+/// Generic peeling solver implementing the *substitution rule* of Luby et
+/// al. [16], shared by the block-level decoder (equations over source block
+/// indices) and the recode-level decoder of Section 5.4.2 (equations over
+/// encoded symbol ids).
+///
+/// Each equation is an XOR constraint: payload = XOR of the variables named
+/// in `keys`. Whenever an equation has exactly one unknown variable, that
+/// variable is recovered and substituted into every other equation that
+/// names it, which may cascade. Total work is proportional to the total
+/// degree of all equations, as in the paper.
+namespace icd::codec {
+
+template <typename Key>
+class PeelingDecoder {
+ public:
+  PeelingDecoder() = default;
+
+  /// Declares `key` known with the given value. Typically used to seed the
+  /// solver with already-held symbols before feeding recoded equations.
+  /// Returns false (and changes nothing) if the key was already known.
+  bool mark_known(const Key& key, std::vector<std::uint8_t> value) {
+    if (known_.contains(key)) return false;
+    recover(key, std::move(value));
+    drain();
+    return true;
+  }
+
+  /// Adds the constraint payload = XOR_{k in keys} value(k). Duplicate keys
+  /// within one equation cancel (x ^ x = 0) and are removed up front.
+  /// Returns true if the equation caused at least one new variable to be
+  /// recovered (immediately useful), false if it was buffered or redundant.
+  bool add_equation(std::vector<Key> keys, std::vector<std::uint8_t> payload);
+
+  bool is_known(const Key& key) const { return known_.contains(key); }
+
+  /// Value of a recovered variable; throws if unknown.
+  const std::vector<std::uint8_t>& value(const Key& key) const {
+    const auto it = known_.find(key);
+    if (it == known_.end()) {
+      throw std::out_of_range("PeelingDecoder: key not recovered");
+    }
+    return it->second;
+  }
+
+  const std::unordered_map<Key, std::vector<std::uint8_t>>& known() const {
+    return known_;
+  }
+
+  std::size_t known_count() const { return known_.size(); }
+
+  /// Equations still waiting on 2+ unknowns.
+  std::size_t buffered_count() const { return live_equations_; }
+
+  /// Equations that arrived with all variables already known (fully
+  /// redundant at arrival).
+  std::size_t redundant_count() const { return redundant_; }
+
+  /// Every recovered key in recovery order (seeded keys included). Callers
+  /// track an offset into this log to observe incremental recoveries.
+  const std::vector<Key>& recovery_log() const { return log_; }
+
+ private:
+  struct Equation {
+    std::vector<Key> unknowns;
+    std::vector<std::uint8_t> payload;
+    bool retired = false;
+  };
+
+  void recover(const Key& key, std::vector<std::uint8_t> value) {
+    known_.emplace(key, std::move(value));
+    pending_.push_back(key);
+    log_.push_back(key);
+  }
+
+  // Substitutes every newly recovered key into the equations that name it.
+  void drain();
+
+  std::unordered_map<Key, std::vector<std::uint8_t>> known_;
+  std::vector<Equation> equations_;
+  std::unordered_map<Key, std::vector<std::size_t>> waiting_;  // key -> eq ids
+  std::deque<Key> pending_;
+  std::vector<Key> log_;
+  std::size_t live_equations_ = 0;
+  std::size_t redundant_ = 0;
+};
+
+template <typename Key>
+bool PeelingDecoder<Key>::add_equation(std::vector<Key> keys,
+                                       std::vector<std::uint8_t> payload) {
+  // Cancel duplicate keys (x XOR x = 0).
+  {
+    std::unordered_map<Key, int> counts;
+    for (const Key& k : keys) ++counts[k];
+    std::vector<Key> deduped;
+    deduped.reserve(keys.size());
+    for (const auto& [k, c] : counts) {
+      if (c % 2 == 1) deduped.push_back(k);
+    }
+    keys = std::move(deduped);
+  }
+
+  // Substitute already-known variables.
+  std::vector<Key> unknowns;
+  unknowns.reserve(keys.size());
+  for (const Key& k : keys) {
+    const auto it = known_.find(k);
+    if (it == known_.end()) {
+      unknowns.push_back(k);
+    } else {
+      xor_into(payload, it->second);
+    }
+  }
+
+  if (unknowns.empty()) {
+    ++redundant_;
+    return false;
+  }
+  if (unknowns.size() == 1) {
+    recover(unknowns.front(), std::move(payload));
+    drain();
+    return true;
+  }
+
+  const std::size_t eq_id = equations_.size();
+  for (const Key& k : unknowns) waiting_[k].push_back(eq_id);
+  equations_.push_back(Equation{std::move(unknowns), std::move(payload),
+                                /*retired=*/false});
+  ++live_equations_;
+  return false;
+}
+
+template <typename Key>
+void PeelingDecoder<Key>::drain() {
+  while (!pending_.empty()) {
+    const Key key = pending_.front();
+    pending_.pop_front();
+    const auto wit = waiting_.find(key);
+    if (wit == waiting_.end()) continue;
+    const std::vector<std::size_t> eq_ids = std::move(wit->second);
+    waiting_.erase(wit);
+    for (const std::size_t eq_id : eq_ids) {
+      Equation& eq = equations_[eq_id];
+      if (eq.retired) continue;
+      // Remove `key` from the equation and fold its value in.
+      auto pos = std::find(eq.unknowns.begin(), eq.unknowns.end(), key);
+      if (pos == eq.unknowns.end()) continue;  // already substituted
+      eq.unknowns.erase(pos);
+      xor_into(eq.payload, known_.at(key));
+      if (eq.unknowns.size() == 1) {
+        const Key last = eq.unknowns.front();
+        eq.retired = true;
+        --live_equations_;
+        if (!known_.contains(last)) {
+          recover(last, std::move(eq.payload));
+        }
+      } else if (eq.unknowns.empty()) {
+        eq.retired = true;
+        --live_equations_;
+      }
+    }
+  }
+}
+
+}  // namespace icd::codec

@@ -1,0 +1,28 @@
+#include "codec/symbol.hpp"
+
+#include <stdexcept>
+
+namespace icd::codec {
+
+void xor_into(std::vector<std::uint8_t>& dst,
+              const std::vector<std::uint8_t>& src) {
+  if (src.empty()) return;
+  if (dst.empty()) {
+    dst = src;
+    return;
+  }
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument("xor_into: payload size mismatch");
+  }
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+std::size_t wire_bytes(const EncodedSymbol& symbol) {
+  return 8 + symbol.payload.size();
+}
+
+std::size_t wire_bytes(const RecodedSymbol& symbol) {
+  return 2 + 8 * symbol.constituents.size() + symbol.payload.size();
+}
+
+}  // namespace icd::codec

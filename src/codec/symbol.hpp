@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+/// Symbol types exchanged by peers.
+///
+/// An *encoded symbol* is the XOR of a subset of source blocks; the subset is
+/// derived deterministically from the symbol id, so only the id travels in
+/// the packet header. A *recoded symbol* (Section 5.4.2) is the XOR of a set
+/// of encoded symbols held by a partial sender; it "must enumerate the
+/// encoded symbols from which it was produced", so its header carries the
+/// constituent id list.
+namespace icd::codec {
+
+struct EncodedSymbol {
+  /// Identifies the symbol within a session; the encoder derives the degree
+  /// and neighbor set from (id, session seed). 64 bits, matching the
+  /// paper's "degree sequence representations of these symbols were 64
+  /// bits".
+  std::uint64_t id = 0;
+  /// XOR of the neighbor source blocks. May be empty in count-only
+  /// simulations where payloads are irrelevant.
+  std::vector<std::uint8_t> payload;
+
+  bool operator==(const EncodedSymbol&) const = default;
+};
+
+struct RecodedSymbol {
+  /// Ids of the encoded symbols blended into this symbol.
+  std::vector<std::uint64_t> constituents;
+  /// XOR of the constituent payloads; may be empty in count-only
+  /// simulations.
+  std::vector<std::uint8_t> payload;
+
+  std::size_t degree() const { return constituents.size(); }
+
+  bool operator==(const RecodedSymbol&) const = default;
+};
+
+/// XORs `src` into `dst`. Empty operands are treated as all-zero: XOR into
+/// an empty destination copies, XOR of an empty source is a no-op. Sizes
+/// must otherwise match.
+void xor_into(std::vector<std::uint8_t>& dst,
+              const std::vector<std::uint8_t>& src);
+
+/// Serialized wire sizes (header + payload), used by the simulator to charge
+/// bandwidth.
+std::size_t wire_bytes(const EncodedSymbol& symbol);
+std::size_t wire_bytes(const RecodedSymbol& symbol);
+
+}  // namespace icd::codec

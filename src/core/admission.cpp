@@ -1,0 +1,75 @@
+#include "core/admission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icd::core {
+
+AdmissionDecision evaluate_candidate(const sketch::MinwiseSketch& receiver,
+                                     std::size_t receiver_size,
+                                     const CandidateSender& candidate,
+                                     const AdmissionPolicy& policy) {
+  if (candidate.sketch == nullptr) {
+    throw std::invalid_argument("evaluate_candidate: null sketch");
+  }
+  AdmissionDecision decision;
+  decision.resemblance =
+      sketch::MinwiseSketch::resemblance(receiver, *candidate.sketch);
+  const double containment = sketch::containment_from_resemblance(
+      decision.resemblance, receiver_size, candidate.working_set_size);
+  decision.novelty = 1.0 - containment;
+  decision.admitted = decision.resemblance <= policy.max_resemblance &&
+                      decision.novelty >= policy.min_novelty;
+  return decision;
+}
+
+std::vector<std::size_t> select_senders(
+    const sketch::MinwiseSketch& receiver, std::size_t receiver_size,
+    const std::vector<CandidateSender>& candidates,
+    const AdmissionPolicy& policy, std::size_t max_senders) {
+  struct Scored {
+    std::size_t id;
+    std::size_t order;
+    double novelty;
+  };
+  std::vector<Scored> admitted;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto decision =
+        evaluate_candidate(receiver, receiver_size, candidates[i], policy);
+    if (decision.admitted) {
+      admitted.push_back(Scored{candidates[i].id, i, decision.novelty});
+    }
+  }
+  std::stable_sort(admitted.begin(), admitted.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.novelty > b.novelty;
+                   });
+  std::vector<std::size_t> selected;
+  for (const Scored& s : admitted) {
+    if (selected.size() == max_senders) break;
+    selected.push_back(s.id);
+  }
+  return selected;
+}
+
+double estimate_group_overlap(
+    const std::vector<const sketch::MinwiseSketch*>& group) {
+  if (group.size() < 2) return 0.0;
+  for (const auto* sketch : group) {
+    if (sketch == nullptr) {
+      throw std::invalid_argument("estimate_group_overlap: null sketch");
+    }
+  }
+  // Average pairwise resemblance, each pair estimated from the sketches.
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    for (std::size_t j = i + 1; j < group.size(); ++j) {
+      total += sketch::MinwiseSketch::resemblance(*group[i], *group[j]);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+}  // namespace icd::core

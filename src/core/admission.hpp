@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "sketch/minwise.hpp"
+
+/// Sketch-based admission control and sender selection (end of Section 4):
+/// "Such methods are suitable for simple admission control, allowing
+/// receivers to immediately reject candidate senders whose content is
+/// identical to their own. The receivers will also be able to distribute
+/// the load among the senders whose content is identical ... overlay
+/// management may explicitly avoid connecting nodes with identical
+/// content."
+namespace icd::core {
+
+struct CandidateSender {
+  /// Caller-assigned identifier (index into its own peer table).
+  std::size_t id = 0;
+  /// The candidate's calling-card sketch.
+  const sketch::MinwiseSketch* sketch = nullptr;
+  /// The candidate's advertised working-set size.
+  std::size_t working_set_size = 0;
+};
+
+struct AdmissionPolicy {
+  /// Reject candidates whose estimated resemblance to the receiver exceeds
+  /// this ("reject candidate senders whose content is identical").
+  double max_resemblance = 0.95;
+  /// Reject candidates that rate to supply fewer than this fraction of
+  /// novel symbols (estimated 1 - containment of candidate in receiver).
+  double min_novelty = 0.0;
+};
+
+struct AdmissionDecision {
+  bool admitted = false;
+  double resemblance = 0.0;
+  /// Estimated fraction of the candidate's set that is new to the receiver.
+  double novelty = 0.0;
+};
+
+/// Evaluates a single candidate against the receiver's sketch.
+AdmissionDecision evaluate_candidate(const sketch::MinwiseSketch& receiver,
+                                     std::size_t receiver_size,
+                                     const CandidateSender& candidate,
+                                     const AdmissionPolicy& policy);
+
+/// Ranks admitted candidates by descending estimated novelty; among
+/// near-identical candidates, position in `candidates` breaks ties, so a
+/// caller can rotate the input order to spread load ("distribute the load
+/// among the senders whose content is identical").
+std::vector<std::size_t> select_senders(const sketch::MinwiseSketch& receiver,
+                                        std::size_t receiver_size,
+                                        const std::vector<CandidateSender>& candidates,
+                                        const AdmissionPolicy& policy,
+                                        std::size_t max_senders);
+
+/// Estimated overlap of a *group* of candidates with each other, computed
+/// from sketches alone via coordinate-wise-min union combination — the
+/// paper's "to estimate the overlap of a third peer's working set C with
+/// the combined working set A ∪ B can be done with v(A), v(B), and v(C)".
+double estimate_group_overlap(const std::vector<const sketch::MinwiseSketch*>& group);
+
+}  // namespace icd::core

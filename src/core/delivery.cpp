@@ -1,0 +1,127 @@
+#include "core/delivery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace icd::core {
+
+namespace {
+
+codec::DegreeDistribution make_distribution(std::size_t content_size,
+                                            std::size_t block_size) {
+  const std::size_t blocks =
+      std::max<std::size_t>(1, (content_size + block_size - 1) / block_size);
+  return codec::DegreeDistribution::robust_soliton(std::max<std::size_t>(
+      blocks, 2));
+}
+
+}  // namespace
+
+ContentDeliveryService::ContentDeliveryService(
+    std::vector<std::uint8_t> content, DeliveryOptions options)
+    : content_(std::move(content)), options_(options),
+      next_session_seed_(util::mix64(options.session_seed ^ 0x5e551075ULL)) {
+  origins_.push_back(std::make_unique<OriginServer>(
+      content_, options_.block_size,
+      make_distribution(content_.size(), options_.block_size),
+      options_.session_seed, /*stream_index=*/0));
+}
+
+void ContentDeliveryService::add_mirror() {
+  origins_.push_back(std::make_unique<OriginServer>(
+      content_, options_.block_size,
+      make_distribution(content_.size(), options_.block_size),
+      options_.session_seed, /*stream_index=*/origins_.size()));
+}
+
+std::size_t ContentDeliveryService::add_peer(const std::string& name,
+                                             bool subscribe_origin) {
+  PeerEntry entry;
+  entry.peer = std::make_unique<Peer>(
+      name, origins_.front()->parameters(),
+      make_distribution(content_.size(), options_.block_size));
+  entry.origin_fed = subscribe_origin;
+  entry.origin_index = peers_.size() % origins_.size();
+  peers_.push_back(std::move(entry));
+  return peers_.size() - 1;
+}
+
+void ContentDeliveryService::refresh_sessions() {
+  // Tear down finished/stale sessions, then give every incomplete peer up
+  // to max_peer_sessions downloads from admission-ranked senders.
+  for (std::size_t me = 0; me < peers_.size(); ++me) {
+    PeerEntry& entry = peers_[me];
+    entry.downloads.clear();
+    if (entry.peer->has_content()) continue;
+
+    std::vector<CandidateSender> candidates;
+    for (std::size_t j = 0; j < peers_.size(); ++j) {
+      if (j == me || peers_[j].peer->symbol_count() == 0) continue;
+      candidates.push_back(CandidateSender{
+          j, &peers_[j].peer->sketch(), peers_[j].peer->symbol_count()});
+    }
+    const auto selected = select_senders(
+        entry.peer->sketch(), entry.peer->symbol_count(), candidates,
+        options_.admission, options_.max_peer_sessions);
+
+    const std::size_t target = static_cast<std::size_t>(
+        1.07 * static_cast<double>(parameters().block_count));
+    const std::size_t have = entry.peer->symbol_count();
+    const std::size_t needed = target > have ? target - have : 1;
+    for (const std::size_t j : selected) {
+      SessionOptions session_options;
+      session_options.strategy = options_.strategy;
+      session_options.requested_symbols = std::max<std::size_t>(
+          1, (needed * 5 / 4) / std::max<std::size_t>(1, selected.size()));
+      session_options.seed = next_session_seed_ =
+          util::mix64(next_session_seed_);
+      auto session = std::make_unique<InformedSession>(
+          *peers_[j].peer, *entry.peer, session_options);
+      session->handshake();
+      entry.downloads.emplace(j, std::move(session));
+    }
+  }
+}
+
+std::size_t ContentDeliveryService::tick() {
+  if (ticks_ % std::max<std::size_t>(1, options_.refresh_interval) == 0) {
+    refresh_sessions();
+  }
+  ++ticks_;
+
+  std::size_t completed_now = 0;
+  for (PeerEntry& entry : peers_) {
+    if (entry.peer->has_content()) continue;
+    // Origin feed: one fresh symbol per tick for subscribers.
+    if (entry.origin_fed) {
+      entry.peer->receive_encoded(origins_[entry.origin_index]->next());
+    }
+    // One symbol from each active download session.
+    for (auto& [sender_id, session] : entry.downloads) {
+      if (entry.peer->has_content()) break;
+      session->step();
+    }
+    if (entry.peer->has_content()) ++completed_now;
+  }
+  return completed_now;
+}
+
+bool ContentDeliveryService::run(std::size_t max_ticks) {
+  for (std::size_t t = 0; t < max_ticks; ++t) {
+    tick();
+    const bool all = std::all_of(
+        peers_.begin(), peers_.end(),
+        [](const PeerEntry& e) { return e.peer->has_content(); });
+    if (all) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> ContentDeliveryService::peer_content(
+    std::size_t id) const {
+  return peers_.at(id).peer->content(content_.size());
+}
+
+}  // namespace icd::core

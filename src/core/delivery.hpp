@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/origin.hpp"
+#include "core/peer.hpp"
+#include "core/session.hpp"
+
+/// ContentDeliveryService: the application-level entry point.
+///
+/// Owns one piece of content, any number of origin mirrors, and a registry
+/// of peers; each service "tick" advances every download by one round —
+/// origins stream fresh symbols to their subscribers, and peer-to-peer
+/// sessions (formed via sketch-based admission control, re-formed on
+/// demand) move filtered/recoded symbols across the overlay. This is the
+/// façade a downstream application would embed; the lower-level pieces
+/// remain available for custom architectures.
+namespace icd::core {
+
+struct DeliveryOptions {
+  std::size_t block_size = 1024;
+  std::uint64_t session_seed = 0x1cdULL;
+  /// Peer-to-peer strategy for informed sessions.
+  overlay::Strategy strategy = overlay::Strategy::kRecodeBloom;
+  /// Maximum concurrent upload sessions a peer serves / download sessions
+  /// a peer consumes.
+  std::size_t max_peer_sessions = 2;
+  /// Re-run admission control and rebuild sessions every this many ticks.
+  std::size_t refresh_interval = 50;
+  AdmissionPolicy admission;
+};
+
+class ContentDeliveryService {
+ public:
+  /// Registers the content and creates the primary origin.
+  ContentDeliveryService(std::vector<std::uint8_t> content,
+                         DeliveryOptions options);
+
+  /// Adds another full mirror with an uncorrelated symbol stream.
+  void add_mirror();
+
+  /// Registers a new peer; `subscribe_origin` connects it to a round-robin
+  /// origin feed (one symbol per tick). Returns the peer's id.
+  std::size_t add_peer(const std::string& name, bool subscribe_origin);
+
+  /// Advances the whole service by one round. Returns the number of peers
+  /// that completed during this tick.
+  std::size_t tick();
+
+  /// Drives tick() until all peers have the content or `max_ticks` pass.
+  /// Returns true if everyone finished.
+  bool run(std::size_t max_ticks);
+
+  std::size_t peer_count() const { return peers_.size(); }
+  const Peer& peer(std::size_t id) const { return *peers_.at(id).peer; }
+  bool peer_complete(std::size_t id) const {
+    return peers_.at(id).peer->has_content();
+  }
+  /// Reconstructed content for a finished peer.
+  std::vector<std::uint8_t> peer_content(std::size_t id) const;
+
+  std::size_t ticks() const { return ticks_; }
+  const codec::CodeParameters& parameters() const {
+    return origins_.front()->parameters();
+  }
+
+ private:
+  struct PeerEntry {
+    std::unique_ptr<Peer> peer;
+    bool origin_fed = false;
+    std::size_t origin_index = 0;
+    /// Active download sessions, keyed by the serving peer id.
+    std::map<std::size_t, std::unique_ptr<InformedSession>> downloads;
+  };
+
+  void refresh_sessions();
+
+  std::vector<std::uint8_t> content_;
+  DeliveryOptions options_;
+  std::vector<std::unique_ptr<OriginServer>> origins_;
+  std::vector<PeerEntry> peers_;
+  std::size_t ticks_ = 0;
+  std::uint64_t next_session_seed_;
+};
+
+}  // namespace icd::core

@@ -1,0 +1,113 @@
+#include "core/peer.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+#include "codec/block_source.hpp"
+#include "util/hash.hpp"
+
+namespace icd::core {
+
+Peer::Peer(std::string name, codec::CodeParameters params,
+           codec::DegreeDistribution distribution,
+           std::size_t sketch_permutations)
+    : name_(std::move(name)), params_(params),
+      distribution_(std::move(distribution)),
+      block_decoder_(params, distribution_),
+      sketch_(kSymbolIdUniverse, sketch_permutations),
+      next_fresh_id_(util::hash64(util::fnv1a(std::as_bytes(std::span(
+                         name_.data(), name_.size()))),
+                     params.session_seed) |
+                     (std::uint64_t{1} << 62)) {}
+
+std::size_t Peer::absorb_acquisitions() {
+  const auto& log = recode_decoder_.acquisition_log();
+  std::size_t fresh = 0;
+  while (log_offset_ < log.size()) {
+    const std::uint64_t id = log[log_offset_++];
+    symbol_ids_.push_back(id);
+    sketch_.update(id % kSymbolIdUniverse);
+    block_decoder_.add_symbol(
+        codec::EncodedSymbol{id, recode_decoder_.payload(id)});
+    ++fresh;
+  }
+  return fresh;
+}
+
+std::size_t Peer::receive_encoded(const codec::EncodedSymbol& symbol) {
+  recode_decoder_.add_held_symbol(symbol);
+  return absorb_acquisitions();
+}
+
+std::size_t Peer::receive_recoded(const codec::RecodedSymbol& symbol) {
+  recode_decoder_.add_recoded(symbol);
+  return absorb_acquisitions();
+}
+
+std::vector<std::uint8_t> Peer::content(std::size_t content_size) const {
+  return codec::BlockSource::restore(block_decoder_.blocks(), content_size);
+}
+
+filter::BloomFilter Peer::bloom_summary(double bits_per_element) const {
+  auto filter = filter::BloomFilter::with_bits_per_element(
+      std::max<std::size_t>(1, symbol_ids_.size()), bits_per_element);
+  filter.insert_all(symbol_ids_);
+  return filter;
+}
+
+art::ReconciliationTree Peer::reconciliation_tree() const {
+  return art::ReconciliationTree(symbol_ids_);
+}
+
+art::ArtSummary Peer::art_summary(double leaf_bits_per_element,
+                                  double internal_bits_per_element) const {
+  return art::ArtSummary::build(reconciliation_tree(), leaf_bits_per_element,
+                                internal_bits_per_element);
+}
+
+codec::EncodedSymbol Peer::encode_fresh() {
+  if (!has_content()) {
+    throw std::logic_error("Peer::encode_fresh: content not yet decoded");
+  }
+  if (!decoded_blocks_) decoded_blocks_ = block_decoder_.blocks();
+  const std::uint64_t id = next_fresh_id_++;
+  codec::EncodedSymbol symbol;
+  symbol.id = id;
+  for (const std::uint32_t b :
+       codec::symbol_neighbors(params_, distribution_, id)) {
+    codec::xor_into(symbol.payload, (*decoded_blocks_)[b]);
+  }
+  return symbol;
+}
+
+codec::RecodedSymbol Peer::recode(std::size_t degree,
+                                  util::Xoshiro256& rng) const {
+  return recode_from(symbol_ids_, degree, rng);
+}
+
+codec::RecodedSymbol Peer::recode_from(
+    const std::vector<std::uint64_t>& domain_ids, std::size_t degree,
+    util::Xoshiro256& rng) const {
+  std::vector<std::uint64_t> held;
+  held.reserve(domain_ids.size());
+  for (const std::uint64_t id : domain_ids) {
+    if (recode_decoder_.has_symbol(id)) held.push_back(id);
+  }
+  if (held.empty()) {
+    throw std::invalid_argument("Peer::recode_from: no held ids in domain");
+  }
+  const std::size_t d = std::min(std::max<std::size_t>(degree, 1), held.size());
+  codec::RecodedSymbol symbol;
+  symbol.constituents.reserve(d);
+  for (const std::uint64_t pick :
+       util::sample_without_replacement(held.size(), d, rng)) {
+    const std::uint64_t id = held[static_cast<std::size_t>(pick)];
+    symbol.constituents.push_back(id);
+    codec::xor_into(symbol.payload, recode_decoder_.payload(id));
+  }
+  std::sort(symbol.constituents.begin(), symbol.constituents.end());
+  return symbol;
+}
+
+}  // namespace icd::core

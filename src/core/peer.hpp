@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "art/art_summary.hpp"
+#include "art/reconciliation_tree.hpp"
+#include "codec/decoder.hpp"
+#include "codec/degree.hpp"
+#include "codec/encoder.hpp"
+#include "codec/recoder.hpp"
+#include "filter/bloom.hpp"
+#include "sketch/minwise.hpp"
+#include "util/random.hpp"
+
+/// A collaborating end-system (full-fidelity: real payloads, real decoding).
+///
+/// A Peer runs the paper's two peeling levels stacked:
+///   * the recode decoder resolves incoming *recoded* symbols against the
+///     encoded symbols already held, recovering fresh encoded symbols
+///     (Section 5.4.2), and
+///   * every encoded symbol — received directly or recovered above — feeds
+///     the block decoder, which reconstructs the file by the substitution
+///     rule (Section 5.4.1).
+///
+/// It also maintains the control-plane artifacts of Sections 4 and 5
+/// incrementally: a min-wise sketch updated per arrival, and on-demand
+/// Bloom-filter / ART summaries of the working set.
+namespace icd::core {
+
+/// Universe the min-wise permutations cover; symbol ids live below 2^63.
+inline constexpr std::uint64_t kSymbolIdUniverse = std::uint64_t{1} << 63;
+
+class Peer {
+ public:
+  Peer(std::string name, codec::CodeParameters params,
+       codec::DegreeDistribution distribution,
+       std::size_t sketch_permutations = sketch::MinwiseSketch::kDefaultPermutations);
+
+  const std::string& name() const { return name_; }
+  const codec::CodeParameters& parameters() const { return params_; }
+
+  /// --- Receiving ---------------------------------------------------------
+
+  /// Feeds a regular encoded symbol; returns the number of new encoded
+  /// symbols it yielded (>= 1 when novel: the symbol itself plus any
+  /// buffered recoded symbols it unblocked).
+  std::size_t receive_encoded(const codec::EncodedSymbol& symbol);
+
+  /// Feeds a recoded symbol; returns the number of new encoded symbols
+  /// recovered (0 if it was redundant or had to be buffered).
+  std::size_t receive_recoded(const codec::RecodedSymbol& symbol);
+
+  /// --- State -------------------------------------------------------------
+
+  /// Distinct encoded symbols held (received or recovered).
+  std::size_t symbol_count() const { return symbol_ids_.size(); }
+  const std::vector<std::uint64_t>& symbol_ids() const { return symbol_ids_; }
+  bool has_symbol(std::uint64_t id) const {
+    return recode_decoder_.has_symbol(id);
+  }
+
+  /// Payload of a held symbol; throws if absent.
+  const std::vector<std::uint8_t>& symbol_payload(std::uint64_t id) const {
+    return recode_decoder_.payload(id);
+  }
+
+  /// Source blocks recovered so far / needed.
+  std::size_t blocks_recovered() const {
+    return block_decoder_.recovered_count();
+  }
+  double decode_progress() const {
+    return static_cast<double>(blocks_recovered()) /
+           static_cast<double>(params_.block_count);
+  }
+  /// True once the whole file is decodable.
+  bool has_content() const { return block_decoder_.complete(); }
+
+  /// The reconstructed content (strips block padding); requires
+  /// has_content().
+  std::vector<std::uint8_t> content(std::size_t content_size) const;
+
+  /// --- Control plane (Sections 4 and 5) -----------------------------------
+
+  /// The incrementally maintained min-wise sketch of the working set.
+  const sketch::MinwiseSketch& sketch() const { return sketch_; }
+
+  /// Bloom filter over the held symbol ids.
+  filter::BloomFilter bloom_summary(double bits_per_element = 8.0) const;
+
+  /// Approximate reconciliation tree over the held symbol ids, and its
+  /// transmissible summary.
+  art::ReconciliationTree reconciliation_tree() const;
+  art::ArtSummary art_summary(double leaf_bits_per_element = 4.0,
+                              double internal_bits_per_element = 4.0) const;
+
+  /// --- Sending -----------------------------------------------------------
+
+  /// Re-encoding (full content only): a fresh symbol of the shared code
+  /// from this peer's own id stream. Once a peer "has decoded the entire
+  /// content of the file ... the end-system can generate new encoded
+  /// content at will."
+  codec::EncodedSymbol encode_fresh();
+
+  /// Recoded symbol of the given degree over the whole working set.
+  codec::RecodedSymbol recode(std::size_t degree, util::Xoshiro256& rng) const;
+
+  /// Recoded symbol over a restricted domain of held ids (e.g. the ids that
+  /// missed the receiver's Bloom filter). Unknown ids are ignored; throws
+  /// if none of `domain_ids` are held.
+  codec::RecodedSymbol recode_from(const std::vector<std::uint64_t>& domain_ids,
+                                   std::size_t degree,
+                                   util::Xoshiro256& rng) const;
+
+ private:
+  /// Pulls newly acquired ids out of the recode decoder's log, updating the
+  /// sketch and feeding the block decoder. Returns how many were new.
+  std::size_t absorb_acquisitions();
+
+  std::string name_;
+  codec::CodeParameters params_;
+  codec::DegreeDistribution distribution_;
+  codec::RecodeDecoder recode_decoder_;
+  codec::Decoder block_decoder_;
+  sketch::MinwiseSketch sketch_;
+  std::vector<std::uint64_t> symbol_ids_;
+  std::size_t log_offset_ = 0;
+  std::uint64_t next_fresh_id_;
+  std::optional<std::vector<std::vector<std::uint8_t>>> decoded_blocks_;
+};
+
+}  // namespace icd::core

@@ -1,0 +1,106 @@
+#include "filter/compressed_bloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/arith_coder.hpp"
+#include "util/buffer.hpp"
+
+namespace icd::filter {
+
+CompressedBloomFilter::CompressedBloomFilter(BloomFilter filter)
+    : filter_(std::move(filter)) {}
+
+CompressedBloomFilter CompressedBloomFilter::design(
+    std::size_t expected_elements, double wire_bits_per_element,
+    std::uint64_t seed) {
+  if (expected_elements == 0 || wire_bits_per_element <= 0) {
+    throw std::invalid_argument("CompressedBloomFilter::design: bad inputs");
+  }
+  const double n = static_cast<double>(expected_elements);
+  double best_fp = 1.0;
+  double best_c = wire_bits_per_element;  // m/n ratio
+  std::size_t best_k = 1;
+  // Grid search: sparser arrays (larger c) with few hashes compress below
+  // the budget while driving fp down; stop where the entropy bound says
+  // the wire budget is violated.
+  for (std::size_t k = 1; k <= 4; ++k) {
+    for (double c = wire_bits_per_element; c <= 64.0; c *= 1.25) {
+      const double fill = 1.0 - std::exp(-static_cast<double>(k) / c);
+      const double wire = c * util::binary_entropy(fill);
+      if (wire > wire_bits_per_element) continue;
+      const double fp = std::pow(fill, static_cast<double>(k));
+      if (fp < best_fp) {
+        best_fp = fp;
+        best_c = c;
+        best_k = k;
+      }
+    }
+  }
+  const auto bits = static_cast<std::size_t>(std::ceil(best_c * n));
+  return CompressedBloomFilter(BloomFilter(bits, best_k, seed));
+}
+
+std::vector<std::uint8_t> CompressedBloomFilter::serialize() const {
+  // Model probability: the realized fill ratio (quantized to 16 bits) —
+  // slightly better than the theoretical fill and self-describing.
+  const double fill = filter_.fill_ratio();
+  const auto fill_q = static_cast<std::uint16_t>(
+      std::lround(std::clamp(fill, 0.0, 1.0) * 65535.0));
+
+  // Extract the raw bit array through the filter's documented wire layout:
+  // varint bits, varint k, u64 seed, varint inserted, then bit bytes
+  // (little-endian within each byte).
+  const auto words = filter_.serialize();
+  std::vector<bool> bits(filter_.bit_count());
+  util::ByteReader reader(words);
+  const std::size_t bit_count = reader.varint();
+  const std::size_t hashes = reader.varint();
+  const std::uint64_t seed = reader.u64();
+  const std::size_t inserted = reader.varint();
+  const auto raw = reader.raw(reader.remaining());
+  for (std::size_t i = 0; i < bit_count; ++i) {
+    bits[i] = (raw[i >> 3] >> (i & 7)) & 1;
+  }
+
+  const auto coded =
+      util::arith_encode_bits(bits, static_cast<double>(fill_q) / 65535.0);
+
+  util::ByteWriter writer;
+  writer.varint(bit_count);
+  writer.varint(hashes);
+  writer.u64(seed);
+  writer.varint(inserted);
+  writer.u16(fill_q);
+  writer.varint(coded.size());
+  writer.raw(coded);
+  return writer.take();
+}
+
+CompressedBloomFilter CompressedBloomFilter::deserialize(
+    const std::vector<std::uint8_t>& bytes) {
+  util::ByteReader reader(bytes);
+  const std::size_t bit_count = reader.varint();
+  const std::size_t hashes = reader.varint();
+  const std::uint64_t seed = reader.u64();
+  const std::size_t inserted = reader.varint();
+  const double fill = static_cast<double>(reader.u16()) / 65535.0;
+  const auto coded = reader.raw(reader.varint());
+  const auto bits = util::arith_decode_bits(coded, bit_count, fill);
+
+  // Rebuild the inner filter through its own wire format.
+  util::ByteWriter inner;
+  inner.varint(bit_count);
+  inner.varint(hashes);
+  inner.u64(seed);
+  inner.varint(inserted);
+  std::vector<std::uint8_t> raw(((bit_count + 63) / 64) * 8, 0);
+  for (std::size_t i = 0; i < bit_count; ++i) {
+    if (bits[i]) raw[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
+  }
+  inner.raw(raw);
+  return CompressedBloomFilter(BloomFilter::deserialize(inner.bytes()));
+}
+
+}  // namespace icd::filter

@@ -1,0 +1,51 @@
+#include "filter/counting_bloom.hpp"
+
+#include <stdexcept>
+
+namespace icd::filter {
+
+CountingBloomFilter::CountingBloomFilter(std::size_t counters,
+                                         std::size_t hashes,
+                                         std::uint64_t seed)
+    : hashes_(hashes), seed_(seed), family_(counters == 0 ? 1 : counters, seed),
+      counters_(counters, 0) {
+  if (counters == 0) {
+    throw std::invalid_argument("CountingBloomFilter: counters must be > 0");
+  }
+  if (hashes == 0) {
+    throw std::invalid_argument("CountingBloomFilter: hashes must be > 0");
+  }
+}
+
+void CountingBloomFilter::insert(std::uint64_t key) {
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    std::uint8_t& c = counters_[family_.at(key, i)];
+    if (c < kMaxCounter) ++c;
+  }
+}
+
+void CountingBloomFilter::erase(std::uint64_t key) {
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    std::uint8_t& c = counters_[family_.at(key, i)];
+    // Saturated counters are sticky: decrementing one would risk a false
+    // negative, which counting Bloom filters must never produce.
+    if (c > 0 && c < kMaxCounter) --c;
+  }
+}
+
+bool CountingBloomFilter::contains(std::uint64_t key) const {
+  for (std::size_t i = 0; i < hashes_; ++i) {
+    if (counters_[family_.at(key, i)] == 0) return false;
+  }
+  return true;
+}
+
+std::vector<bool> CountingBloomFilter::to_bloom_bits() const {
+  std::vector<bool> bits(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    bits[i] = counters_[i] > 0;
+  }
+  return bits;
+}
+
+}  // namespace icd::filter

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.hpp"
+
+/// Counting Bloom filter (Fan, Cao, Almeida, Broder — "Summary Cache",
+/// cited as [11] by the paper).
+///
+/// The paper requires that all summaries be *incrementally updatable* as new
+/// symbols arrive. A plain Bloom filter supports insertion but not deletion;
+/// the counting variant supports both, which matters when a peer's working
+/// set is pruned (e.g. after decoding completes and re-encoding begins).
+/// A peer maintains the counting filter locally and ships the cheap 1-bit
+/// projection (to_bloom_bits) to its peers.
+namespace icd::filter {
+
+class CountingBloomFilter {
+ public:
+  /// `counters` 4-bit-saturating counters with `hashes` hash functions.
+  CountingBloomFilter(std::size_t counters, std::size_t hashes,
+                      std::uint64_t seed = 0x1cdb10f11e500d5eULL);
+
+  void insert(std::uint64_t key);
+
+  /// Removes one previous insertion of `key`. Removing a key that was never
+  /// inserted may corrupt the filter (standard counting-Bloom caveat); the
+  /// caller is responsible for only deleting held keys.
+  void erase(std::uint64_t key);
+
+  bool contains(std::uint64_t key) const;
+
+  std::size_t counter_count() const { return counters_.size(); }
+  std::size_t hash_count() const { return hashes_; }
+  std::uint64_t seed() const { return seed_; }
+
+  /// Counter value at position i (saturates at 15).
+  std::uint8_t counter(std::size_t i) const { return counters_[i]; }
+
+  /// Projects to the positions a plain Bloom filter with identical geometry
+  /// would have set — used to ship a compact summary of the live set.
+  std::vector<bool> to_bloom_bits() const;
+
+ private:
+  static constexpr std::uint8_t kMaxCounter = 15;
+
+  std::size_t hashes_;
+  std::uint64_t seed_;
+  util::DoubleHashFamily family_;
+  std::vector<std::uint8_t> counters_;
+};
+
+}  // namespace icd::filter

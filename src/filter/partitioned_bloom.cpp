@@ -1,0 +1,79 @@
+#include "filter/partitioned_bloom.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace icd::filter {
+
+namespace {
+constexpr std::uint64_t kResidueSeed = 0x9aa1f7b44e21cc03ULL;
+}
+
+std::uint64_t PartitionedBloomFilter::residue_of(std::uint64_t key,
+                                                 std::uint32_t rho) {
+  return util::hash64(key, kResidueSeed) % rho;
+}
+
+namespace {
+
+std::size_t count_covered(const std::vector<std::uint64_t>& keys,
+                          std::uint32_t rho, std::uint32_t beta) {
+  // Validated here because this runs in the member-initializer list, before
+  // the constructor body could reject bad arguments.
+  if (rho == 0) {
+    throw std::invalid_argument("PartitionedBloomFilter: rho must be > 0");
+  }
+  if (beta >= rho) {
+    throw std::invalid_argument("PartitionedBloomFilter: beta must be < rho");
+  }
+  return static_cast<std::size_t>(
+      std::count_if(keys.begin(), keys.end(), [&](std::uint64_t key) {
+        return PartitionedBloomFilter::residue_of(key, rho) == beta;
+      }));
+}
+
+}  // namespace
+
+PartitionedBloomFilter::PartitionedBloomFilter(
+    const std::vector<std::uint64_t>& keys, std::uint32_t rho,
+    std::uint32_t beta, double bits_per_element, std::uint64_t seed)
+    : rho_(rho), beta_(beta),
+      bloom_(BloomFilter::with_bits_per_element(
+          std::max<std::size_t>(1, count_covered(keys, rho, beta)),
+          bits_per_element, seed)) {
+  for (const std::uint64_t key : keys) {
+    if (covers(key)) {
+      bloom_.insert(key);
+      ++covered_;
+    }
+  }
+}
+
+bool PartitionedBloomFilter::covers(std::uint64_t key) const {
+  return residue_of(key, rho_) == beta_;
+}
+
+bool PartitionedBloomFilter::contains(std::uint64_t key) const {
+  return covers(key) && bloom_.contains(key);
+}
+
+BloomFilterPipeline::BloomFilterPipeline(std::vector<std::uint64_t> keys,
+                                         std::uint32_t rho,
+                                         double bits_per_element,
+                                         std::uint64_t seed)
+    : keys_(std::move(keys)), rho_(rho), bits_per_element_(bits_per_element),
+      seed_(seed) {
+  if (rho == 0) {
+    throw std::invalid_argument("BloomFilterPipeline: rho must be > 0");
+  }
+}
+
+std::optional<PartitionedBloomFilter> BloomFilterPipeline::next() {
+  if (exhausted()) return std::nullopt;
+  return PartitionedBloomFilter(keys_, rho_, next_beta_++, bits_per_element_,
+                                seed_);
+}
+
+}  // namespace icd::filter

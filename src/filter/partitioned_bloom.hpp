@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "filter/bloom.hpp"
+
+/// The pipelined scaling scheme of Section 5.2: "if |S_A| and |S_B| are
+/// larger than tens of thousands, then peer A can create a Bloom filter only
+/// for elements of S that are equal to beta modulo rho ... The Bloom filter
+/// approach can then be pipelined by incrementally providing additional
+/// filters for differing values of beta as needed."
+namespace icd::filter {
+
+/// One residue-class filter: covers the keys of a set with
+/// hash(key) % rho == beta. Hashing before reduction keeps the classes
+/// balanced even for adversarial key distributions.
+class PartitionedBloomFilter {
+ public:
+  /// Builds the filter for residue `beta` (mod `rho`) over `keys`, at
+  /// `bits_per_element` for the covered subset.
+  PartitionedBloomFilter(const std::vector<std::uint64_t>& keys,
+                         std::uint32_t rho, std::uint32_t beta,
+                         double bits_per_element,
+                         std::uint64_t seed = BloomFilter::kDefaultSeed);
+
+  std::uint32_t rho() const { return rho_; }
+  std::uint32_t beta() const { return beta_; }
+
+  /// True if `key` belongs to this filter's residue class.
+  bool covers(std::uint64_t key) const;
+
+  /// Membership test. Keys outside the residue class always return false
+  /// ("the filter only determines elements ... equal to beta modulo rho").
+  bool contains(std::uint64_t key) const;
+
+  const BloomFilter& bloom() const { return bloom_; }
+  std::size_t covered_count() const { return covered_; }
+
+  static std::uint64_t residue_of(std::uint64_t key, std::uint32_t rho);
+
+ private:
+  std::uint32_t rho_;
+  std::uint32_t beta_;
+  std::size_t covered_ = 0;
+  BloomFilter bloom_;
+};
+
+/// Driver for the incremental pipeline: hands out residue-class filters one
+/// beta at a time, so a pair of very large peers can reconcile slice by
+/// slice, interleaving useful data transfer with summary transfer.
+class BloomFilterPipeline {
+ public:
+  BloomFilterPipeline(std::vector<std::uint64_t> keys, std::uint32_t rho,
+                      double bits_per_element,
+                      std::uint64_t seed = BloomFilter::kDefaultSeed);
+
+  std::uint32_t rho() const { return rho_; }
+
+  /// Number of residue classes already emitted.
+  std::uint32_t emitted() const { return next_beta_; }
+  bool exhausted() const { return next_beta_ >= rho_; }
+
+  /// Builds and returns the filter for the next beta, or nullopt when all
+  /// rho classes have been emitted.
+  std::optional<PartitionedBloomFilter> next();
+
+ private:
+  std::vector<std::uint64_t> keys_;
+  std::uint32_t rho_;
+  double bits_per_element_;
+  std::uint64_t seed_;
+  std::uint32_t next_beta_ = 0;
+};
+
+}  // namespace icd::filter

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/degree.hpp"
+#include "codec/recoder.hpp"
+#include "filter/bloom.hpp"
+#include "overlay/sim_config.hpp"
+#include "overlay/strategy.hpp"
+#include "sketch/minwise.hpp"
+
+/// Count-only end-system models for the Section 6 simulations.
+///
+/// Symbols here are bare 64-bit ids (payload-free): with the constant
+/// decoding-overhead assumption the paper's experiments make, everything
+/// measured — transmissions, overhead, speedup — depends only on which
+/// distinct symbols a receiver can account for, and a payload-free
+/// simulation runs orders of magnitude more sweep points. The full-fidelity
+/// path (real payloads, real decoding) lives in icd::core and is exercised
+/// by the examples and integration tests.
+namespace icd::overlay {
+
+/// One message of the data plane.
+struct Transmission {
+  /// Regular encoded symbol when constituents is empty; otherwise a recoded
+  /// symbol blending the listed ids.
+  std::uint64_t id = 0;
+  std::vector<std::uint64_t> constituents;
+
+  bool is_recoded() const { return !constituents.empty(); }
+};
+
+/// A downloading end-system. Wraps the recode peeling decoder so that
+/// buffered recoded symbols resolve as later arrivals (regular or recoded)
+/// supply their missing constituents.
+class ReceiverNode {
+ public:
+  /// `universe_size`: id universe for the min-wise permutations; all peers
+  /// in an experiment must agree on it.
+  ReceiverNode(std::vector<std::uint64_t> initial, std::uint64_t universe_size,
+               const SimConfig& config);
+
+  /// Applies one transmission; returns the number of *new* distinct symbols
+  /// it yielded (recoded arrivals can cascade to several).
+  std::size_t apply(const Transmission& transmission);
+
+  /// Distinct symbols currently accounted for.
+  std::size_t symbol_count() const { return decoder_.symbol_count(); }
+  bool has(std::uint64_t id) const { return decoder_.has_symbol(id); }
+
+  /// Recoded symbols still buffered with >= 2 unknown constituents.
+  std::size_t buffered_count() const { return decoder_.buffered_count(); }
+
+  const std::vector<std::uint64_t>& initial_symbols() const {
+    return initial_;
+  }
+
+  /// The receiver's calling card (Section 4): a min-wise sketch of the
+  /// *initial* working set. Like the Bloom filter below, it is produced
+  /// once at connection setup and never refreshed ("in our experiments, we
+  /// never send updates to our Bloom filter").
+  sketch::MinwiseSketch make_sketch() const;
+
+  /// Fine-grained summary of the initial working set (Section 5.2).
+  filter::BloomFilter make_bloom() const;
+
+ private:
+  std::vector<std::uint64_t> initial_;
+  std::uint64_t universe_size_;
+  SimConfig config_;
+  codec::RecodeDecoder decoder_;
+};
+
+/// A sending end-system with partial content, following one of the five
+/// strategies. Stateless across transmissions (it never remembers what it
+/// already sent), matching the paper's memoryless senders.
+class SenderNode {
+ public:
+  SenderNode(std::vector<std::uint64_t> symbols, Strategy strategy,
+             const SimConfig& config);
+
+  Strategy strategy() const { return strategy_; }
+  std::size_t symbol_count() const { return symbols_.size(); }
+
+  /// Handshake, Bloom side (BF strategies only; no-op otherwise).
+  ///
+  /// Random/BF selects uniformly among *all* symbols missing the filter.
+  /// Recode/BF additionally restricts its recoding domain to a random
+  /// subset of `requested_count` of them — the paper's "we restrict the
+  /// recoding domain to an appropriate small size", with the size taken
+  /// from the receiver's symbols-desired request of Section 6.1.
+  void install_bloom(const filter::BloomFilter& receiver_filter,
+                     std::size_t requested_count, util::Xoshiro256& rng);
+
+  /// Handshake, min-wise side: record the containment estimate
+  /// c ~ |A ∩ B| / |B| (A = receiver, B = this sender) for degree scaling.
+  void install_containment_estimate(double c);
+
+  /// Produces one transmission according to the strategy.
+  Transmission produce(util::Xoshiro256& rng) const;
+
+  /// Visible for tests: the BF-filtered send domain and the (possibly
+  /// further restricted) recoding domain.
+  const std::vector<std::uint64_t>& send_domain() const {
+    return filtered_.empty() ? symbols_ : filtered_;
+  }
+  const std::vector<std::uint64_t>& recode_domain() const {
+    return recode_domain_.empty() ? symbols_ : recode_domain_;
+  }
+
+ private:
+  std::size_t draw_degree(const std::vector<std::uint64_t>& domain,
+                          util::Xoshiro256& rng) const;
+
+  std::vector<std::uint64_t> symbols_;
+  Strategy strategy_;
+  SimConfig config_;
+  codec::DegreeDistribution base_distribution_;
+  std::optional<codec::DegreeDistribution> restricted_distribution_;
+  std::vector<std::uint64_t> filtered_;       // symbols missing receiver BF
+  std::vector<std::uint64_t> recode_domain_;  // restricted recoding domain
+  double containment_estimate_ = 0.0;
+};
+
+/// A sender in possession of the entire file: a true digital fountain,
+/// producing an endless stream of fresh symbols ("senders with a copy of a
+/// file may continuously produce a streamed encoding of its content").
+/// Fresh ids are drawn from a disjoint range so they never collide with the
+/// partial-content universe.
+class FullSender {
+ public:
+  explicit FullSender(std::uint64_t stream_index);
+
+  Transmission produce();
+
+ private:
+  std::uint64_t next_id_;
+};
+
+}  // namespace icd::overlay

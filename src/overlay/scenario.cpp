@@ -1,0 +1,93 @@
+#include "overlay/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace icd::overlay {
+
+namespace {
+
+std::vector<std::uint64_t> id_range(std::uint64_t begin, std::uint64_t end) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(static_cast<std::size_t>(end - begin));
+  for (std::uint64_t id = begin; id < end; ++id) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace
+
+PairScenario make_pair_scenario(std::size_t n, double stretch,
+                                double correlation, util::Xoshiro256& rng) {
+  if (n < 4 || stretch < 1.0) {
+    throw std::invalid_argument("make_pair_scenario: need n >= 4, stretch >= 1");
+  }
+  const auto distinct = static_cast<std::size_t>(
+      std::llround(stretch * static_cast<double>(n)));
+  const std::size_t half = distinct / 2;
+  const std::size_t base = distinct - half;  // sender's fresh half
+
+  PairScenario scenario;
+  scenario.distinct_symbols = distinct;
+  scenario.receiver = id_range(0, half);
+  scenario.sender = id_range(half, distinct);
+
+  // extra / (base + extra) = correlation  =>  extra = c * base / (1 - c),
+  // capped by both the receiver's holdings and the n-symbol sender cap.
+  const double c = std::clamp(correlation, 0.0, 0.999);
+  auto extra = static_cast<std::size_t>(
+      std::llround(c * static_cast<double>(base) / (1.0 - c)));
+  extra = std::min({extra, half, n > base ? n - base : std::size_t{0}});
+
+  const auto picks = util::sample_without_replacement(half, extra, rng);
+  for (const std::uint64_t p : picks) scenario.sender.push_back(p);
+  scenario.correlation = static_cast<double>(extra) /
+                         static_cast<double>(scenario.sender.size());
+  return scenario;
+}
+
+MultiScenario make_multi_scenario(std::size_t n, double stretch,
+                                  double correlation,
+                                  std::size_t sender_count,
+                                  util::Xoshiro256& rng) {
+  (void)rng;  // symbol identity is abstract; no randomness needed here
+  if (n < 4 || stretch < 1.0 || sender_count == 0) {
+    throw std::invalid_argument("make_multi_scenario: bad arguments");
+  }
+  const auto distinct = static_cast<std::size_t>(
+      std::llround(stretch * static_cast<double>(n)));
+  const std::size_t peers = sender_count + 1;  // senders + the receiver
+
+  // distinct = s + peers * u with s = c*m, u = (1-c)*m, m = s + u <= n.
+  const double c_max =
+      (static_cast<double>(peers) - stretch) / static_cast<double>(peers - 1);
+  const double c = std::clamp(correlation, 0.0, std::max(0.0, c_max));
+  const double m_real = static_cast<double>(distinct) /
+                        (c + static_cast<double>(peers) * (1.0 - c));
+  auto shared = static_cast<std::size_t>(std::llround(c * m_real));
+  auto unique = static_cast<std::size_t>(std::llround((1.0 - c) * m_real));
+  if (unique == 0) unique = 1;
+  // Shrink the shared pool if rounding overshot the distinct budget.
+  while (shared + peers * unique > distinct && shared > 0) --shared;
+
+  MultiScenario scenario;
+  scenario.distinct_symbols = distinct;
+  scenario.correlation =
+      static_cast<double>(shared) / static_cast<double>(shared + unique);
+
+  const auto shared_ids = id_range(0, shared);
+  std::uint64_t next = shared;
+  const auto make_peer = [&]() {
+    std::vector<std::uint64_t> ids = shared_ids;
+    for (std::size_t i = 0; i < unique; ++i) ids.push_back(next++);
+    return ids;
+  };
+  scenario.receiver = make_peer();
+  scenario.senders.reserve(sender_count);
+  for (std::size_t s = 0; s < sender_count; ++s) {
+    scenario.senders.push_back(make_peer());
+  }
+  return scenario;
+}
+
+}  // namespace icd::overlay

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hpp"
+
+/// Workload generators reproducing the initial conditions of Section 6.3.
+namespace icd::overlay {
+
+/// The two symbol-scarcity regimes of Figure 5: "compact" scenarios have
+/// 1.1n distinct symbols in the system, "stretched" scenarios 1.5n.
+inline constexpr double kCompactStretch = 1.1;
+inline constexpr double kStretchedStretch = 1.5;
+
+/// Peer-to-peer scenario (Figures 5 and 6): "the receiver is initially in
+/// possession of half of the distinct symbols in the system. The sender
+/// stores the other half of symbols plus a fraction of the receiver's
+/// symbols to achieve the specified level of correlation," subject to "no
+/// nodes with partial content initially have more than n symbols".
+struct PairScenario {
+  std::vector<std::uint64_t> receiver;
+  std::vector<std::uint64_t> sender;
+  /// Total distinct symbols in the system (stretch * n).
+  std::size_t distinct_symbols = 0;
+  /// Realized |receiver ∩ sender| / |sender|.
+  double correlation = 0.0;
+};
+
+/// Builds the scenario for `n` recovery symbols, `stretch` * n distinct
+/// symbols, targeting correlation `correlation` (clamped to the feasible
+/// range given the n-symbol cap on the sender).
+PairScenario make_pair_scenario(std::size_t n, double stretch,
+                                double correlation, util::Xoshiro256& rng);
+
+/// Parallel-download scenario (Figures 7 and 8): "each of the symbols in
+/// the system is initially either distributed to all of the peers or is
+/// known to only one peer. Each peer in the system initially has the same
+/// number of symbols." The receiver is one of the peers; `sender_count`
+/// others serve it.
+struct MultiScenario {
+  std::vector<std::uint64_t> receiver;
+  std::vector<std::vector<std::uint64_t>> senders;
+  std::size_t distinct_symbols = 0;
+  /// Realized shared fraction |shared| / |per-peer symbols| — the
+  /// correlation axis of Figures 7 and 8.
+  double correlation = 0.0;
+};
+
+MultiScenario make_multi_scenario(std::size_t n, double stretch,
+                                  double correlation,
+                                  std::size_t sender_count,
+                                  util::Xoshiro256& rng);
+
+}  // namespace icd::overlay

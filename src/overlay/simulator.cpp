@@ -1,0 +1,260 @@
+#include "overlay/simulator.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "codec/recoder.hpp"
+#include "filter/bloom.hpp"
+#include "overlay/node.hpp"
+#include "sketch/minwise.hpp"
+#include "util/packet.hpp"
+#include "util/random.hpp"
+
+namespace icd::overlay {
+
+namespace {
+
+/// Symbol ids live anywhere below 2^63; the min-wise permutations must
+/// cover the whole range since fountain ids are hash-derived.
+constexpr std::uint64_t kIdUniverse = std::uint64_t{1} << 63;
+
+filter::BloomFilter build_bloom(const std::vector<std::uint64_t>& ids,
+                                const SimConfig& config) {
+  auto filter = filter::BloomFilter::with_bits_per_element(
+      std::max<std::size_t>(1, ids.size()), config.bloom_bits_per_element);
+  filter.insert_all(ids);
+  return filter;
+}
+
+struct Connection {
+  std::size_t sender_index;
+  SenderNode view;  // snapshot of the sender at connection setup
+};
+
+struct PeerState {
+  explicit PeerState(const SimConfig& config)
+      : sketch_permutations(config.sketch_permutations),
+        sketch(kIdUniverse, config.sketch_permutations) {}
+
+  std::size_t sketch_permutations;
+  codec::RecodeDecoder decoder;
+  /// Incrementally maintained calling card, as Section 4 prescribes ("all
+  /// of our approaches can be incrementally updated upon acquisition of
+  /// new content, with constant overhead per receipt of each new element").
+  sketch::MinwiseSketch sketch;
+  std::size_t sketch_offset = 0;
+  bool joined = false;
+  std::size_t completion_round = 0;
+  std::vector<Connection> connections;
+
+  const std::vector<std::uint64_t>& symbols() const {
+    return decoder.acquisition_log();
+  }
+  std::size_t count() const { return decoder.symbol_count(); }
+
+  /// Folds newly acquired ids into the sketch (lazy, before sketch use).
+  void sync_sketch() {
+    const auto& log = decoder.acquisition_log();
+    while (sketch_offset < log.size()) {
+      sketch.update(log[sketch_offset++] % kIdUniverse);
+    }
+  }
+
+  void reset() {
+    decoder = codec::RecodeDecoder();
+    sketch = sketch::MinwiseSketch(kIdUniverse, sketch_permutations);
+    sketch_offset = 0;
+    connections.clear();
+    completion_round = 0;
+  }
+
+  std::size_t apply(const Transmission& t) {
+    const std::size_t before = decoder.symbol_count();
+    if (t.is_recoded()) {
+      decoder.add_recoded(codec::RecodedSymbol{t.constituents, {}});
+    } else {
+      decoder.add_held_symbol(codec::EncodedSymbol{t.id, {}});
+    }
+    return decoder.symbol_count() - before;
+  }
+};
+
+}  // namespace
+
+AdaptiveOverlayResult run_adaptive_overlay(
+    const AdaptiveOverlayConfig& config) {
+  if (config.peer_count == 0) {
+    throw std::invalid_argument("run_adaptive_overlay: no peers");
+  }
+  util::Xoshiro256 rng(config.base.seed ^ 0xada97e);
+  AdaptiveOverlayResult result;
+  result.completion_round.assign(config.peer_count, 0);
+
+  std::vector<PeerState> peers(config.peer_count, PeerState(config.base));
+  FullSender origin(/*stream_index=*/0);
+  const std::size_t target = config.base.target();
+
+  // Reconnects `peer` to up to connections_per_peer senders, charging the
+  // control traffic of the handshakes.
+  const auto reconfigure_peer = [&](std::size_t me) {
+    PeerState& peer = peers[me];
+    peer.connections.clear();
+    if (!peer.joined || peer.completion_round != 0) return;
+
+    std::vector<std::size_t> candidates;
+    for (std::size_t j = 0; j < config.peer_count; ++j) {
+      if (j != me && peers[j].joined && peers[j].count() > 0) {
+        candidates.push_back(j);
+      }
+    }
+    if (candidates.empty()) return;
+
+    // Rank candidates: sketch-based novelty, or random order.
+    if (config.sketch_admission) {
+      peer.sync_sketch();
+      result.control_packets +=
+          util::packets_for(peer.sketch.serialize().size());
+      std::vector<std::pair<double, std::size_t>> scored;
+      scored.reserve(candidates.size());
+      for (const std::size_t j : candidates) {
+        peers[j].sync_sketch();
+        result.control_packets +=
+            util::packets_for(peers[j].sketch.serialize().size());
+        const double r =
+            sketch::MinwiseSketch::resemblance(peer.sketch, peers[j].sketch);
+        const double containment = sketch::containment_from_resemblance(
+            r, peer.count(), peers[j].count());
+        // Expected novel symbols this candidate offers.
+        const double novelty =
+            (1.0 - containment) * static_cast<double>(peers[j].count());
+        scored.emplace_back(novelty, j);
+      }
+      std::stable_sort(scored.begin(), scored.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first > b.first;
+                       });
+      candidates.clear();
+      for (const auto& [novelty, j] : scored) {
+        if (novelty >= 1.0) candidates.push_back(j);  // admission control
+      }
+    } else {
+      util::shuffle(candidates, rng);
+    }
+
+    const std::size_t want =
+        std::min(config.connections_per_peer, candidates.size());
+    const std::size_t needed = target > peer.count() ? target - peer.count() : 1;
+    for (std::size_t c = 0; c < want; ++c) {
+      const std::size_t j = candidates[c];
+      SenderNode view(peers[j].symbols(), config.strategy, config.base);
+      const auto requested = static_cast<std::size_t>(
+          std::max(1.0, (1.0 + config.base.recode_domain_allowance) *
+                            static_cast<double>(needed) /
+                            static_cast<double>(want)));
+      if (strategy_uses_bloom(config.strategy)) {
+        const auto bloom = build_bloom(peer.symbols(), config.base);
+        result.control_packets += util::packets_for(bloom.serialize().size());
+        view.install_bloom(bloom, requested, rng);
+      }
+      if (strategy_uses_minwise(config.strategy)) {
+        peer.sync_sketch();
+        peers[j].sync_sketch();
+        result.control_packets +=
+            util::packets_for(peer.sketch.serialize().size()) +
+            util::packets_for(peers[j].sketch.serialize().size());
+        const double r =
+            sketch::MinwiseSketch::resemblance(peer.sketch, peers[j].sketch);
+        view.install_containment_estimate(
+            sketch::containment_from_resemblance(r, peer.count(),
+                                                 peers[j].count()));
+      }
+      peer.connections.push_back(Connection{j, std::move(view)});
+    }
+  };
+
+  const auto all_complete = [&]() {
+    for (std::size_t i = 0; i < config.peer_count; ++i) {
+      if (!peers[i].joined || peers[i].completion_round == 0) return false;
+    }
+    return true;
+  };
+
+  for (std::size_t round = 1; round <= config.max_rounds; ++round) {
+    // Joins (staggered arrivals: the paper's asynchrony requirement).
+    for (std::size_t i = 0; i < config.peer_count; ++i) {
+      if (!peers[i].joined && round > i * config.join_stagger) {
+        peers[i].joined = true;
+        reconfigure_peer(i);
+      }
+    }
+
+    // Churn: a random joined peer crashes and rejoins with nothing.
+    if (config.churn_rate > 0 && rng.next_bool(config.churn_rate)) {
+      const std::size_t victim = rng.next_below(config.peer_count);
+      if (peers[victim].joined) {
+        peers[victim].reset();
+        result.completion_round[victim] = 0;
+        ++result.churn_events;
+        reconfigure_peer(victim);
+      }
+    }
+
+    // Origin feed: the fountain serves the first origin_fanout peers.
+    for (std::size_t i = 0;
+         i < std::min(config.origin_fanout, config.peer_count); ++i) {
+      if (!peers[i].joined || peers[i].completion_round != 0) continue;
+      ++result.transmissions;
+      if (!rng.next_bool(config.loss_rate)) {
+        peers[i].apply(origin.produce());
+      }
+    }
+
+    // Peer-to-peer transfers: one symbol per connection per round.
+    for (std::size_t i = 0; i < config.peer_count; ++i) {
+      PeerState& peer = peers[i];
+      if (!peer.joined || peer.completion_round != 0) continue;
+      for (Connection& conn : peer.connections) {
+        ++result.transmissions;
+        if (rng.next_bool(config.loss_rate)) continue;
+        peer.apply(conn.view.produce(rng));
+      }
+    }
+
+    // Completions.
+    for (std::size_t i = 0; i < config.peer_count; ++i) {
+      if (peers[i].joined && peers[i].completion_round == 0 &&
+          peers[i].count() >= target) {
+        peers[i].completion_round = round;
+        result.completion_round[i] = round;
+        peers[i].connections.clear();
+      }
+    }
+    if (all_complete()) break;
+
+    // Periodic reconfiguration: the overlay adapts.
+    if (config.reconfigure_interval > 0 &&
+        round % config.reconfigure_interval == 0) {
+      for (std::size_t i = 0; i < config.peer_count; ++i) {
+        reconfigure_peer(i);
+      }
+    }
+  }
+
+  double total = 0;
+  for (std::size_t i = 0; i < config.peer_count; ++i) {
+    if (result.completion_round[i] != 0) {
+      ++result.completed_peers;
+      total += static_cast<double>(result.completion_round[i]);
+      result.last_completion =
+          std::max(result.last_completion, result.completion_round[i]);
+    }
+  }
+  if (result.completed_peers > 0) {
+    result.mean_completion = total / static_cast<double>(result.completed_peers);
+  }
+  if (result.completed_peers < config.peer_count) result.last_completion = 0;
+  return result;
+}
+
+}  // namespace icd::overlay

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/sim_config.hpp"
+#include "overlay/strategy.hpp"
+
+/// Adaptive overlay simulation (the Section 2.1 environment).
+///
+/// A source plus a population of peers form an overlay of unicast
+/// connections. The simulation exercises everything the paper says a
+/// content-delivery overlay must cope with:
+///   * Asynchrony   — peers join with empty working sets at random times;
+///   * Heterogeneity— per-connection loss rates;
+///   * Transience   — churn: peers crash and rejoin empty;
+///   * Adaptivity   — the overlay periodically reconfigures, and peers use
+///                    min-wise-sketch admission control to pick senders
+///                    whose content is most novel (Section 4's "overlay
+///                    management may explicitly avoid connecting nodes with
+///                    identical content").
+///
+/// Connections are informed: at setup the receiver ships its Bloom filter
+/// and sketch (once — no updates until the next reconfiguration), and the
+/// sender serves symbols under the configured strategy using that
+/// snapshot. Stale summaries between reconfigurations are the realistic
+/// cost the paper's design accepts.
+namespace icd::overlay {
+
+struct AdaptiveOverlayConfig {
+  /// Base simulation knobs (n, decoding overhead, summary budgets...).
+  SimConfig base;
+
+  std::size_t peer_count = 12;
+  /// Peers directly fed by the origin fountain.
+  std::size_t origin_fanout = 2;
+  /// Download connections each peer maintains.
+  std::size_t connections_per_peer = 2;
+  /// Rounds between overlay reconfigurations (0 = never reconfigure).
+  std::size_t reconfigure_interval = 25;
+  /// Per-symbol Bernoulli loss on every overlay connection.
+  double loss_rate = 0.0;
+  /// Per-round probability that one random peer crashes and rejoins empty.
+  double churn_rate = 0.0;
+  /// Rounds between each peer's (staggered) join; 0 = all join at once.
+  std::size_t join_stagger = 0;
+  /// Content-selection strategy on peer-to-peer connections.
+  Strategy strategy = Strategy::kRecodeBloom;
+  /// Pick senders by sketch novelty (true) or uniformly at random (false).
+  bool sketch_admission = true;
+  /// Hard stop.
+  std::size_t max_rounds = 20000;
+};
+
+struct AdaptiveOverlayResult {
+  /// Round at which each peer first completed (0 = never).
+  std::vector<std::size_t> completion_round;
+  /// Peers complete at the end.
+  std::size_t completed_peers = 0;
+  /// Round at which the last peer completed (0 = not all completed).
+  std::size_t last_completion = 0;
+  /// Mean completion round over completed peers.
+  double mean_completion = 0.0;
+  /// Data-plane symbols sent (including lost ones).
+  std::size_t transmissions = 0;
+  /// Control-plane packets (sketches + summaries at every [re]connection).
+  std::size_t control_packets = 0;
+  /// Crash/rejoin events that occurred.
+  std::size_t churn_events = 0;
+};
+
+AdaptiveOverlayResult run_adaptive_overlay(const AdaptiveOverlayConfig& config);
+
+}  // namespace icd::overlay

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <string_view>
+
+/// The five content-selection strategies compared in Section 6.2.
+namespace icd::overlay {
+
+enum class Strategy {
+  /// "The transmitting node randomly picks an available symbol to send."
+  /// (the Swarmcast-style baseline).
+  kRandom,
+  /// Random selection among symbols that miss the receiver's Bloom filter.
+  kRandomBloom,
+  /// Recoded symbols generated from the sender's entire working set.
+  kRecode,
+  /// Recoded symbols generated only from symbols missing the receiver's
+  /// Bloom filter.
+  kRecodeBloom,
+  /// Recoded symbols with the degree distribution rescaled by the min-wise
+  /// correlation estimate (degree d -> floor(d / (1 - c))).
+  kRecodeMinwise,
+};
+
+/// All strategies in the paper's plotting order.
+inline constexpr std::array<Strategy, 5> kAllStrategies = {
+    Strategy::kRandom, Strategy::kRandomBloom, Strategy::kRecode,
+    Strategy::kRecodeBloom, Strategy::kRecodeMinwise};
+
+constexpr std::string_view strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kRandom:
+      return "Random";
+    case Strategy::kRandomBloom:
+      return "Random/BF";
+    case Strategy::kRecode:
+      return "Recode";
+    case Strategy::kRecodeBloom:
+      return "Recode/BF";
+    case Strategy::kRecodeMinwise:
+      return "Recode/MW";
+  }
+  return "unknown";
+}
+
+constexpr bool strategy_uses_bloom(Strategy strategy) {
+  return strategy == Strategy::kRandomBloom ||
+         strategy == Strategy::kRecodeBloom;
+}
+
+constexpr bool strategy_uses_minwise(Strategy strategy) {
+  return strategy == Strategy::kRecodeMinwise;
+}
+
+constexpr bool strategy_recodes(Strategy strategy) {
+  return strategy == Strategy::kRecode || strategy == Strategy::kRecodeBloom ||
+         strategy == Strategy::kRecodeMinwise;
+}
+
+}  // namespace icd::overlay

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "overlay/node.hpp"
+#include "overlay/scenario.hpp"
+#include "overlay/sim_config.hpp"
+#include "overlay/strategy.hpp"
+
+/// Transfer harnesses reproducing the experiments of Section 6.3.
+namespace icd::overlay {
+
+struct TransferResult {
+  /// Symbols transmitted by partial senders.
+  std::size_t transmissions = 0;
+  /// Simulation rounds (each active sender transmits once per round).
+  std::size_t rounds = 0;
+  /// New distinct symbols the receiver had to acquire (target - initial).
+  std::size_t needed = 0;
+  /// Distinct symbols actually acquired.
+  std::size_t acquired = 0;
+  bool completed = false;
+
+  /// Figure 5 metric: partial-sender transmissions per needed symbol,
+  /// "the additional overhead beyond that of a baseline transfer in which
+  /// encoded content is used" (the baseline sends exactly `needed`).
+  double overhead() const {
+    return needed == 0 ? 1.0
+                       : static_cast<double>(transmissions) /
+                             static_cast<double>(needed);
+  }
+
+  /// Figures 6-8 metric: downloading from a single full sender would take
+  /// exactly `needed` rounds at one symbol per round, so the speedup /
+  /// relative rate is needed / rounds.
+  double speedup() const {
+    return rounds == 0 ? 1.0
+                       : static_cast<double>(needed) /
+                             static_cast<double>(rounds);
+  }
+};
+
+/// Figure 5: one partial sender serving one receiver.
+TransferResult run_pair_transfer(const PairScenario& scenario,
+                                 Strategy strategy, const SimConfig& config);
+
+/// Figure 6: a full sender and a partial sender serving the receiver
+/// concurrently at equal rates ("the full sender sends regular symbols at
+/// the same rate that the partial sender sends recoded symbols").
+TransferResult run_pair_with_full_sender(const PairScenario& scenario,
+                                         Strategy strategy,
+                                         const SimConfig& config);
+
+/// Figures 7 and 8: `scenario.senders.size()` partial senders, no full
+/// sender, equal per-sender rates.
+TransferResult run_multi_transfer(const MultiScenario& scenario,
+                                  Strategy strategy, const SimConfig& config);
+
+}  // namespace icd::overlay

@@ -1,0 +1,173 @@
+#include "reconcile/cpi.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "reconcile/polynomial.hpp"
+
+namespace icd::reconcile {
+
+namespace {
+
+/// Held-out points used to validate an interpolation before accepting it.
+constexpr std::size_t kVerifyPoints = 4;
+
+/// Solves the square system M x = rhs over GF(p) by Gaussian elimination
+/// with partial pivoting. Returns nullopt if M is singular. O(n^3) — the
+/// Theta(d^3) the paper attributes to this method.
+std::optional<std::vector<Fp>> solve_linear(std::vector<std::vector<Fp>> m,
+                                            std::vector<Fp> rhs) {
+  const std::size_t n = m.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    while (pivot < n && m[pivot][col].is_zero()) ++pivot;
+    if (pivot == n) return std::nullopt;
+    std::swap(m[pivot], m[col]);
+    std::swap(rhs[pivot], rhs[col]);
+    const Fp inv = m[col][col].inverse();
+    for (std::size_t j = col; j < n; ++j) m[col][j] *= inv;
+    rhs[col] *= inv;
+    for (std::size_t row = 0; row < n; ++row) {
+      if (row == col || m[row][col].is_zero()) continue;
+      const Fp factor = m[row][col];
+      for (std::size_t j = col; j < n; ++j) {
+        m[row][j] -= factor * m[col][j];
+      }
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+  return rhs;
+}
+
+}  // namespace
+
+Fp cpi_evaluation_point(std::size_t i) {
+  return Fp(Fp::kP - 1 - static_cast<std::uint64_t>(i));
+}
+
+CpiSketch make_cpi_sketch(const std::vector<std::uint64_t>& keys,
+                          std::size_t m) {
+  CpiSketch sketch;
+  sketch.set_size = keys.size();
+  sketch.evaluations.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Fp z = cpi_evaluation_point(i);
+    Fp prod(1);
+    for (const std::uint64_t key : keys) {
+      if (key >= kMaxCpiKey) {
+        throw std::invalid_argument("make_cpi_sketch: key >= kMaxCpiKey");
+      }
+      prod *= z - Fp(key);
+    }
+    sketch.evaluations.push_back(prod);
+  }
+  return sketch;
+}
+
+CpiResult cpi_reconcile(const std::vector<std::uint64_t>& local_keys,
+                        const CpiSketch& remote,
+                        std::size_t max_discrepancy) {
+  CpiResult result;
+  const std::size_t m = remote.evaluations.size();
+  if (m < kVerifyPoints + 1) return result;  // not enough points to even try
+
+  // f_i = chi_A(z_i) / chi_B(z_i) at every shared point.
+  std::vector<Fp> f(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Fp z = cpi_evaluation_point(i);
+    Fp chi_local(1);
+    for (const std::uint64_t key : local_keys) {
+      if (key >= kMaxCpiKey) {
+        throw std::invalid_argument("cpi_reconcile: key >= kMaxCpiKey");
+      }
+      chi_local *= z - Fp(key);
+    }
+    f[i] = remote.evaluations[i] * chi_local.inverse();
+  }
+
+  // deg P - deg Q is pinned by the set sizes.
+  const auto local_size = static_cast<std::int64_t>(local_keys.size());
+  const auto remote_size = static_cast<std::int64_t>(remote.set_size);
+  const std::int64_t delta = remote_size - local_size;  // dP - dQ
+
+  const std::size_t usable = m - kVerifyPoints;
+  const std::size_t bound = std::min(max_discrepancy, usable);
+
+  // Try the smallest consistent total degree first; grow in steps of 2 to
+  // preserve parity. The smallest D that verifies gives gcd(P, Q) = 1, so
+  // the root sets are exactly the two differences.
+  const auto abs_delta = static_cast<std::size_t>(delta < 0 ? -delta : delta);
+  for (std::size_t d_total = abs_delta; d_total <= bound; d_total += 2) {
+    // dp - dq = delta and dp + dq = d_total (parities agree by loop step).
+    const auto signed_total = static_cast<std::int64_t>(d_total);
+    const auto dp_real = static_cast<std::size_t>((signed_total + delta) / 2);
+    const auto dq = static_cast<std::size_t>((signed_total - delta) / 2);
+
+    // Solve for the non-leading coefficients of monic P (deg dp_real) and
+    // monic Q (deg dq): P(z) - f Q(z) = 0, i.e.
+    //   sum_j p_j z^j - f sum_j q_j z^j = f z^dq - z^dp.
+    const std::size_t unknowns = dp_real + dq;
+    std::optional<std::vector<Fp>> solution;
+    if (unknowns == 0) {
+      solution.emplace();  // P = Q = 1
+    } else {
+      std::vector<std::vector<Fp>> matrix(unknowns,
+                                          std::vector<Fp>(unknowns, Fp(0)));
+      std::vector<Fp> rhs(unknowns, Fp(0));
+      for (std::size_t row = 0; row < unknowns; ++row) {
+        const Fp z = cpi_evaluation_point(row);
+        Fp zj(1);
+        for (std::size_t j = 0; j < dp_real; ++j) {
+          matrix[row][j] = zj;
+          zj *= z;
+        }
+        zj = Fp(1);
+        for (std::size_t j = 0; j < dq; ++j) {
+          matrix[row][dp_real + j] = -(f[row] * zj);
+          zj *= z;
+        }
+        rhs[row] = f[row] * Fp::pow(z, dq) - Fp::pow(z, dp_real);
+      }
+      solution = solve_linear(std::move(matrix), std::move(rhs));
+      if (!solution) continue;  // singular: try a larger degree
+    }
+
+    std::vector<Fp> p_coeffs(solution->begin(),
+                             solution->begin() + static_cast<std::ptrdiff_t>(
+                                                     dp_real));
+    p_coeffs.push_back(Fp(1));
+    std::vector<Fp> q_coeffs(
+        solution->begin() + static_cast<std::ptrdiff_t>(dp_real),
+        solution->end());
+    q_coeffs.push_back(Fp(1));
+    const Polynomial p_poly{std::vector<Fp>(p_coeffs)};
+    const Polynomial q_poly{std::vector<Fp>(q_coeffs)};
+
+    // Validate on the held-out points.
+    bool ok = true;
+    for (std::size_t i = m - kVerifyPoints; i < m; ++i) {
+      const Fp z = cpi_evaluation_point(i);
+      if (!(p_poly.eval(z) == f[i] * q_poly.eval(z))) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+
+    // B - A are the roots of Q among the local elements.
+    std::vector<std::uint64_t> local_only;
+    for (const std::uint64_t key : local_keys) {
+      if (q_poly.eval(Fp(key)).is_zero()) local_only.push_back(key);
+    }
+    if (local_only.size() != dq) continue;  // spurious factor: keep growing
+
+    result.local_only = std::move(local_only);
+    result.remote_only_count = dp_real;
+    result.verified = true;
+    return result;
+  }
+  return result;  // bound too small; caller should retry with more points
+}
+
+}  // namespace icd::reconcile

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "reconcile/gf.hpp"
+
+/// Characteristic-polynomial interpolation (CPI) set reconciliation —
+/// the Minsky/Trachtenberg/Zippel scheme the paper cites in Section 5.1 as
+/// the exact approach with "nearly optimal communication complexity":
+/// O(d log u) bits for discrepancy d, at the price of a Theta(d^3) solve.
+///
+/// Peer A evaluates its characteristic polynomial chi_A(z) = prod (z - a) at
+/// m agreed sample points and ships the evaluations. Peer B forms
+/// f(z) = chi_A(z) / chi_B(z) = chi_{A-B}(z) / chi_{B-A}(z), interpolates
+/// the reduced rational function, and reads B - A off the roots of the
+/// denominator among its own elements.
+///
+/// Element keys must be < kMaxKey so they never collide with the reserved
+/// evaluation points at the top of the field.
+namespace icd::reconcile {
+
+/// Keys must lie below this bound (2^60), leaving the top of GF(2^61-1)
+/// free for evaluation points.
+inline constexpr std::uint64_t kMaxCpiKey = std::uint64_t{1} << 60;
+
+/// The transmissible evaluation vector: O(m) field elements, i.e.
+/// O(d log u) bits as in the paper.
+struct CpiSketch {
+  /// chi_A evaluated at the first `evaluations.size()` shared points.
+  std::vector<Fp> evaluations;
+  /// |S_A|; needed by the receiver to fix deg P - deg Q.
+  std::uint64_t set_size = 0;
+
+  std::size_t wire_bytes() const { return evaluations.size() * 8 + 8; }
+};
+
+/// The i-th shared evaluation point (descending from the top of the field).
+Fp cpi_evaluation_point(std::size_t i);
+
+/// Builds the sketch of `keys` with `m` evaluation points. m must be at
+/// least the (suspected) discrepancy |A - B| + |B - A|; choose it with
+/// slack and verify. Throws if any key >= kMaxCpiKey.
+CpiSketch make_cpi_sketch(const std::vector<std::uint64_t>& keys,
+                          std::size_t m);
+
+struct CpiResult {
+  /// Keys of the local set believed absent from the remote set (B - A when
+  /// run by B against A's sketch). Exact when `verified` is true.
+  std::vector<std::uint64_t> local_only;
+  /// Size of the inferred remote-only difference |A - B|.
+  std::size_t remote_only_count = 0;
+  /// True when the interpolated rational function reproduced both sketches
+  /// at held-out verification points.
+  bool verified = false;
+};
+
+/// Reconciles `local_keys` against a remote sketch, assuming the total
+/// discrepancy is at most `max_discrepancy` (must be <= the sketch's
+/// evaluation count minus the verification margin). Returns an unverified
+/// result if the discrepancy bound was too small.
+CpiResult cpi_reconcile(const std::vector<std::uint64_t>& local_keys,
+                        const CpiSketch& remote,
+                        std::size_t max_discrepancy);
+
+}  // namespace icd::reconcile

@@ -1,0 +1,12 @@
+#include "reconcile/gf.hpp"
+
+#include <stdexcept>
+
+namespace icd::reconcile {
+
+Fp Fp::inverse() const {
+  if (is_zero()) throw std::domain_error("Fp::inverse of zero");
+  return pow(*this, kP - 2);
+}
+
+}  // namespace icd::reconcile

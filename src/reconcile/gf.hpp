@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+
+/// Arithmetic in GF(p) with p = 2^61 - 1 (a Mersenne prime), the field
+/// underlying the exact set-discrepancy reconciler of Section 5.1 ("set
+/// discrepancy methods of [Minsky, Trachtenberg, Zippel]"). The paper notes
+/// such methods cost Theta(d * |S_A|) preprocessing and Theta(d^3) solve
+/// time — costs this implementation reproduces and the ablation bench
+/// measures.
+namespace icd::reconcile {
+
+class Fp {
+ public:
+  /// The field modulus.
+  static constexpr std::uint64_t kP = (std::uint64_t{1} << 61) - 1;
+
+  constexpr Fp() = default;
+  /// Reduces `v` modulo p. Callers that need injectivity (set elements)
+  /// must supply values already < p.
+  constexpr explicit Fp(std::uint64_t v) : v_(v % kP) {}
+
+  constexpr std::uint64_t value() const { return v_; }
+
+  friend constexpr Fp operator+(Fp a, Fp b) {
+    std::uint64_t s = a.v_ + b.v_;
+    if (s >= kP) s -= kP;
+    return from_raw(s);
+  }
+  friend constexpr Fp operator-(Fp a, Fp b) {
+    return from_raw(a.v_ >= b.v_ ? a.v_ - b.v_ : a.v_ + kP - b.v_);
+  }
+  friend constexpr Fp operator*(Fp a, Fp b) {
+    const unsigned __int128 prod =
+        static_cast<unsigned __int128>(a.v_) * b.v_;
+    // Mersenne reduction: x = hi * 2^61 + lo == hi + lo (mod 2^61 - 1).
+    std::uint64_t lo = static_cast<std::uint64_t>(prod) & kP;
+    std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t s = lo + hi;
+    if (s >= kP) s -= kP;
+    return from_raw(s);
+  }
+  friend constexpr Fp operator-(Fp a) { return from_raw(a.v_ == 0 ? 0 : kP - a.v_); }
+
+  Fp& operator+=(Fp o) { return *this = *this + o; }
+  Fp& operator-=(Fp o) { return *this = *this - o; }
+  Fp& operator*=(Fp o) { return *this = *this * o; }
+
+  friend constexpr bool operator==(Fp a, Fp b) { return a.v_ == b.v_; }
+
+  constexpr bool is_zero() const { return v_ == 0; }
+
+  /// a^e by square-and-multiply.
+  static Fp pow(Fp a, std::uint64_t e) {
+    Fp result(1);
+    while (e > 0) {
+      if (e & 1) result *= a;
+      a *= a;
+      e >>= 1;
+    }
+    return result;
+  }
+
+  /// Multiplicative inverse (Fermat); *this must be nonzero.
+  Fp inverse() const;
+
+ private:
+  static constexpr Fp from_raw(std::uint64_t v) {
+    Fp f;
+    f.v_ = v;
+    return f;
+  }
+
+  std::uint64_t v_ = 0;
+};
+
+}  // namespace icd::reconcile

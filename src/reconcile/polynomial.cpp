@@ -1,0 +1,53 @@
+#include "reconcile/polynomial.hpp"
+
+namespace icd::reconcile {
+
+Polynomial::Polynomial(std::vector<Fp> coeffs) : coeffs_(std::move(coeffs)) {
+  trim();
+}
+
+void Polynomial::trim() {
+  while (!coeffs_.empty() && coeffs_.back().is_zero()) coeffs_.pop_back();
+}
+
+Polynomial Polynomial::from_roots(const std::vector<Fp>& roots) {
+  std::vector<Fp> coeffs{Fp(1)};
+  for (const Fp root : roots) {
+    // Multiply by (z - root) in place.
+    coeffs.push_back(Fp(0));
+    for (std::size_t i = coeffs.size(); i-- > 1;) {
+      coeffs[i] = coeffs[i - 1] - root * coeffs[i];
+    }
+    coeffs[0] = -root * coeffs[0];
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+Fp Polynomial::eval(Fp z) const {
+  Fp acc(0);
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = acc * z + coeffs_[i];
+  }
+  return acc;
+}
+
+Polynomial operator*(const Polynomial& a, const Polynomial& b) {
+  if (a.is_zero() || b.is_zero()) return Polynomial::zero();
+  std::vector<Fp> coeffs(a.coeffs_.size() + b.coeffs_.size() - 1, Fp(0));
+  for (std::size_t i = 0; i < a.coeffs_.size(); ++i) {
+    for (std::size_t j = 0; j < b.coeffs_.size(); ++j) {
+      coeffs[i + j] += a.coeffs_[i] * b.coeffs_[j];
+    }
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial operator+(const Polynomial& a, const Polynomial& b) {
+  std::vector<Fp> coeffs(std::max(a.coeffs_.size(), b.coeffs_.size()), Fp(0));
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    coeffs[i] = a.coefficient(i) + b.coefficient(i);
+  }
+  return Polynomial(std::move(coeffs));
+}
+
+}  // namespace icd::reconcile

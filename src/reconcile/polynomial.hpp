@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "reconcile/gf.hpp"
+
+/// Dense univariate polynomials over GF(2^61 - 1), just enough machinery
+/// for characteristic-polynomial set reconciliation.
+namespace icd::reconcile {
+
+class Polynomial {
+ public:
+  /// The zero polynomial.
+  Polynomial() = default;
+  /// coeffs[i] is the coefficient of z^i; trailing zeros are trimmed.
+  explicit Polynomial(std::vector<Fp> coeffs);
+
+  static Polynomial zero() { return Polynomial(); }
+  static Polynomial one() { return Polynomial({Fp(1)}); }
+
+  /// The monic characteristic polynomial prod (z - r) over `roots`.
+  static Polynomial from_roots(const std::vector<Fp>& roots);
+
+  bool is_zero() const { return coeffs_.empty(); }
+  /// Degree; -1 for the zero polynomial.
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  const std::vector<Fp>& coefficients() const { return coeffs_; }
+  Fp coefficient(std::size_t i) const {
+    return i < coeffs_.size() ? coeffs_[i] : Fp(0);
+  }
+
+  /// Horner evaluation.
+  Fp eval(Fp z) const;
+
+  friend Polynomial operator*(const Polynomial& a, const Polynomial& b);
+  friend Polynomial operator+(const Polynomial& a, const Polynomial& b);
+
+ private:
+  void trim();
+
+  std::vector<Fp> coeffs_;
+};
+
+}  // namespace icd::reconcile

@@ -1,0 +1,111 @@
+#include "reconcile/reconciler.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "art/reconciliation_tree.hpp"
+#include "util/hash.hpp"
+#include "util/packet.hpp"
+
+namespace icd::reconcile {
+
+std::string_view method_name(Method method) {
+  switch (method) {
+    case Method::kWholeSet:
+      return "whole-set";
+    case Method::kHashedSet:
+      return "hashed-set";
+    case Method::kBloomFilter:
+      return "bloom-filter";
+    case Method::kArt:
+      return "art";
+    case Method::kCpi:
+      return "cpi";
+  }
+  return "unknown";
+}
+
+ReconcileOutcome reconcile(const std::vector<std::uint64_t>& local,
+                           const std::vector<std::uint64_t>& remote,
+                           const ReconcileOptions& options) {
+  ReconcileOutcome outcome;
+  switch (options.method) {
+    case Method::kWholeSet: {
+      const auto message = make_whole_set_message(remote);
+      outcome.summary_bytes = message.wire_bytes();
+      outcome.local_minus_remote = whole_set_difference(local, message);
+      break;
+    }
+    case Method::kHashedSet: {
+      const auto message =
+          make_hashed_set_message(remote, options.hashed_range);
+      outcome.summary_bytes = message.wire_bytes();
+      outcome.local_minus_remote = hashed_set_difference(local, message);
+      break;
+    }
+    case Method::kBloomFilter: {
+      if (remote.empty()) {
+        outcome.local_minus_remote = local;
+        break;
+      }
+      auto filter = filter::BloomFilter::with_bits_per_element(
+          remote.size(), options.bits_per_element);
+      filter.insert_all(remote);
+      outcome.summary_bytes = filter.serialize().size();
+      outcome.local_minus_remote = bloom_set_difference(local, filter);
+      break;
+    }
+    case Method::kArt: {
+      const art::ReconciliationTree remote_tree(remote);
+      const double leaf_bits =
+          options.bits_per_element * options.art_leaf_fraction;
+      const double internal_bits = options.bits_per_element - leaf_bits;
+      const auto summary =
+          art::ArtSummary::build(remote_tree, leaf_bits, internal_bits);
+      outcome.summary_bytes = summary.serialize().size();
+      const art::ReconciliationTree local_tree(local);
+      outcome.local_minus_remote = art::find_local_differences(
+          local_tree, summary, options.art_correction);
+      break;
+    }
+    case Method::kCpi: {
+      // CPI works over GF(2^61 - 1) and needs keys below 2^60; arbitrary
+      // 64-bit keys are first mapped down by a shared hash (collisions are
+      // ~n^2 / 2^60, i.e. negligible at any practical working-set size).
+      constexpr std::uint64_t kCpiMapSeed = 0xc91e0a60f00dULL;
+      const auto map_key = [](std::uint64_t key) {
+        return util::hash64(key, kCpiMapSeed) >> 4;  // 60 bits
+      };
+      std::vector<std::uint64_t> mapped_remote;
+      mapped_remote.reserve(remote.size());
+      for (const std::uint64_t key : remote) {
+        mapped_remote.push_back(map_key(key));
+      }
+      std::vector<std::uint64_t> mapped_local;
+      std::unordered_map<std::uint64_t, std::uint64_t> back;
+      mapped_local.reserve(local.size());
+      back.reserve(local.size() * 2);
+      for (const std::uint64_t key : local) {
+        const std::uint64_t mapped = map_key(key);
+        mapped_local.push_back(mapped);
+        back.emplace(mapped, key);
+      }
+      // Evaluation points: discrepancy bound plus the verification margin.
+      const std::size_t points = options.cpi_max_discrepancy + 8;
+      const auto sketch = make_cpi_sketch(mapped_remote, points);
+      outcome.summary_bytes = sketch.wire_bytes();
+      const auto result =
+          cpi_reconcile(mapped_local, sketch, options.cpi_max_discrepancy);
+      outcome.local_minus_remote.reserve(result.local_only.size());
+      for (const std::uint64_t mapped : result.local_only) {
+        outcome.local_minus_remote.push_back(back.at(mapped));
+      }
+      outcome.exact_method_verified = result.verified;
+      break;
+    }
+  }
+  outcome.summary_packets = util::packets_for(outcome.summary_bytes);
+  return outcome;
+}
+
+}  // namespace icd::reconcile

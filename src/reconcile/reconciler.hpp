@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "art/art_summary.hpp"
+#include "filter/bloom.hpp"
+#include "reconcile/cpi.hpp"
+#include "reconcile/set_difference.hpp"
+
+/// One façade over every reconciliation mechanism in the library, so that
+/// applications (and Table 4(c)) can switch methods with a flag and compare
+/// wire size vs accuracy vs compute on identical inputs.
+namespace icd::reconcile {
+
+enum class Method {
+  kWholeSet,     // exact, O(n log u) bits
+  kHashedSet,    // exact up to hash collisions, O(n log h) bits
+  kBloomFilter,  // approximate, O(n) bits, O(n) search
+  kArt,          // approximate, O(n) bits, O(d log n) search
+  kCpi,          // exact, O(d log u) bits, Theta(d^3) compute
+};
+
+std::string_view method_name(Method method);
+
+struct ReconcileOptions {
+  Method method = Method::kBloomFilter;
+  /// Summary budget for Bloom/ART methods, in bits per element of the
+  /// summarized set.
+  double bits_per_element = 8.0;
+  /// ART: fraction of the budget spent on the leaf filter (rest internal)
+  /// and the correction level. Defaults follow Table 4's best settings.
+  double art_leaf_fraction = 0.5;
+  int art_correction = 5;
+  /// Hashed-set: hash range h (poly(n) to make misses unlikely).
+  std::uint64_t hashed_range = std::uint64_t{1} << 40;
+  /// CPI: bound on |A - B| + |B - A| (evaluation points scale with it).
+  std::size_t cpi_max_discrepancy = 128;
+};
+
+struct ReconcileOutcome {
+  /// Elements of the local set the mechanism identified as missing from the
+  /// remote set (candidates to send).
+  std::vector<std::uint64_t> local_minus_remote;
+  /// Bytes of summary the remote peer had to transmit.
+  std::size_t summary_bytes = 0;
+  /// The same, in 1 KB packets (the paper's messaging-complexity unit).
+  std::size_t summary_packets = 0;
+  /// False for CPI runs whose discrepancy bound proved too small.
+  bool exact_method_verified = true;
+};
+
+/// Runs both sides of a reconciliation: `remote` summarizes its set with
+/// the chosen method, `local` searches the summary and returns the elements
+/// it believes the remote peer lacks (local - remote).
+///
+/// Keys must be < kMaxCpiKey when Method::kCpi is used.
+ReconcileOutcome reconcile(const std::vector<std::uint64_t>& local,
+                           const std::vector<std::uint64_t>& remote,
+                           const ReconcileOptions& options);
+
+}  // namespace icd::reconcile

@@ -1,0 +1,72 @@
+#include "reconcile/set_difference.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace icd::reconcile {
+
+WholeSetMessage make_whole_set_message(
+    const std::vector<std::uint64_t>& keys) {
+  return WholeSetMessage{keys};
+}
+
+std::vector<std::uint64_t> whole_set_difference(
+    const std::vector<std::uint64_t>& local, const WholeSetMessage& remote) {
+  const std::unordered_set<std::uint64_t> remote_set(remote.keys.begin(),
+                                                     remote.keys.end());
+  std::vector<std::uint64_t> difference;
+  for (const std::uint64_t key : local) {
+    if (!remote_set.contains(key)) difference.push_back(key);
+  }
+  return difference;
+}
+
+std::size_t HashedSetMessage::wire_bytes() const {
+  // ceil(log2 range) bits per hash, plus the 16-byte header.
+  std::size_t bits_per = 1;
+  while ((std::uint64_t{1} << bits_per) < range && bits_per < 64) ++bits_per;
+  return (hashes.size() * bits_per + 7) / 8 + 16;
+}
+
+HashedSetMessage make_hashed_set_message(const std::vector<std::uint64_t>& keys,
+                                         std::uint64_t range,
+                                         std::uint64_t seed) {
+  if (range == 0) {
+    throw std::invalid_argument("make_hashed_set_message: range must be > 0");
+  }
+  HashedSetMessage message;
+  message.range = range;
+  message.seed = seed;
+  message.hashes.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    message.hashes.push_back(util::hash64(key, seed) % range);
+  }
+  std::sort(message.hashes.begin(), message.hashes.end());
+  return message;
+}
+
+std::vector<std::uint64_t> hashed_set_difference(
+    const std::vector<std::uint64_t>& local, const HashedSetMessage& remote) {
+  std::vector<std::uint64_t> difference;
+  for (const std::uint64_t key : local) {
+    const std::uint64_t h = util::hash64(key, remote.seed) % remote.range;
+    if (!std::binary_search(remote.hashes.begin(), remote.hashes.end(), h)) {
+      difference.push_back(key);
+    }
+  }
+  return difference;
+}
+
+std::vector<std::uint64_t> bloom_set_difference(
+    const std::vector<std::uint64_t>& local,
+    const filter::BloomFilter& remote_filter) {
+  std::vector<std::uint64_t> difference;
+  for (const std::uint64_t key : local) {
+    if (!remote_filter.contains(key)) difference.push_back(key);
+  }
+  return difference;
+}
+
+}  // namespace icd::reconcile

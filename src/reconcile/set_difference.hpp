@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "filter/bloom.hpp"
+
+/// The exact approaches of Section 5.1 and the Bloom-filter approximate
+/// approach of Section 5.2, in one place so their costs and accuracies can
+/// be compared head-to-head (Table 4(c)).
+namespace icd::reconcile {
+
+/// --- Exact: send the whole set -------------------------------------------
+/// O(|S_A| log u) bits on the wire; exact difference.
+struct WholeSetMessage {
+  std::vector<std::uint64_t> keys;
+  std::size_t wire_bytes() const { return keys.size() * 8 + 8; }
+};
+
+WholeSetMessage make_whole_set_message(const std::vector<std::uint64_t>& keys);
+
+/// Elements of `local` absent from the message's key set — exact.
+std::vector<std::uint64_t> whole_set_difference(
+    const std::vector<std::uint64_t>& local, const WholeSetMessage& remote);
+
+/// --- Exact-up-to-collisions: send hashes ----------------------------------
+/// O(|S_A| log h) bits; misses an element only on an h-collision, so h is
+/// chosen poly(|S_A|) ("the miss probability can be made inversely
+/// polynomial in n by setting h = poly(|S_A|)").
+struct HashedSetMessage {
+  std::vector<std::uint64_t> hashes;  // reduced to [0, range)
+  std::uint64_t range = 0;
+  std::uint64_t seed = 0;
+  std::size_t wire_bytes() const;
+};
+
+inline constexpr std::uint64_t kHashedSetSeed = 0x9a5eedc0de1234ULL;
+
+HashedSetMessage make_hashed_set_message(const std::vector<std::uint64_t>& keys,
+                                         std::uint64_t range,
+                                         std::uint64_t seed = kHashedSetSeed);
+
+/// Elements of `local` whose hash is absent from the message.
+std::vector<std::uint64_t> hashed_set_difference(
+    const std::vector<std::uint64_t>& local, const HashedSetMessage& remote);
+
+/// --- Approximate: Bloom filter (Section 5.2) ------------------------------
+/// Elements of `local` that miss `remote_filter`; one-sided error — every
+/// returned element is certainly not in the remote set... in reverse: a
+/// false positive only *withholds* a useful element, it never admits a
+/// redundant one.
+std::vector<std::uint64_t> bloom_set_difference(
+    const std::vector<std::uint64_t>& local,
+    const filter::BloomFilter& remote_filter);
+
+}  // namespace icd::reconcile

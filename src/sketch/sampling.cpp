@@ -1,0 +1,60 @@
+#include "sketch/sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace icd::sketch {
+
+namespace {
+constexpr std::uint64_t kModKSeed = 0x3c6ef372fe94f82bULL;
+}
+
+RandomSample::RandomSample(const std::vector<std::uint64_t>& keys,
+                           std::size_t k, util::Xoshiro256& rng)
+    : source_size_(keys.size()) {
+  if (keys.empty()) {
+    throw std::invalid_argument("RandomSample: cannot sample an empty set");
+  }
+  samples_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    samples_.push_back(keys[rng.next_below(keys.size())]);
+  }
+}
+
+double RandomSample::estimate_containment(
+    const std::unordered_set<std::uint64_t>& other) const {
+  if (samples_.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const std::uint64_t key : samples_) {
+    if (other.contains(key)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples_.size());
+}
+
+ModKSample::ModKSample(const std::vector<std::uint64_t>& keys,
+                       std::uint64_t k)
+    : k_(k), source_size_(keys.size()) {
+  if (k == 0) throw std::invalid_argument("ModKSample: k must be > 0");
+  for (const std::uint64_t key : keys) {
+    if (util::hash64(key, kModKSeed) % k == 0) samples_.push_back(key);
+  }
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double ModKSample::estimate_containment(const ModKSample& a,
+                                        const ModKSample& b) {
+  if (a.k_ != b.k_) {
+    throw std::invalid_argument("ModKSample: mismatched moduli");
+  }
+  if (b.samples_.empty()) return 0.0;
+  std::vector<std::uint64_t> common;
+  std::set_intersection(a.samples_.begin(), a.samples_.end(),
+                        b.samples_.begin(), b.samples_.end(),
+                        std::back_inserter(common));
+  return static_cast<double>(common.size()) /
+         static_cast<double>(b.samples_.size());
+}
+
+}  // namespace icd::sketch

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "util/random.hpp"
+
+/// The two sampling-based estimators of Section 4 that the paper discusses
+/// before settling on min-wise sketches. Implemented both as baselines for
+/// the sketch benchmarks and because they remain the right tool in some
+/// regimes (random sampling needs no agreed-on hash family at all).
+namespace icd::sketch {
+
+/// --- Straightforward random sampling -------------------------------------
+///
+/// "simply select k elements of the working set at random (with replacement)
+/// and transport those to the peer." The receiver must look each sample up
+/// in its own working set, so estimation is O(k) hash lookups on the
+/// receiving side.
+class RandomSample {
+ public:
+  /// Draws `k` keys with replacement from `keys` (must be non-empty).
+  RandomSample(const std::vector<std::uint64_t>& keys, std::size_t k,
+               util::Xoshiro256& rng);
+
+  /// Keys as transmitted (with duplicates, as drawn).
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+
+  /// Size of the sampled set, optionally sent alongside.
+  std::size_t source_size() const { return source_size_; }
+
+  /// Receiver-side estimate of |A ∩ B| / |A| where A is the *sampled* set
+  /// and B is `other`: the fraction of samples present in `other`.
+  double estimate_containment(
+      const std::unordered_set<std::uint64_t>& other) const;
+
+  /// Wire size in bytes at 8 bytes per key.
+  std::size_t wire_bytes() const { return samples_.size() * 8 + 8; }
+
+ private:
+  std::vector<std::uint64_t> samples_;
+  std::size_t source_size_;
+};
+
+/// --- Sampling keys equal to 0 modulo k -----------------------------------
+///
+/// Broder's second technique: both peers keep the subset of keys whose hash
+/// is 0 mod k; the two small samples can then be intersected directly,
+/// with no lookups into the full working sets. The sample is variable-sized
+/// (~|S|/k), which is its practical drawback — packets have a maximum size.
+class ModKSample {
+ public:
+  /// Collects keys with hash(key) % k == 0. `k` must be > 0.
+  ModKSample(const std::vector<std::uint64_t>& keys, std::uint64_t k);
+
+  std::uint64_t modulus() const { return k_; }
+  const std::vector<std::uint64_t>& samples() const { return samples_; }
+  std::size_t source_size() const { return source_size_; }
+
+  /// Estimate of |A ∩ B| / |B| from the two samples alone:
+  /// |A_k ∩ B_k| / |B_k|. Returns 0 when the other sample is empty.
+  static double estimate_containment(const ModKSample& a, const ModKSample& b);
+
+  std::size_t wire_bytes() const { return samples_.size() * 8 + 16; }
+
+ private:
+  std::uint64_t k_;
+  std::vector<std::uint64_t> samples_;
+  std::size_t source_size_;
+};
+
+}  // namespace icd::sketch

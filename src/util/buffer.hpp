@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+/// Endian-safe byte-buffer serialization.
+///
+/// Every control message in the library (sketches, Bloom filters, ART
+/// summaries, symbol headers) serializes through these so that the exact
+/// wire size can be measured against the paper's 1 KB-packet budgets.
+namespace icd::util {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// LEB128 variable-length unsigned integer (1-10 bytes).
+  void varint(std::uint64_t v);
+  void raw(std::span<const std::uint8_t> data);
+
+  std::size_t size() const { return bytes_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked reader; all methods throw std::out_of_range on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  std::vector<std::uint8_t> raw(std::size_t n);
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace icd::util

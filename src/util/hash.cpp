@@ -1,0 +1,45 @@
+#include "util/hash.hpp"
+
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace icd::util {
+
+std::uint64_t fnv1a(std::span<const std::byte> bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::byte b : bytes) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+DoubleHashFamily::DoubleHashFamily(std::size_t range, std::uint64_t seed)
+    : range_(range),
+      seed1_(mix64(seed ^ 0x71ee2147a1c7c9b5ULL)),
+      seed2_(mix64(seed ^ 0x2545f4914f6cdd1dULL)) {
+  if (range == 0) {
+    throw std::invalid_argument("DoubleHashFamily: range must be > 0");
+  }
+}
+
+void DoubleHashFamily::fill(std::uint64_t key, std::size_t k,
+                            std::vector<std::size_t>& out) const {
+  const std::uint64_t h1 = hash64(key, seed1_);
+  const std::uint64_t h2 = hash64(key, seed2_) | 1;
+  std::uint64_t h = h1;
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(static_cast<std::size_t>(h % range_));
+    h += h2;
+  }
+}
+
+TabulationHash64::TabulationHash64(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (auto& table : tables_) {
+    for (auto& entry : table) entry = rng();
+  }
+}
+
+}  // namespace icd::util

@@ -1,0 +1,29 @@
+#include "util/packet.hpp"
+
+#include <algorithm>
+
+namespace icd::util {
+
+std::vector<std::vector<std::uint8_t>> packetize(
+    const std::vector<std::uint8_t>& message, std::size_t mtu) {
+  if (mtu == 0) throw std::invalid_argument("packetize: mtu must be > 0");
+  std::vector<std::vector<std::uint8_t>> packets;
+  packets.reserve(packets_for(message.size(), mtu));
+  for (std::size_t offset = 0; offset < message.size(); offset += mtu) {
+    const std::size_t len = std::min(mtu, message.size() - offset);
+    packets.emplace_back(message.begin() + offset,
+                         message.begin() + offset + len);
+  }
+  return packets;
+}
+
+std::vector<std::uint8_t> reassemble(
+    const std::vector<std::vector<std::uint8_t>>& packets) {
+  std::vector<std::uint8_t> message;
+  for (const auto& packet : packets) {
+    message.insert(message.end(), packet.begin(), packet.end());
+  }
+  return message;
+}
+
+}  // namespace icd::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+/// Primality utilities used to size the key universes for the linear
+/// permutation families of the min-wise sketches (Section 4 of the paper)
+/// and the prime fields of the exact set-discrepancy reconciler (Section
+/// 5.1).
+namespace icd::util {
+
+/// Computes (a * b) mod m without overflow for 64-bit operands.
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b, std::uint64_t m);
+
+/// Computes (base ^ exp) mod m.
+std::uint64_t pow_mod(std::uint64_t base, std::uint64_t exp, std::uint64_t m);
+
+/// Deterministic Miller-Rabin for all 64-bit integers (uses the 12-base
+/// certificate {2, 3, 5, ..., 37}).
+bool is_prime(std::uint64_t n);
+
+/// Smallest prime >= n. Throws std::overflow_error if none fits in 64 bits.
+std::uint64_t next_prime(std::uint64_t n);
+
+/// Modular inverse of a mod m for m prime and a not divisible by m.
+std::uint64_t inverse_mod(std::uint64_t a, std::uint64_t m);
+
+}  // namespace icd::util

@@ -1,0 +1,62 @@
+#include "util/random.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace icd::util {
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("next_below: bound must be > 0");
+  // Lemire 2019: multiply-shift with rejection to remove modulo bias.
+  unsigned __int128 m =
+      static_cast<unsigned __int128>((*this)()) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      m = static_cast<unsigned __int128>((*this)()) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+void Xoshiro256::jump() {
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t word : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (std::uint64_t{1} << bit)) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+      }
+      (void)(*this)();
+    }
+  }
+  state_ = acc;
+}
+
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                      std::size_t k,
+                                                      Xoshiro256& rng) {
+  if (k > n) {
+    throw std::invalid_argument("sample_without_replacement: k > n");
+  }
+  std::vector<std::uint64_t> result;
+  result.reserve(k);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(k * 2);
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+}  // namespace icd::util

@@ -1,0 +1,42 @@
+#include "wire/channel.hpp"
+
+#include <stdexcept>
+
+namespace icd::wire {
+
+LossyChannel::LossyChannel(ChannelConfig config)
+    : config_(config), rng_(config.seed) {}
+
+bool LossyChannel::send(std::vector<std::uint8_t> frame) {
+  if (frame.size() > config_.mtu) {
+    ++oversized_;
+    return false;
+  }
+  ++sent_;
+  if (rng_.next_bool(config_.loss_rate)) {
+    ++dropped_;
+    return true;  // sent, but the network ate it
+  }
+  queue_.push_back(std::move(frame));
+  if (queue_.size() >= 2 && rng_.next_bool(config_.reorder_rate)) {
+    std::swap(queue_[queue_.size() - 1], queue_[queue_.size() - 2]);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> LossyChannel::receive() {
+  if (queue_.empty()) return {};
+  auto frame = std::move(queue_.front());
+  queue_.pop_front();
+  delivered_bytes_ += frame.size();
+  return frame;
+}
+
+Message LossyChannel::receive_message() {
+  if (queue_.empty()) {
+    throw std::logic_error("LossyChannel::receive_message: queue empty");
+  }
+  return decode_frame(receive());
+}
+
+}  // namespace icd::wire

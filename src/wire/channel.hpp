@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "util/random.hpp"
+#include "wire/message.hpp"
+
+/// Simulated unreliable datagram channels.
+///
+/// This is the substrate substitution documented in DESIGN.md: the paper's
+/// prototype ran over real sockets; here a channel carries wire frames
+/// between two in-process endpoints with configurable Bernoulli loss,
+/// reordering and an MTU, preserving everything the evaluation measures
+/// (byte counts, packet counts, loss tolerance).
+namespace icd::wire {
+
+struct ChannelConfig {
+  /// Probability an enqueued datagram is silently dropped.
+  double loss_rate = 0.0;
+  /// Probability a delivered datagram is swapped with its successor.
+  double reorder_rate = 0.0;
+  /// Frames larger than this are rejected (send() returns false) — symbols
+  /// are sized to fit; control messages are packetized above this layer.
+  std::size_t mtu = 1500;
+  std::uint64_t seed = 0xc0de;
+};
+
+class LossyChannel {
+ public:
+  explicit LossyChannel(ChannelConfig config);
+
+  /// Enqueues one frame. Returns false (and sends nothing) if the frame
+  /// exceeds the MTU.
+  bool send(std::vector<std::uint8_t> frame);
+
+  /// Convenience: encode + send a typed message.
+  bool send_message(const Message& message) {
+    return send(encode_frame(message));
+  }
+
+  /// Whether a datagram is ready for delivery.
+  bool pending() const { return !queue_.empty(); }
+
+  /// Pops the next delivered datagram; empty when none pending.
+  std::vector<std::uint8_t> receive();
+
+  /// Pops and decodes the next datagram; throws if none pending.
+  Message receive_message();
+
+  /// Statistics.
+  std::size_t sent() const { return sent_; }
+  std::size_t dropped() const { return dropped_; }
+  std::size_t oversized() const { return oversized_; }
+  std::size_t delivered_bytes() const { return delivered_bytes_; }
+
+ private:
+  ChannelConfig config_;
+  util::Xoshiro256 rng_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  std::size_t sent_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t oversized_ = 0;
+  std::size_t delivered_bytes_ = 0;
+};
+
+}  // namespace icd::wire

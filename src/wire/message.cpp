@@ -1,0 +1,214 @@
+#include "wire/message.hpp"
+
+#include <stdexcept>
+
+#include "util/buffer.hpp"
+
+namespace icd::wire {
+
+namespace {
+
+void write_payload(util::ByteWriter& writer, const Hello& hello) {
+  writer.u32(hello.block_count);
+  writer.u64(hello.session_seed);
+  writer.varint(hello.working_set_size);
+}
+
+Hello read_hello(util::ByteReader& reader) {
+  Hello hello;
+  hello.block_count = reader.u32();
+  hello.session_seed = reader.u64();
+  hello.working_set_size = reader.varint();
+  return hello;
+}
+
+void write_payload(util::ByteWriter& writer, const Request& request) {
+  writer.varint(request.symbols_desired);
+}
+
+Request read_request(util::ByteReader& reader) {
+  return Request{reader.varint()};
+}
+
+void write_payload(util::ByteWriter& writer,
+                   const EncodedSymbolMessage& message) {
+  writer.u64(message.symbol.id);
+  writer.varint(message.symbol.payload.size());
+  writer.raw(message.symbol.payload);
+}
+
+EncodedSymbolMessage read_encoded(util::ByteReader& reader) {
+  EncodedSymbolMessage message;
+  message.symbol.id = reader.u64();
+  message.symbol.payload = reader.raw(reader.varint());
+  return message;
+}
+
+void write_payload(util::ByteWriter& writer,
+                   const RecodedSymbolMessage& message) {
+  writer.varint(message.symbol.constituents.size());
+  for (const std::uint64_t id : message.symbol.constituents) writer.u64(id);
+  writer.varint(message.symbol.payload.size());
+  writer.raw(message.symbol.payload);
+}
+
+RecodedSymbolMessage read_recoded(util::ByteReader& reader) {
+  RecodedSymbolMessage message;
+  const std::size_t degree = reader.varint();
+  message.symbol.constituents.reserve(degree);
+  for (std::size_t i = 0; i < degree; ++i) {
+    message.symbol.constituents.push_back(reader.u64());
+  }
+  message.symbol.payload = reader.raw(reader.varint());
+  return message;
+}
+
+void write_blob(util::ByteWriter& writer, const std::vector<std::uint8_t>& b) {
+  writer.varint(b.size());
+  writer.raw(b);
+}
+
+std::vector<std::uint8_t> read_blob(util::ByteReader& reader) {
+  return reader.raw(reader.varint());
+}
+
+}  // namespace
+
+MessageType message_type(const Message& message) {
+  struct Visitor {
+    MessageType operator()(const Hello&) { return MessageType::kHello; }
+    MessageType operator()(const SketchMessage&) {
+      return MessageType::kSketch;
+    }
+    MessageType operator()(const BloomSummaryMessage&) {
+      return MessageType::kBloomSummary;
+    }
+    MessageType operator()(const ArtSummaryMessage&) {
+      return MessageType::kArtSummary;
+    }
+    MessageType operator()(const Request&) { return MessageType::kRequest; }
+    MessageType operator()(const EncodedSymbolMessage&) {
+      return MessageType::kEncodedSymbol;
+    }
+    MessageType operator()(const RecodedSymbolMessage&) {
+      return MessageType::kRecodedSymbol;
+    }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& message) {
+  util::ByteWriter payload;
+  struct Visitor {
+    util::ByteWriter& writer;
+    void operator()(const Hello& m) { write_payload(writer, m); }
+    void operator()(const SketchMessage& m) {
+      write_blob(writer, m.sketch.serialize());
+    }
+    void operator()(const BloomSummaryMessage& m) {
+      write_blob(writer, m.filter.serialize());
+    }
+    void operator()(const ArtSummaryMessage& m) {
+      write_blob(writer, m.summary.serialize());
+    }
+    void operator()(const Request& m) { write_payload(writer, m); }
+    void operator()(const EncodedSymbolMessage& m) {
+      write_payload(writer, m);
+    }
+    void operator()(const RecodedSymbolMessage& m) {
+      write_payload(writer, m);
+    }
+  };
+  std::visit(Visitor{payload}, message);
+
+  util::ByteWriter frame;
+  frame.u16(kMagic);
+  frame.u8(kVersion);
+  frame.u8(static_cast<std::uint8_t>(message_type(message)));
+  frame.varint(payload.size());
+  frame.raw(payload.bytes());
+  return frame.take();
+}
+
+namespace {
+
+Message decode_from_reader(util::ByteReader& reader) {
+  if (reader.u16() != kMagic) {
+    throw std::invalid_argument("wire: bad magic");
+  }
+  if (reader.u8() != kVersion) {
+    throw std::invalid_argument("wire: unsupported version");
+  }
+  const auto type = static_cast<MessageType>(reader.u8());
+  const std::size_t length = reader.varint();
+  const auto payload_bytes = reader.raw(length);
+  util::ByteReader payload(payload_bytes);
+
+  Message message = [&]() -> Message {
+    switch (type) {
+      case MessageType::kHello:
+        return read_hello(payload);
+      case MessageType::kSketch:
+        return SketchMessage{
+            sketch::MinwiseSketch::deserialize(read_blob(payload))};
+      case MessageType::kBloomSummary:
+        return BloomSummaryMessage{
+            filter::BloomFilter::deserialize(read_blob(payload))};
+      case MessageType::kArtSummary:
+        return ArtSummaryMessage{
+            art::ArtSummary::deserialize(read_blob(payload))};
+      case MessageType::kRequest:
+        return read_request(payload);
+      case MessageType::kEncodedSymbol:
+        return read_encoded(payload);
+      case MessageType::kRecodedSymbol:
+        return read_recoded(payload);
+    }
+    throw std::invalid_argument("wire: unknown message type");
+  }();
+  if (!payload.done()) {
+    throw std::invalid_argument("wire: trailing bytes in payload");
+  }
+  return message;
+}
+
+}  // namespace
+
+Message decode_frame(const std::vector<std::uint8_t>& frame) {
+  try {
+    util::ByteReader reader(frame);
+    Message message = decode_from_reader(reader);
+    if (!reader.done()) {
+      throw std::invalid_argument("wire: trailing bytes after frame");
+    }
+    return message;
+  } catch (const std::out_of_range&) {
+    // Buffer underruns from any nested deserializer mean one thing at this
+    // layer: a truncated or corrupt frame.
+    throw std::invalid_argument("wire: truncated frame");
+  }
+}
+
+std::vector<std::uint8_t> encode_stream(const std::vector<Message>& messages) {
+  std::vector<std::uint8_t> bytes;
+  for (const Message& message : messages) {
+    const auto frame = encode_frame(message);
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  return bytes;
+}
+
+std::vector<Message> decode_stream(const std::vector<std::uint8_t>& bytes) {
+  try {
+    std::vector<Message> messages;
+    util::ByteReader reader(bytes);
+    while (!reader.done()) {
+      messages.push_back(decode_from_reader(reader));
+    }
+    return messages;
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("wire: truncated stream");
+  }
+}
+
+}  // namespace icd::wire

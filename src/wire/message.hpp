@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "art/art_summary.hpp"
+#include "codec/symbol.hpp"
+#include "filter/bloom.hpp"
+#include "sketch/minwise.hpp"
+
+/// Wire protocol for the control and data planes.
+///
+/// Every message that flows between collaborating peers — the calling-card
+/// sketch, the fine-grained summaries, the symbols-desired request and the
+/// symbols themselves — has a typed, versioned, length-prefixed wire form
+/// here, so that implementations can interoperate and the simulator can
+/// charge exact byte counts.
+///
+/// Frame layout:  magic(2) version(1) type(1) length(varint) payload.
+namespace icd::wire {
+
+inline constexpr std::uint16_t kMagic = 0x1CD0;
+inline constexpr std::uint8_t kVersion = 1;
+
+enum class MessageType : std::uint8_t {
+  kHello = 1,          // session setup: code parameters + working set size
+  kSketch = 2,         // min-wise sketch (Section 4)
+  kBloomSummary = 3,   // Bloom filter of the working set (Section 5.2)
+  kArtSummary = 4,     // approximate reconciliation tree summary (Section 5.3)
+  kRequest = 5,        // symbols desired from this sender (Section 6.1)
+  kEncodedSymbol = 6,  // one regular encoded symbol
+  kRecodedSymbol = 7,  // one recoded symbol (Section 5.4.2)
+};
+
+/// Session hello: advertises the code and the sender's working-set size
+/// (the optional extra datum Section 4 mentions peers may exchange).
+struct Hello {
+  std::uint32_t block_count = 0;
+  std::uint64_t session_seed = 0;
+  std::uint64_t working_set_size = 0;
+
+  bool operator==(const Hello&) const = default;
+};
+
+/// Symbols-desired request: "the receiver may specify the number of symbols
+/// desired from each sender with appropriate allowances for decoding
+/// overhead".
+struct Request {
+  std::uint64_t symbols_desired = 0;
+
+  bool operator==(const Request&) const = default;
+};
+
+struct SketchMessage {
+  sketch::MinwiseSketch sketch;
+};
+
+struct BloomSummaryMessage {
+  filter::BloomFilter filter;
+};
+
+struct ArtSummaryMessage {
+  art::ArtSummary summary;
+};
+
+struct EncodedSymbolMessage {
+  codec::EncodedSymbol symbol;
+
+  bool operator==(const EncodedSymbolMessage&) const = default;
+};
+
+struct RecodedSymbolMessage {
+  codec::RecodedSymbol symbol;
+
+  bool operator==(const RecodedSymbolMessage&) const = default;
+};
+
+using Message =
+    std::variant<Hello, SketchMessage, BloomSummaryMessage, ArtSummaryMessage,
+                 Request, EncodedSymbolMessage, RecodedSymbolMessage>;
+
+/// The wire type tag of a message.
+MessageType message_type(const Message& message);
+
+/// Serializes a message into one self-describing frame.
+std::vector<std::uint8_t> encode_frame(const Message& message);
+
+/// Parses one frame. Throws std::invalid_argument on malformed input
+/// (bad magic, unknown version/type, truncation, trailing bytes).
+Message decode_frame(const std::vector<std::uint8_t>& frame);
+
+/// Encodes a sequence of messages back-to-back into one byte stream, and
+/// splits a byte stream back into frames. Enables batching several control
+/// messages into one packet.
+std::vector<std::uint8_t> encode_stream(const std::vector<Message>& messages);
+std::vector<Message> decode_stream(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace icd::wire

@@ -1,0 +1,263 @@
+// Tests for icd::art: reconciliation tree construction and the
+// Bloom-filter-summarized approximate difference search of Section 5.3.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "art/art_summary.hpp"
+#include "art/reconciliation_tree.hpp"
+#include "util/random.hpp"
+
+namespace icd::art {
+namespace {
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(rng());
+  return keys;
+}
+
+TEST(ReconciliationTree, EmptyTree) {
+  const ReconciliationTree tree({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.element_count(), 0u);
+  EXPECT_EQ(tree.depth(), 0u);
+}
+
+TEST(ReconciliationTree, SingleElement) {
+  const ReconciliationTree tree({42});
+  EXPECT_EQ(tree.element_count(), 1u);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_EQ(tree.depth(), 0u);
+  EXPECT_EQ(tree.leaf_values().size(), 1u);
+  EXPECT_EQ(tree.internal_values().size(), 0u);
+}
+
+TEST(ReconciliationTree, CollapsedSizeIs2nMinus1) {
+  // "The tree can be collapsed ... leaving only O(|S_A|) nodes": a binary
+  // tree with n leaves where every internal node branches has exactly
+  // 2n - 1 nodes.
+  for (const std::size_t n : {2u, 10u, 100u, 1000u}) {
+    const ReconciliationTree tree(random_keys(n, n));
+    EXPECT_EQ(tree.element_count(), n);
+    EXPECT_EQ(tree.nodes().size(), 2 * n - 1);
+    EXPECT_EQ(tree.leaf_values().size(), n);
+    EXPECT_EQ(tree.internal_values().size(), n - 1);
+  }
+}
+
+TEST(ReconciliationTree, DepthIsLogarithmic) {
+  // Position hashing balances the tree: depth O(log n) w.h.p.
+  const std::size_t n = 4096;
+  const ReconciliationTree tree(random_keys(n, 7));
+  // log2(4096) = 12; allow generous slack for hash-induced imbalance.
+  EXPECT_LE(tree.depth(), 40u);
+  EXPECT_GE(tree.depth(), 12u);
+}
+
+TEST(ReconciliationTree, DuplicateKeysIgnored) {
+  const ReconciliationTree tree({5, 5, 5, 9});
+  EXPECT_EQ(tree.element_count(), 2u);
+}
+
+TEST(ReconciliationTree, RootValueIsXorOfAllLeafValues) {
+  const auto keys = random_keys(257, 8);
+  const ReconciliationTree tree(keys);
+  std::uint64_t expected = 0;
+  for (const auto key : keys) expected ^= tree.value_hash(key);
+  EXPECT_EQ(tree.nodes()[static_cast<std::size_t>(tree.root())].value,
+            expected);
+}
+
+TEST(ReconciliationTree, InternalCountsAreConsistent) {
+  const auto keys = random_keys(500, 9);
+  const ReconciliationTree tree(keys);
+  for (const auto& node : tree.nodes()) {
+    if (node.is_leaf()) {
+      EXPECT_EQ(node.count, 1u);
+    } else {
+      const auto& l = tree.nodes()[static_cast<std::size_t>(node.left)];
+      const auto& r = tree.nodes()[static_cast<std::size_t>(node.right)];
+      EXPECT_EQ(node.count, l.count + r.count);
+      EXPECT_EQ(node.value, l.value ^ r.value);
+    }
+  }
+}
+
+TEST(ReconciliationTree, SameSetsSameSeedGiveSameStructure) {
+  auto keys = random_keys(300, 10);
+  const ReconciliationTree a(keys);
+  std::reverse(keys.begin(), keys.end());
+  const ReconciliationTree b(keys);
+  ASSERT_EQ(a.nodes().size(), b.nodes().size());
+  // Construction is order-independent (sorted by position hash).
+  const auto& ra = a.nodes()[static_cast<std::size_t>(a.root())];
+  const auto& rb = b.nodes()[static_cast<std::size_t>(b.root())];
+  EXPECT_EQ(ra.value, rb.value);
+  EXPECT_EQ(ra.count, rb.count);
+}
+
+TEST(ArtSummary, IdenticalSetsFindNoDifferences) {
+  const auto keys = random_keys(1000, 11);
+  const ReconciliationTree local(keys), remote(keys);
+  const auto summary = ArtSummary::build(remote, 4.0, 4.0);
+  for (int correction = 0; correction <= 5; ++correction) {
+    EXPECT_TRUE(find_local_differences(local, summary, correction).empty());
+  }
+}
+
+TEST(ArtSummary, EveryReportedDifferenceIsReal) {
+  // Bloom filters have no false negatives, so a leaf miss is proof of
+  // absence: reported differences are never wrong.
+  auto remote_keys = random_keys(2000, 12);
+  auto local_keys = remote_keys;
+  const auto extra = random_keys(100, 13);
+  local_keys.insert(local_keys.end(), extra.begin(), extra.end());
+
+  const ReconciliationTree local(local_keys), remote(remote_keys);
+  const auto summary = ArtSummary::build(remote, 4.0, 4.0);
+  const std::set<std::uint64_t> truth(extra.begin(), extra.end());
+  for (int correction = 0; correction <= 5; ++correction) {
+    for (const auto key :
+         find_local_differences(local, summary, correction)) {
+      EXPECT_TRUE(truth.contains(key));
+    }
+  }
+}
+
+TEST(ArtSummary, NegativeCorrectionThrows) {
+  const ReconciliationTree t(random_keys(10, 14));
+  const auto summary = ArtSummary::build(t, 4.0, 4.0);
+  EXPECT_THROW(find_local_differences(t, summary, -1), std::invalid_argument);
+}
+
+/// Accuracy sweep mirroring Table 4(b): fraction of a 100-element
+/// difference found, by bits/element and correction level.
+struct ArtAccuracyPoint {
+  double total_bits_per_element;
+  int correction;
+  double min_accuracy;  // conservative lower bound on expected accuracy
+  double max_accuracy;  // and an upper bound for low-budget points
+};
+
+class ArtAccuracy : public ::testing::TestWithParam<ArtAccuracyPoint> {};
+
+TEST_P(ArtAccuracy, TracksTable4b) {
+  const auto [bits, correction, lo, hi] = GetParam();
+  const std::size_t n = 5000, d = 100;
+  double found_total = 0;
+  constexpr int kTrials = 3;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto remote_keys = random_keys(n, 20 + trial);
+    auto local_keys = remote_keys;
+    const auto extra = random_keys(d, 50 + trial);
+    local_keys.insert(local_keys.end(), extra.begin(), extra.end());
+    const ReconciliationTree local(local_keys), remote(remote_keys);
+    const auto summary = ArtSummary::build(remote, bits / 2, bits / 2);
+    found_total += static_cast<double>(
+        find_local_differences(local, summary, correction).size());
+  }
+  const double accuracy = found_total / (kTrials * d);
+  EXPECT_GE(accuracy, lo);
+  EXPECT_LE(accuracy, hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table4bShape, ArtAccuracy,
+    ::testing::Values(
+        // At 8 bits/element accuracy climbs steeply with correction,
+        // reaching ~0.9 at correction 5 (paper: 0.9234).
+        ArtAccuracyPoint{8.0, 0, 0.0, 0.7},
+        ArtAccuracyPoint{8.0, 2, 0.3, 1.0},
+        ArtAccuracyPoint{8.0, 5, 0.7, 1.0},
+        // At 2 bits/element even correction 5 finds only a minority
+        // (paper: 0.2677).
+        ArtAccuracyPoint{2.0, 5, 0.0, 0.6},
+        // Mid budget.
+        ArtAccuracyPoint{4.0, 5, 0.2, 0.9}));
+
+TEST(ArtSummary, AccuracyMonotoneInCorrectionLevel) {
+  const std::size_t n = 4000, d = 100;
+  auto remote_keys = random_keys(n, 30);
+  auto local_keys = remote_keys;
+  const auto extra = random_keys(d, 31);
+  local_keys.insert(local_keys.end(), extra.begin(), extra.end());
+  const ReconciliationTree local(local_keys), remote(remote_keys);
+  const auto summary = ArtSummary::build(remote, 4.0, 4.0);
+  std::size_t previous = 0;
+  for (int correction = 0; correction <= 5; ++correction) {
+    const auto found =
+        find_local_differences(local, summary, correction).size();
+    EXPECT_GE(found, previous);
+    previous = found;
+  }
+}
+
+TEST(ArtSummary, ZeroLeafBudgetFindsNothing) {
+  // A disabled leaf filter answers "present" to everything, so no leaf can
+  // ever be reported missing — the x = 0 endpoint of Figure 4(a).
+  auto remote_keys = random_keys(1000, 32);
+  auto local_keys = remote_keys;
+  const auto extra = random_keys(50, 33);
+  local_keys.insert(local_keys.end(), extra.begin(), extra.end());
+  const ReconciliationTree local(local_keys), remote(remote_keys);
+  const auto summary = ArtSummary::build(remote, 0.0, 8.0);
+  EXPECT_TRUE(find_local_differences(local, summary, 5).empty());
+}
+
+TEST(ArtSummary, ZeroInternalBudgetNeedsCorrection) {
+  // A disabled internal filter matches at every internal node; with
+  // correction 0 the search prunes at the root, with a large correction it
+  // degenerates to checking every leaf (slow but accurate).
+  auto remote_keys = random_keys(1000, 34);
+  auto local_keys = remote_keys;
+  const auto extra = random_keys(50, 35);
+  local_keys.insert(local_keys.end(), extra.begin(), extra.end());
+  const ReconciliationTree local(local_keys), remote(remote_keys);
+  const auto summary = ArtSummary::build(remote, 8.0, 0.0);
+  EXPECT_TRUE(find_local_differences(local, summary, 0).empty());
+  const auto found = find_local_differences(local, summary, 1000);
+  EXPECT_GE(found.size(), 45u);  // limited only by leaf filter fp (8 bits)
+}
+
+TEST(ArtSummary, TotalBitsMatchBudget) {
+  const auto keys = random_keys(1000, 36);
+  const ReconciliationTree tree(keys);
+  const auto summary = ArtSummary::build(tree, 4.0, 4.0);
+  // ~8 bits/element total (leaf filter sized on n, internal on n too).
+  EXPECT_NEAR(static_cast<double>(summary.total_bits()), 8.0 * 1000, 200.0);
+}
+
+TEST(ArtSummary, SerializationRoundTrip) {
+  auto remote_keys = random_keys(500, 37);
+  auto local_keys = remote_keys;
+  const auto extra = random_keys(20, 38);
+  local_keys.insert(local_keys.end(), extra.begin(), extra.end());
+  const ReconciliationTree local(local_keys), remote(remote_keys);
+  const auto summary = ArtSummary::build(remote, 4.0, 4.0);
+  const auto restored = ArtSummary::deserialize(summary.serialize());
+  EXPECT_EQ(restored.element_count(), summary.element_count());
+  EXPECT_EQ(restored.total_bits(), summary.total_bits());
+  // Same search results through the wire.
+  for (int correction : {0, 3, 5}) {
+    EXPECT_EQ(find_local_differences(local, restored, correction),
+              find_local_differences(local, summary, correction));
+  }
+}
+
+TEST(ArtSummary, SummaryIsCompact) {
+  // "a gigabyte of content will typically require a summary on the order of
+  // 10KB in size" — i.e. O(n) bits. At 10,000 elements and 8 bits/element
+  // the summary is ~10 KB.
+  const auto keys = random_keys(10000, 39);
+  const ReconciliationTree tree(keys);
+  const auto summary = ArtSummary::build(tree, 4.0, 4.0);
+  EXPECT_LE(summary.serialize().size(), 12 * 1024u);
+}
+
+}  // namespace
+}  // namespace icd::art

@@ -1,0 +1,324 @@
+// Integration tests for icd::core: origin servers, peers with stacked
+// decoders, informed sessions over every strategy, and sketch-based
+// admission control. These run the full-fidelity pipeline — real payloads,
+// real decoding — end to end.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/origin.hpp"
+#include "core/peer.hpp"
+#include "core/session.hpp"
+#include "util/random.hpp"
+
+namespace icd::core {
+namespace {
+
+std::vector<std::uint8_t> random_content(std::size_t size,
+                                         std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> content(size);
+  for (auto& byte : content) byte = static_cast<std::uint8_t>(rng());
+  return content;
+}
+
+struct Fixture {
+  static constexpr std::size_t kBlocks = 250;
+  static constexpr std::size_t kBlockSize = 24;
+
+  Fixture()
+      : content(random_content(kBlocks * kBlockSize - 5, 42)),
+        origin(content, kBlockSize,
+               codec::DegreeDistribution::robust_soliton(kBlocks), 777) {}
+
+  Peer make_peer(const std::string& name) const {
+    return Peer(name, origin.parameters(),
+                codec::DegreeDistribution::robust_soliton(kBlocks));
+  }
+
+  std::vector<std::uint8_t> content;
+  OriginServer origin;
+};
+
+TEST(OriginServer, GeometryAndDeterminism) {
+  Fixture f;
+  EXPECT_EQ(f.origin.block_count(), Fixture::kBlocks);
+  EXPECT_EQ(f.origin.block_size(), Fixture::kBlockSize);
+  EXPECT_EQ(f.origin.content_size(), f.content.size());
+  EXPECT_EQ(f.origin.encode(123).payload, f.origin.encode(123).payload);
+}
+
+TEST(OriginServer, ParallelOriginsAreAdditive) {
+  // "Additivity": two full senders with different stream seeds supply
+  // disjoint symbols, so a client downloading from both needs no
+  // orchestration.
+  Fixture f;
+  OriginServer mirror(f.content, Fixture::kBlockSize,
+                      codec::DegreeDistribution::robust_soliton(Fixture::kBlocks),
+                      777, /*stream_index=*/1);
+  Peer client = f.make_peer("client");
+  std::set<std::uint64_t> ids;
+  while (!client.has_content()) {
+    const auto s1 = f.origin.next();
+    const auto s2 = mirror.next();
+    EXPECT_TRUE(ids.insert(s1.id).second);
+    EXPECT_TRUE(ids.insert(s2.id).second);
+    client.receive_encoded(s1);
+    client.receive_encoded(s2);
+  }
+  EXPECT_EQ(client.content(f.content.size()), f.content);
+}
+
+TEST(Peer, DecodesFromFountainAndReencodes) {
+  Fixture f;
+  Peer peer = f.make_peer("a");
+  while (!peer.has_content()) peer.receive_encoded(f.origin.next());
+  EXPECT_EQ(peer.content(f.content.size()), f.content);
+
+  // Once decoded, the peer is itself a full sender: its re-encoded fresh
+  // symbols decode at another peer.
+  Peer downstream = f.make_peer("b");
+  while (!downstream.has_content()) {
+    downstream.receive_encoded(peer.encode_fresh());
+  }
+  EXPECT_EQ(downstream.content(f.content.size()), f.content);
+}
+
+TEST(Peer, EncodeFreshBeforeDecodingThrows) {
+  Fixture f;
+  Peer peer = f.make_peer("a");
+  peer.receive_encoded(f.origin.next());
+  EXPECT_THROW(peer.encode_fresh(), std::logic_error);
+}
+
+TEST(Peer, RecodedSymbolsCascadeThroughBothDecoders) {
+  Fixture f;
+  Peer sender = f.make_peer("sender");
+  Peer receiver = f.make_peer("receiver");
+  // Sender gets 150 symbols; receiver gets a different 150.
+  for (int i = 0; i < 150; ++i) sender.receive_encoded(f.origin.next());
+  for (int i = 0; i < 150; ++i) receiver.receive_encoded(f.origin.next());
+
+  util::Xoshiro256 rng(1);
+  const std::size_t before_blocks = receiver.blocks_recovered();
+  // Degrees must be irregular (include some 1s) for peeling to start —
+  // fixed degree >= 2 over a disjoint working set can never resolve.
+  const auto dist =
+      codec::DegreeDistribution::robust_soliton(150).truncated(50);
+  std::size_t gained = 0;
+  for (int i = 0; i < 400; ++i) {
+    gained += receiver.receive_recoded(sender.recode(dist.sample(rng), rng));
+  }
+  EXPECT_GT(gained, 0u);
+  EXPECT_GE(receiver.blocks_recovered(), before_blocks);
+  EXPECT_EQ(receiver.symbol_count(), 150 + gained);
+}
+
+TEST(Peer, SketchTracksWorkingSet) {
+  Fixture f;
+  Peer a = f.make_peer("a");
+  Peer b = f.make_peer("b");
+  // Same symbols -> identical sketches -> resemblance 1.
+  for (int i = 0; i < 100; ++i) {
+    const auto symbol = f.origin.next();
+    a.receive_encoded(symbol);
+    b.receive_encoded(symbol);
+  }
+  EXPECT_DOUBLE_EQ(
+      sketch::MinwiseSketch::resemblance(a.sketch(), b.sketch()), 1.0);
+  // Diverge b.
+  for (int i = 0; i < 100; ++i) b.receive_encoded(f.origin.next());
+  const double r =
+      sketch::MinwiseSketch::resemblance(a.sketch(), b.sketch());
+  EXPECT_LT(r, 0.75);
+  EXPECT_GT(r, 0.25);  // true resemblance 0.5
+}
+
+TEST(Peer, MismatchedCodesRejectedBySession) {
+  Fixture f;
+  Peer a = f.make_peer("a");
+  Peer other("other", codec::CodeParameters{Fixture::kBlocks, 999},
+             codec::DegreeDistribution::robust_soliton(Fixture::kBlocks));
+  EXPECT_THROW(InformedSession(a, other, SessionOptions{}),
+               std::invalid_argument);
+}
+
+class SessionStrategies
+    : public ::testing::TestWithParam<overlay::Strategy> {};
+
+TEST_P(SessionStrategies, PartialSenderDrivesReceiverToDecode) {
+  Fixture f;
+  Peer sender = f.make_peer("sender");
+  Peer receiver = f.make_peer("receiver");
+  // Disjoint working sets; together they exceed what decoding needs.
+  for (int i = 0; i < 220; ++i) sender.receive_encoded(f.origin.next());
+  for (int i = 0; i < 150; ++i) receiver.receive_encoded(f.origin.next());
+
+  SessionOptions options;
+  options.strategy = GetParam();
+  options.requested_symbols = 200;
+  InformedSession session(sender, receiver, options);
+  session.handshake();
+  const auto& stats = session.run(/*target_symbols=*/500,
+                                  /*max_transmissions=*/4000);
+  EXPECT_TRUE(receiver.has_content()) << strategy_name(GetParam());
+  EXPECT_EQ(receiver.content(f.content.size()), f.content);
+  EXPECT_GT(stats.symbols_useful, 0u);
+  EXPECT_GE(stats.symbols_sent, stats.symbols_useful);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, SessionStrategies,
+                         ::testing::Values(overlay::Strategy::kRandom,
+                                           overlay::Strategy::kRandomBloom,
+                                           overlay::Strategy::kRecode,
+                                           overlay::Strategy::kRecodeBloom,
+                                           overlay::Strategy::kRecodeMinwise));
+
+TEST(Session, HandshakeMeasuresControlTraffic) {
+  Fixture f;
+  Peer sender = f.make_peer("sender");
+  Peer receiver = f.make_peer("receiver");
+  for (int i = 0; i < 200; ++i) sender.receive_encoded(f.origin.next());
+  for (int i = 0; i < 200; ++i) receiver.receive_encoded(f.origin.next());
+
+  SessionOptions options;
+  options.strategy = overlay::Strategy::kRecodeBloom;
+  InformedSession session(sender, receiver, options);
+  session.handshake();
+  const auto& stats = session.stats();
+  // Two sketches (~1 KB each) + one Bloom filter (~200 bytes at 8 bpe).
+  EXPECT_GT(stats.control_bytes, 2000u);
+  EXPECT_LT(stats.control_bytes, 4096u);
+  EXPECT_EQ(stats.control_packets,
+            (stats.control_bytes + 1023) / 1024);
+  // Disjoint sets: estimated containment near zero.
+  EXPECT_LT(stats.estimated_containment, 0.15);
+}
+
+TEST(Session, StepBeforeHandshakeThrows) {
+  Fixture f;
+  Peer sender = f.make_peer("sender");
+  Peer receiver = f.make_peer("receiver");
+  sender.receive_encoded(f.origin.next());
+  SessionOptions options;
+  options.strategy = overlay::Strategy::kRandom;
+  InformedSession session(sender, receiver, options);
+  EXPECT_THROW(session.step(), std::logic_error);
+}
+
+TEST(Session, ArtSummaryWorksAsBloomAlternative) {
+  Fixture f;
+  Peer sender = f.make_peer("sender");
+  Peer receiver = f.make_peer("receiver");
+  for (int i = 0; i < 220; ++i) sender.receive_encoded(f.origin.next());
+  for (int i = 0; i < 150; ++i) receiver.receive_encoded(f.origin.next());
+
+  SessionOptions options;
+  options.strategy = overlay::Strategy::kRecodeBloom;
+  options.summary = SummaryKind::kArt;
+  options.requested_symbols = 200;
+  InformedSession session(sender, receiver, options);
+  session.run(500, 4000);
+  EXPECT_TRUE(receiver.has_content());
+  EXPECT_EQ(receiver.content(f.content.size()), f.content);
+}
+
+TEST(Session, BloomFilterPreventsRedundantTransmissions) {
+  Fixture f;
+  Peer sender = f.make_peer("sender");
+  Peer receiver = f.make_peer("receiver");
+  // Highly correlated: the sender holds everything the receiver holds plus
+  // 60 fresh symbols.
+  std::vector<codec::EncodedSymbol> shared;
+  for (int i = 0; i < 180; ++i) shared.push_back(f.origin.next());
+  for (const auto& s : shared) {
+    sender.receive_encoded(s);
+    receiver.receive_encoded(s);
+  }
+  for (int i = 0; i < 60; ++i) sender.receive_encoded(f.origin.next());
+
+  SessionOptions options;
+  options.strategy = overlay::Strategy::kRandomBloom;
+  InformedSession session(sender, receiver, options);
+  session.handshake();
+  for (int i = 0; i < 50; ++i) session.step();
+  // Every symbol sent comes from the ~60-symbol filtered domain, so none of
+  // the receiver's 180 held symbols is ever retransmitted. The memoryless
+  // sender does resend coupons: 50 draws from ~60 cover ~60(1 - e^{-5/6})
+  // ~ 34 distinct symbols.
+  EXPECT_GE(session.stats().symbols_useful, 25u);
+  EXPECT_EQ(session.stats().symbols_useful,
+            session.stats().new_encoded_symbols);
+}
+
+TEST(Admission, RejectsIdenticalContent) {
+  Fixture f;
+  Peer receiver = f.make_peer("receiver");
+  Peer twin = f.make_peer("twin");
+  Peer fresh = f.make_peer("fresh");
+  for (int i = 0; i < 150; ++i) {
+    const auto symbol = f.origin.next();
+    receiver.receive_encoded(symbol);
+    twin.receive_encoded(symbol);
+  }
+  for (int i = 0; i < 150; ++i) fresh.receive_encoded(f.origin.next());
+
+  const AdmissionPolicy policy;
+  const auto twin_decision = evaluate_candidate(
+      receiver.sketch(), receiver.symbol_count(),
+      CandidateSender{0, &twin.sketch(), twin.symbol_count()}, policy);
+  EXPECT_FALSE(twin_decision.admitted);
+  EXPECT_GT(twin_decision.resemblance, 0.95);
+
+  const auto fresh_decision = evaluate_candidate(
+      receiver.sketch(), receiver.symbol_count(),
+      CandidateSender{1, &fresh.sketch(), fresh.symbol_count()}, policy);
+  EXPECT_TRUE(fresh_decision.admitted);
+  EXPECT_GT(fresh_decision.novelty, 0.8);
+}
+
+TEST(Admission, SelectSendersRanksByNovelty) {
+  Fixture f;
+  Peer receiver = f.make_peer("receiver");
+  Peer overlapping = f.make_peer("overlapping");
+  Peer fresh = f.make_peer("fresh");
+  std::vector<codec::EncodedSymbol> pool;
+  for (int i = 0; i < 300; ++i) pool.push_back(f.origin.next());
+  for (int i = 0; i < 150; ++i) receiver.receive_encoded(pool[i]);
+  for (int i = 100; i < 250; ++i) overlapping.receive_encoded(pool[i]);
+  for (int i = 150; i < 300; ++i) fresh.receive_encoded(pool[i]);
+
+  const std::vector<CandidateSender> candidates{
+      {7, &overlapping.sketch(), overlapping.symbol_count()},
+      {9, &fresh.sketch(), fresh.symbol_count()},
+  };
+  const auto selected = select_senders(receiver.sketch(),
+                                       receiver.symbol_count(), candidates,
+                                       AdmissionPolicy{}, 2);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0], 9u);  // disjoint peer ranks first
+  EXPECT_EQ(selected[1], 7u);
+}
+
+TEST(Admission, GroupOverlapFromSketchesAlone) {
+  Fixture f;
+  Peer a = f.make_peer("a");
+  Peer b = f.make_peer("b");
+  for (int i = 0; i < 200; ++i) {
+    const auto symbol = f.origin.next();
+    a.receive_encoded(symbol);
+    b.receive_encoded(symbol);
+  }
+  const double same = estimate_group_overlap({&a.sketch(), &b.sketch()});
+  EXPECT_GT(same, 0.95);
+  Peer c = f.make_peer("c");
+  for (int i = 0; i < 200; ++i) c.receive_encoded(f.origin.next());
+  const double mixed = estimate_group_overlap(
+      {&a.sketch(), &b.sketch(), &c.sketch()});
+  EXPECT_LT(mixed, same);
+}
+
+}  // namespace
+}  // namespace icd::core

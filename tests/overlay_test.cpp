@@ -1,0 +1,322 @@
+// Tests for icd::overlay: scenario builders, nodes, strategies, and the
+// transfer harnesses that reproduce Section 6.3.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "overlay/node.hpp"
+#include "overlay/scenario.hpp"
+#include "overlay/sim_config.hpp"
+#include "overlay/strategy.hpp"
+#include "overlay/transfer.hpp"
+
+namespace icd::overlay {
+namespace {
+
+SimConfig small_config() {
+  SimConfig config;
+  config.n = 400;
+  config.seed = 9'000'001;
+  return config;
+}
+
+TEST(Scenario, PairRespectsPaperConstruction) {
+  util::Xoshiro256 rng(1);
+  const auto s = make_pair_scenario(1000, kCompactStretch, 0.2, rng);
+  EXPECT_EQ(s.distinct_symbols, 1100u);
+  // Receiver has half the distinct symbols.
+  EXPECT_EQ(s.receiver.size(), 550u);
+  // Sender has the other half plus correlated extras, capped at n.
+  EXPECT_GE(s.sender.size(), 550u);
+  EXPECT_LE(s.sender.size(), 1000u);
+  EXPECT_NEAR(s.correlation, 0.2, 0.01);
+
+  // The correlated extras really are receiver symbols.
+  const std::set<std::uint64_t> receiver_set(s.receiver.begin(),
+                                             s.receiver.end());
+  std::size_t shared = 0;
+  for (const auto id : s.sender) shared += receiver_set.contains(id);
+  EXPECT_NEAR(static_cast<double>(shared) / s.sender.size(), 0.2, 0.01);
+}
+
+TEST(Scenario, PairCapsSenderAtN) {
+  util::Xoshiro256 rng(2);
+  // Requested correlation 0.9 is infeasible in the compact scenario: the
+  // sender would exceed n symbols. Expect clamping to ~0.45.
+  const auto s = make_pair_scenario(1000, kCompactStretch, 0.9, rng);
+  EXPECT_LE(s.sender.size(), 1000u);
+  EXPECT_NEAR(s.correlation, 0.45, 0.01);
+}
+
+TEST(Scenario, PairCorrelationZeroMeansDisjoint) {
+  util::Xoshiro256 rng(3);
+  const auto s = make_pair_scenario(500, kStretchedStretch, 0.0, rng);
+  std::set<std::uint64_t> all(s.receiver.begin(), s.receiver.end());
+  for (const auto id : s.sender) {
+    EXPECT_TRUE(all.insert(id).second);  // no overlap
+  }
+  EXPECT_EQ(all.size(), s.distinct_symbols);
+}
+
+TEST(Scenario, MultiPeersShareAndOwnUniquely) {
+  util::Xoshiro256 rng(4);
+  const auto s = make_multi_scenario(1000, kCompactStretch, 0.3, 4, rng);
+  // Every peer has the same number of symbols.
+  for (const auto& sender : s.senders) {
+    EXPECT_EQ(sender.size(), s.receiver.size());
+  }
+  // Symbols are either in all peers or exactly one.
+  std::unordered_set<std::uint64_t> receiver_set(s.receiver.begin(),
+                                                 s.receiver.end());
+  std::size_t in_all = 0;
+  for (const auto id : s.receiver) {
+    bool everywhere = true;
+    for (const auto& sender : s.senders) {
+      if (std::find(sender.begin(), sender.end(), id) == sender.end()) {
+        everywhere = false;
+        break;
+      }
+    }
+    in_all += everywhere;
+  }
+  EXPECT_NEAR(static_cast<double>(in_all) / s.receiver.size(), 0.3, 0.05);
+  EXPECT_NEAR(s.correlation, 0.3, 0.05);
+}
+
+TEST(Scenario, MultiDistinctBudgetRespected) {
+  util::Xoshiro256 rng(5);
+  for (const double c : {0.0, 0.2, 0.4}) {
+    const auto s = make_multi_scenario(800, kStretchedStretch, c, 2, rng);
+    std::set<std::uint64_t> all(s.receiver.begin(), s.receiver.end());
+    for (const auto& sender : s.senders) {
+      all.insert(sender.begin(), sender.end());
+    }
+    EXPECT_LE(all.size(), s.distinct_symbols);
+    EXPECT_GE(all.size(), s.distinct_symbols - 3);  // rounding slack
+  }
+}
+
+TEST(ReceiverNode, CountsDistinctSymbols) {
+  const SimConfig config = small_config();
+  ReceiverNode node({1, 2, 3}, 1000, config);
+  EXPECT_EQ(node.symbol_count(), 3u);
+  EXPECT_EQ(node.apply(Transmission{4, {}}), 1u);
+  EXPECT_EQ(node.apply(Transmission{4, {}}), 0u);  // duplicate
+  EXPECT_EQ(node.symbol_count(), 4u);
+}
+
+TEST(ReceiverNode, ResolvesRecodedSymbols) {
+  const SimConfig config = small_config();
+  ReceiverNode node({1, 2}, 1000, config);
+  // XOR(1, 5): receiver knows 1, recovers 5.
+  EXPECT_EQ(node.apply(Transmission{0, {1, 5}}), 1u);
+  EXPECT_TRUE(node.has(5));
+  // XOR(6, 7) buffers; then 6 arrives and 7 cascades.
+  EXPECT_EQ(node.apply(Transmission{0, {6, 7}}), 0u);
+  EXPECT_EQ(node.buffered_count(), 1u);
+  EXPECT_EQ(node.apply(Transmission{6, {}}), 2u);
+  EXPECT_TRUE(node.has(7));
+}
+
+TEST(ReceiverNode, SummariesCoverInitialSet) {
+  const SimConfig config = small_config();
+  std::vector<std::uint64_t> initial;
+  for (std::uint64_t i = 0; i < 200; ++i) initial.push_back(i);
+  ReceiverNode node(initial, 1000, config);
+  const auto bloom = node.make_bloom();
+  for (const auto id : initial) EXPECT_TRUE(bloom.contains(id));
+  const auto sketch = node.make_sketch();
+  const auto again = node.make_sketch();
+  EXPECT_EQ(sketch.minima(), again.minima());  // deterministic
+}
+
+TEST(SenderNode, RandomStrategySendsOwnSymbols) {
+  const SimConfig config = small_config();
+  SenderNode sender({10, 11, 12}, Strategy::kRandom, config);
+  util::Xoshiro256 rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const auto t = sender.produce(rng);
+    EXPECT_FALSE(t.is_recoded());
+    EXPECT_TRUE(t.id >= 10 && t.id <= 12);
+  }
+}
+
+TEST(SenderNode, BloomFilterRestrictsSendDomain) {
+  const SimConfig config = small_config();
+  std::vector<std::uint64_t> receiver_ids, sender_ids;
+  for (std::uint64_t i = 0; i < 300; ++i) receiver_ids.push_back(i);
+  for (std::uint64_t i = 150; i < 450; ++i) sender_ids.push_back(i);
+  ReceiverNode receiver(receiver_ids, 1000, config);
+  SenderNode sender(sender_ids, Strategy::kRandomBloom, config);
+  util::Xoshiro256 rng(7);
+  sender.install_bloom(receiver.make_bloom(), 0, rng);
+  // The filtered domain contains no receiver symbols (no false negatives),
+  // and most of the sender's fresh 150 (some lost to false positives).
+  for (const auto id : sender.send_domain()) {
+    EXPECT_GE(id, 300u);
+  }
+  EXPECT_GE(sender.send_domain().size(), 130u);
+}
+
+TEST(SenderNode, RecodeBloomRestrictsRecodeDomainToRequest) {
+  const SimConfig config = small_config();
+  std::vector<std::uint64_t> receiver_ids, sender_ids;
+  for (std::uint64_t i = 0; i < 300; ++i) receiver_ids.push_back(i);
+  for (std::uint64_t i = 300; i < 700; ++i) sender_ids.push_back(i);
+  ReceiverNode receiver(receiver_ids, 1000, config);
+  SenderNode sender(sender_ids, Strategy::kRecodeBloom, config);
+  util::Xoshiro256 rng(8);
+  sender.install_bloom(receiver.make_bloom(), 120, rng);
+  EXPECT_EQ(sender.recode_domain().size(), 120u);
+  // Transmissions only reference the restricted domain.
+  const std::set<std::uint64_t> domain(sender.recode_domain().begin(),
+                                       sender.recode_domain().end());
+  for (int i = 0; i < 50; ++i) {
+    const auto t = sender.produce(rng);
+    EXPECT_TRUE(t.is_recoded());
+    for (const auto id : t.constituents) EXPECT_TRUE(domain.contains(id));
+  }
+}
+
+TEST(SenderNode, RecodeDegreesRespectCap) {
+  const SimConfig config = small_config();
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 500; ++i) ids.push_back(i);
+  SenderNode sender(ids, Strategy::kRecode, config);
+  util::Xoshiro256 rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto t = sender.produce(rng);
+    EXPECT_GE(t.constituents.size(), 1u);
+    EXPECT_LE(t.constituents.size(), config.recode_degree_limit);
+  }
+}
+
+TEST(SenderNode, MinwiseEstimateRaisesDegrees) {
+  const SimConfig config = small_config();
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 500; ++i) ids.push_back(i);
+  util::Xoshiro256 rng(10);
+
+  SenderNode low(ids, Strategy::kRecodeMinwise, config);
+  low.install_containment_estimate(0.0);
+  SenderNode high(ids, Strategy::kRecodeMinwise, config);
+  high.install_containment_estimate(0.8);
+
+  double low_total = 0, high_total = 0;
+  for (int i = 0; i < 300; ++i) {
+    low_total += static_cast<double>(low.produce(rng).constituents.size());
+    high_total += static_cast<double>(high.produce(rng).constituents.size());
+  }
+  EXPECT_GT(high_total, low_total * 2.0);
+}
+
+TEST(FullSender, ProducesFreshDisjointIds) {
+  FullSender a(0), b(1);
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(ids.insert(a.produce().id).second);
+    EXPECT_TRUE(ids.insert(b.produce().id).second);
+  }
+}
+
+// --- End-to-end transfer shape checks (small n, single seed) --------------
+
+TEST(Transfer, PairCompletesForAllStrategies) {
+  const SimConfig config = small_config();
+  util::Xoshiro256 rng(11);
+  const auto scenario = make_pair_scenario(config.n, kCompactStretch, 0.1, rng);
+  for (const Strategy strategy : kAllStrategies) {
+    const auto result = run_pair_transfer(scenario, strategy, config);
+    EXPECT_TRUE(result.completed) << strategy_name(strategy);
+    EXPECT_GE(result.overhead(), 1.0) << strategy_name(strategy);
+    // Recoded cascades can overshoot the target by a few symbols.
+    EXPECT_GE(result.acquired, result.needed) << strategy_name(strategy);
+  }
+}
+
+TEST(Transfer, RecodeBloomBeatsRandomInCompactScenario) {
+  const SimConfig config = small_config();
+  util::Xoshiro256 rng(12);
+  const auto scenario =
+      make_pair_scenario(config.n, kCompactStretch, 0.3, rng);
+  const auto random = run_pair_transfer(scenario, Strategy::kRandom, config);
+  const auto recode_bf =
+      run_pair_transfer(scenario, Strategy::kRecodeBloom, config);
+  ASSERT_TRUE(random.completed);
+  ASSERT_TRUE(recode_bf.completed);
+  EXPECT_LT(recode_bf.overhead(), random.overhead());
+}
+
+TEST(Transfer, RandomOverheadGrowsWithCorrelation) {
+  const SimConfig config = small_config();
+  util::Xoshiro256 rng(13);
+  const auto low = run_pair_transfer(
+      make_pair_scenario(config.n, kCompactStretch, 0.0, rng),
+      Strategy::kRandom, config);
+  const auto high = run_pair_transfer(
+      make_pair_scenario(config.n, kCompactStretch, 0.4, rng),
+      Strategy::kRandom, config);
+  EXPECT_GT(high.overhead(), low.overhead());
+}
+
+TEST(Transfer, FullSenderSpeedupWithinBounds) {
+  const SimConfig config = small_config();
+  util::Xoshiro256 rng(14);
+  const auto scenario =
+      make_pair_scenario(config.n, kCompactStretch, 0.1, rng);
+  for (const Strategy strategy : kAllStrategies) {
+    const auto result =
+        run_pair_with_full_sender(scenario, strategy, config);
+    EXPECT_TRUE(result.completed) << strategy_name(strategy);
+    const double speedup = result.speedup();
+    // Adding any sender can't hurt (>= ~1) nor more than double (two equal
+    //-rate senders).
+    EXPECT_GE(speedup, 0.95) << strategy_name(strategy);
+    EXPECT_LE(speedup, 2.05) << strategy_name(strategy);
+  }
+}
+
+TEST(Transfer, MultiSenderRelativeRateScalesWithSenders) {
+  const SimConfig config = small_config();
+  util::Xoshiro256 rng(15);
+  const auto two = make_multi_scenario(config.n, kStretchedStretch, 0.1, 2, rng);
+  const auto four = make_multi_scenario(config.n, kStretchedStretch, 0.1, 4, rng);
+  const auto r2 = run_multi_transfer(two, Strategy::kRecodeBloom, config);
+  const auto r4 = run_multi_transfer(four, Strategy::kRecodeBloom, config);
+  ASSERT_TRUE(r2.completed);
+  ASSERT_TRUE(r4.completed);
+  EXPECT_GT(r4.speedup(), r2.speedup());
+  EXPECT_LE(r2.speedup(), 2.05);
+  EXPECT_LE(r4.speedup(), 4.1);
+}
+
+TEST(Transfer, IncompleteRunsReportHonestly) {
+  // A sender that cannot serve what the receiver needs: identical sets.
+  SimConfig config = small_config();
+  config.max_transmission_factor = 5;  // keep the cap cheap
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < config.n / 2; ++i) ids.push_back(i);
+  PairScenario scenario;
+  scenario.receiver = ids;
+  scenario.sender = ids;
+  scenario.distinct_symbols = ids.size();
+  scenario.correlation = 1.0;
+  const auto result = run_pair_transfer(scenario, Strategy::kRandom, config);
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.transmissions, result.needed * 5);
+}
+
+TEST(Transfer, DeterministicForFixedSeed) {
+  const SimConfig config = small_config();
+  util::Xoshiro256 rng(16);
+  const auto scenario =
+      make_pair_scenario(config.n, kCompactStretch, 0.2, rng);
+  const auto a = run_pair_transfer(scenario, Strategy::kRecode, config);
+  const auto b = run_pair_transfer(scenario, Strategy::kRecode, config);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+}
+
+}  // namespace
+}  // namespace icd::overlay

@@ -1,0 +1,292 @@
+// Tests for icd::reconcile: GF(p) arithmetic, polynomials, CPI exact
+// reconciliation, the exact baselines, and the unified facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "reconcile/cpi.hpp"
+#include "reconcile/gf.hpp"
+#include "reconcile/polynomial.hpp"
+#include "reconcile/reconciler.hpp"
+#include "reconcile/set_difference.hpp"
+#include "util/random.hpp"
+
+namespace icd::reconcile {
+namespace {
+
+std::vector<std::uint64_t> random_keys_below(std::size_t n,
+                                             std::uint64_t bound,
+                                             std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::set<std::uint64_t> keys;
+  while (keys.size() < n) keys.insert(rng.next_below(bound));
+  return {keys.begin(), keys.end()};
+}
+
+TEST(Fp, FieldAxiomsSpotCheck) {
+  const Fp a(123456789), b(987654321), c(555);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a + Fp(0), a);
+  EXPECT_EQ(a * Fp(1), a);
+  EXPECT_EQ(a - a, Fp(0));
+}
+
+TEST(Fp, ReductionWrapsModulus) {
+  EXPECT_EQ(Fp(Fp::kP), Fp(0));
+  EXPECT_EQ(Fp(Fp::kP + 5), Fp(5));
+  EXPECT_EQ(Fp(Fp::kP - 1) + Fp(1), Fp(0));
+}
+
+TEST(Fp, MultiplicationMatchesWideArithmetic) {
+  util::Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t x = rng.next_below(Fp::kP);
+    const std::uint64_t y = rng.next_below(Fp::kP);
+    const auto expected = static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(x) * y % Fp::kP);
+    EXPECT_EQ((Fp(x) * Fp(y)).value(), expected);
+  }
+}
+
+TEST(Fp, InverseIsMultiplicativeInverse) {
+  util::Xoshiro256 rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const Fp a(1 + rng.next_below(Fp::kP - 1));
+    EXPECT_EQ(a * a.inverse(), Fp(1));
+  }
+  EXPECT_THROW(Fp(0).inverse(), std::domain_error);
+}
+
+TEST(Fp, PowMatchesRepeatedMultiplication) {
+  const Fp base(7);
+  Fp acc(1);
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(Fp::pow(base, e), acc);
+    acc *= base;
+  }
+}
+
+TEST(Polynomial, FromRootsEvaluatesToZeroAtRoots) {
+  const std::vector<Fp> roots{Fp(3), Fp(17), Fp(123456)};
+  const auto poly = Polynomial::from_roots(roots);
+  EXPECT_EQ(poly.degree(), 3);
+  for (const Fp r : roots) EXPECT_TRUE(poly.eval(r).is_zero());
+  EXPECT_FALSE(poly.eval(Fp(4)).is_zero());
+}
+
+TEST(Polynomial, FromRootsIsMonic) {
+  const auto poly = Polynomial::from_roots({Fp(2), Fp(5)});
+  // (z-2)(z-5) = z^2 - 7z + 10.
+  EXPECT_EQ(poly.coefficient(2), Fp(1));
+  EXPECT_EQ(poly.coefficient(1), Fp(0) - Fp(7));
+  EXPECT_EQ(poly.coefficient(0), Fp(10));
+}
+
+TEST(Polynomial, MultiplicationMatchesRootConcatenation) {
+  const auto a = Polynomial::from_roots({Fp(1), Fp(2)});
+  const auto b = Polynomial::from_roots({Fp(3)});
+  const auto product = a * b;
+  const auto direct = Polynomial::from_roots({Fp(1), Fp(2), Fp(3)});
+  EXPECT_EQ(product.coefficients(), direct.coefficients());
+}
+
+TEST(Polynomial, ZeroAndAddition) {
+  EXPECT_TRUE(Polynomial::zero().is_zero());
+  EXPECT_EQ(Polynomial::zero().degree(), -1);
+  const auto p = Polynomial({Fp(1), Fp(2)});
+  const auto q = Polynomial({Fp(Fp::kP - 1), Fp(Fp::kP - 2)});
+  EXPECT_TRUE((p + q).is_zero());
+}
+
+TEST(Cpi, SketchEvaluatesCharacteristicPolynomial) {
+  const std::vector<std::uint64_t> keys{10, 20, 30};
+  const auto sketch = make_cpi_sketch(keys, 4);
+  ASSERT_EQ(sketch.evaluations.size(), 4u);
+  EXPECT_EQ(sketch.set_size, 3u);
+  const auto poly =
+      Polynomial::from_roots({Fp(10), Fp(20), Fp(30)});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(sketch.evaluations[i], poly.eval(cpi_evaluation_point(i)));
+  }
+}
+
+TEST(Cpi, RejectsOversizedKeys) {
+  EXPECT_THROW(make_cpi_sketch({kMaxCpiKey}, 2), std::invalid_argument);
+}
+
+TEST(Cpi, ReconcilesSymmetricDifference) {
+  // A and B share 200 keys; A has 7 extra, B has 5 extra.
+  const auto shared = random_keys_below(200, kMaxCpiKey, 3);
+  const auto a_extra = random_keys_below(7, kMaxCpiKey, 4);
+  const auto b_extra = random_keys_below(5, kMaxCpiKey, 5);
+  std::vector<std::uint64_t> a = shared, b = shared;
+  a.insert(a.end(), a_extra.begin(), a_extra.end());
+  b.insert(b.end(), b_extra.begin(), b_extra.end());
+
+  const auto sketch = make_cpi_sketch(a, 24);
+  const auto result = cpi_reconcile(b, sketch, 16);
+  ASSERT_TRUE(result.verified);
+  EXPECT_EQ(result.remote_only_count, 7u);
+  std::set<std::uint64_t> found(result.local_only.begin(),
+                                result.local_only.end());
+  EXPECT_EQ(found, std::set<std::uint64_t>(b_extra.begin(), b_extra.end()));
+}
+
+TEST(Cpi, IdenticalSetsVerifyWithEmptyDifference) {
+  const auto keys = random_keys_below(100, kMaxCpiKey, 6);
+  const auto sketch = make_cpi_sketch(keys, 12);
+  const auto result = cpi_reconcile(keys, sketch, 4);
+  EXPECT_TRUE(result.verified);
+  EXPECT_TRUE(result.local_only.empty());
+  EXPECT_EQ(result.remote_only_count, 0u);
+}
+
+TEST(Cpi, OneSidedDifference) {
+  // B is a strict superset of A.
+  auto a = random_keys_below(50, kMaxCpiKey, 7);
+  auto b = a;
+  const auto extra = random_keys_below(6, kMaxCpiKey, 8);
+  b.insert(b.end(), extra.begin(), extra.end());
+  const auto sketch = make_cpi_sketch(a, 20);
+  const auto result = cpi_reconcile(b, sketch, 10);
+  ASSERT_TRUE(result.verified);
+  EXPECT_EQ(result.remote_only_count, 0u);
+  EXPECT_EQ(result.local_only.size(), 6u);
+}
+
+TEST(Cpi, UndersizedBoundReportsUnverified) {
+  const auto shared = random_keys_below(50, kMaxCpiKey, 9);
+  auto a = shared, b = shared;
+  const auto a_extra = random_keys_below(10, kMaxCpiKey, 10);
+  const auto b_extra = random_keys_below(10, kMaxCpiKey, 11);
+  a.insert(a.end(), a_extra.begin(), a_extra.end());
+  b.insert(b.end(), b_extra.begin(), b_extra.end());
+  // Total discrepancy 20, but bound only allows 8.
+  const auto sketch = make_cpi_sketch(a, 12);
+  const auto result = cpi_reconcile(b, sketch, 8);
+  EXPECT_FALSE(result.verified);
+}
+
+TEST(Cpi, WireSizeScalesWithDiscrepancyNotSetSize) {
+  // The paper's point: O(d log u) bits regardless of |S_A|.
+  const auto small = make_cpi_sketch(random_keys_below(100, kMaxCpiKey, 12), 20);
+  const auto large = make_cpi_sketch(random_keys_below(5000, kMaxCpiKey, 13), 20);
+  EXPECT_EQ(small.wire_bytes(), large.wire_bytes());
+}
+
+TEST(SetDifference, WholeSetIsExact) {
+  auto a = random_keys_below(500, 1ULL << 62, 14);
+  auto b = a;
+  const auto extra = random_keys_below(30, 1ULL << 62, 15);
+  b.insert(b.end(), extra.begin(), extra.end());
+  const auto message = make_whole_set_message(a);
+  const auto diff = whole_set_difference(b, message);
+  EXPECT_EQ(std::set<std::uint64_t>(diff.begin(), diff.end()),
+            std::set<std::uint64_t>(extra.begin(), extra.end()));
+  EXPECT_EQ(message.wire_bytes(), 500 * 8 + 8u);
+}
+
+TEST(SetDifference, HashedSetExactUpToCollisions) {
+  auto a = random_keys_below(2000, 1ULL << 62, 16);
+  auto b = a;
+  const auto extra = random_keys_below(100, 1ULL << 62, 17);
+  b.insert(b.end(), extra.begin(), extra.end());
+  const auto message = make_hashed_set_message(a, 1ULL << 40);
+  const auto diff = hashed_set_difference(b, message);
+  // With h = 2^40 and 2000 elements, collisions are ~2000*100/2^40 ~ 0.
+  EXPECT_EQ(diff.size(), 100u);
+  // And the message is smaller than the whole set (40 vs 64 bits/element).
+  EXPECT_LT(message.wire_bytes(), make_whole_set_message(a).wire_bytes());
+}
+
+TEST(SetDifference, BloomNeverReportsFalseDifferences) {
+  // One-sided error: everything reported is certainly a difference.
+  auto a = random_keys_below(3000, 1ULL << 62, 18);
+  auto b = a;
+  const auto extra = random_keys_below(150, 1ULL << 62, 19);
+  b.insert(b.end(), extra.begin(), extra.end());
+  auto filter = filter::BloomFilter::with_bits_per_element(a.size(), 8.0);
+  filter.insert_all(a);
+  const std::set<std::uint64_t> truth(extra.begin(), extra.end());
+  const auto diff = bloom_set_difference(b, filter);
+  for (const auto key : diff) EXPECT_TRUE(truth.contains(key));
+  // And it finds most of them (fp ~ 2% at 8 bits/element).
+  EXPECT_GE(diff.size(), 135u);
+}
+
+class ReconcilerFacade : public ::testing::TestWithParam<Method> {};
+
+TEST_P(ReconcilerFacade, FindsMostDifferencesWithoutFalsePositives) {
+  const Method method = GetParam();
+  auto remote = random_keys_below(1500, kMaxCpiKey, 20);
+  auto local = remote;
+  const auto extra = random_keys_below(60, kMaxCpiKey, 21);
+  local.insert(local.end(), extra.begin(), extra.end());
+
+  ReconcileOptions options;
+  options.method = method;
+  options.cpi_max_discrepancy = 80;
+  const auto outcome = reconcile(local, remote, options);
+
+  const std::set<std::uint64_t> truth(extra.begin(), extra.end());
+  for (const auto key : outcome.local_minus_remote) {
+    EXPECT_TRUE(truth.contains(key)) << method_name(method);
+  }
+  // Exact methods find everything; approximate ones find most.
+  const std::size_t found = outcome.local_minus_remote.size();
+  if (method == Method::kWholeSet || method == Method::kHashedSet ||
+      method == Method::kCpi) {
+    EXPECT_EQ(found, 60u) << method_name(method);
+    EXPECT_TRUE(outcome.exact_method_verified);
+  } else {
+    EXPECT_GE(found, 40u) << method_name(method);
+  }
+  EXPECT_GT(outcome.summary_bytes, 0u);
+  EXPECT_EQ(outcome.summary_packets,
+            (outcome.summary_bytes + 1023) / 1024);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, ReconcilerFacade,
+                         ::testing::Values(Method::kWholeSet,
+                                           Method::kHashedSet,
+                                           Method::kBloomFilter, Method::kArt,
+                                           Method::kCpi));
+
+TEST(ReconcilerFacade, WireSizeOrdering) {
+  // For a small difference in a large set: CPI << Bloom/ART < hashed <
+  // whole set, the communication-complexity story of Section 5.
+  auto remote = random_keys_below(4000, kMaxCpiKey, 22);
+  auto local = remote;
+  const auto extra = random_keys_below(20, kMaxCpiKey, 23);
+  local.insert(local.end(), extra.begin(), extra.end());
+
+  const auto bytes = [&](Method m) {
+    ReconcileOptions options;
+    options.method = m;
+    options.cpi_max_discrepancy = 32;
+    return reconcile(local, remote, options).summary_bytes;
+  };
+  const auto cpi = bytes(Method::kCpi);
+  const auto bloom = bytes(Method::kBloomFilter);
+  const auto art = bytes(Method::kArt);
+  const auto hashed = bytes(Method::kHashedSet);
+  const auto whole = bytes(Method::kWholeSet);
+  EXPECT_LT(cpi, bloom);
+  EXPECT_LT(bloom, hashed);
+  EXPECT_LT(art, hashed);
+  EXPECT_LT(hashed, whole);
+}
+
+TEST(ReconcilerFacade, EmptyRemoteMeansEverythingIsDifference) {
+  ReconcileOptions options;
+  options.method = Method::kBloomFilter;
+  const std::vector<std::uint64_t> local{1, 2, 3};
+  const auto outcome = reconcile(local, {}, options);
+  EXPECT_EQ(outcome.local_minus_remote.size(), 3u);
+}
+
+}  // namespace
+}  // namespace icd::reconcile

@@ -1,0 +1,244 @@
+// Tests for icd::sketch: min-wise sketches and the sampling estimators of
+// Section 4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "sketch/minwise.hpp"
+#include "sketch/sampling.hpp"
+#include "util/packet.hpp"
+#include "util/random.hpp"
+
+namespace icd::sketch {
+namespace {
+
+constexpr std::uint64_t kUniverse = 1 << 20;
+
+/// Two sets with |A| = |B| = size and |A ∩ B| = shared.
+struct SetPair {
+  std::vector<std::uint64_t> a;
+  std::vector<std::uint64_t> b;
+  double true_resemblance;
+  double true_containment_b;  // |A ∩ B| / |B|
+};
+
+SetPair make_set_pair(std::size_t size, std::size_t shared,
+                      std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto ids =
+      util::sample_without_replacement(kUniverse, 2 * size - shared, rng);
+  SetPair pair;
+  // A = ids[0, size); B = ids[size - shared, 2 size - shared).
+  pair.a.assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(size));
+  pair.b.assign(ids.begin() + static_cast<std::ptrdiff_t>(size - shared),
+                ids.end());
+  pair.true_resemblance = static_cast<double>(shared) /
+                          static_cast<double>(2 * size - shared);
+  pair.true_containment_b =
+      static_cast<double>(shared) / static_cast<double>(size);
+  return pair;
+}
+
+TEST(MinwiseSketch, IdenticalSetsResembleCompletely) {
+  const auto pair = make_set_pair(500, 0, 1);
+  MinwiseSketch a(kUniverse), b(kUniverse);
+  a.update_all(pair.a);
+  b.update_all(pair.a);
+  EXPECT_DOUBLE_EQ(MinwiseSketch::resemblance(a, b), 1.0);
+}
+
+TEST(MinwiseSketch, DisjointSetsResembleRarely) {
+  const auto pair = make_set_pair(500, 0, 2);
+  MinwiseSketch a(kUniverse), b(kUniverse);
+  a.update_all(pair.a);
+  b.update_all(pair.b);
+  EXPECT_LT(MinwiseSketch::resemblance(a, b), 0.08);
+}
+
+TEST(MinwiseSketch, EmptySketchesResembleByConvention) {
+  MinwiseSketch a(kUniverse), b(kUniverse);
+  EXPECT_DOUBLE_EQ(MinwiseSketch::resemblance(a, b), 1.0);
+}
+
+TEST(MinwiseSketch, RequiresAtLeastOnePermutation) {
+  EXPECT_THROW(MinwiseSketch(kUniverse, 0), std::invalid_argument);
+}
+
+TEST(MinwiseSketch, IncompatibleSketchesThrow) {
+  MinwiseSketch a(kUniverse, 128), b(kUniverse, 64);
+  EXPECT_THROW(MinwiseSketch::resemblance(a, b), std::invalid_argument);
+  MinwiseSketch c(kUniverse, 128, /*seed=*/7);
+  EXPECT_THROW(MinwiseSketch::resemblance(a, c), std::invalid_argument);
+}
+
+TEST(MinwiseSketch, OrderOfUpdatesIrrelevant) {
+  auto keys = make_set_pair(300, 0, 3).a;
+  MinwiseSketch forward(kUniverse), backward(kUniverse);
+  forward.update_all(keys);
+  std::reverse(keys.begin(), keys.end());
+  backward.update_all(keys);
+  EXPECT_EQ(forward.minima(), backward.minima());
+}
+
+/// Property sweep: the estimator should track the true resemblance within
+/// the binomial standard error of 128/256 positions.
+struct ResemblancePoint {
+  std::size_t shared;
+  std::size_t permutations;
+};
+
+class MinwiseAccuracy : public ::testing::TestWithParam<ResemblancePoint> {};
+
+TEST_P(MinwiseAccuracy, EstimatesResemblance) {
+  const auto [shared, permutations] = GetParam();
+  constexpr std::size_t kSize = 1000;
+  const auto pair = make_set_pair(kSize, shared, 4 + shared);
+  MinwiseSketch a(kUniverse, permutations), b(kUniverse, permutations);
+  a.update_all(pair.a);
+  b.update_all(pair.b);
+  const double estimate = MinwiseSketch::resemblance(a, b);
+  const double r = pair.true_resemblance;
+  const double sigma =
+      std::sqrt(r * (1 - r) / static_cast<double>(permutations));
+  EXPECT_NEAR(estimate, r, 4 * sigma + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SharedFractionSweep, MinwiseAccuracy,
+    ::testing::Values(ResemblancePoint{0, 128}, ResemblancePoint{100, 128},
+                      ResemblancePoint{250, 128}, ResemblancePoint{500, 128},
+                      ResemblancePoint{750, 128}, ResemblancePoint{900, 128},
+                      ResemblancePoint{1000, 128}, ResemblancePoint{500, 256},
+                      ResemblancePoint{250, 64}));
+
+TEST(MinwiseSketch, UnionCombinationMatchesDirectSketch) {
+  // "The sketch for the union of A_F and B_F is easily found by taking the
+  // coordinate-wise minimum of v(A) and v(B)."
+  const auto pair = make_set_pair(400, 100, 5);
+  MinwiseSketch a(kUniverse), b(kUniverse), direct(kUniverse);
+  a.update_all(pair.a);
+  b.update_all(pair.b);
+  direct.update_all(pair.a);
+  direct.update_all(pair.b);
+  const auto combined = MinwiseSketch::combine_union(a, b);
+  EXPECT_EQ(combined.minima(), direct.minima());
+}
+
+TEST(MinwiseSketch, ThirdPeerOverlapViaUnion) {
+  // Estimate overlap of C with A ∪ B using only the three sketches.
+  util::Xoshiro256 rng(6);
+  const auto ids = util::sample_without_replacement(kUniverse, 3000, rng);
+  const std::vector<std::uint64_t> a(ids.begin(), ids.begin() + 1000);
+  const std::vector<std::uint64_t> b(ids.begin() + 500, ids.begin() + 1500);
+  // C straddles A ∪ B and fresh ids: |C ∩ (A∪B)| = 750 of 1500.
+  const std::vector<std::uint64_t> c(ids.begin() + 750, ids.begin() + 2250);
+  MinwiseSketch sa(kUniverse, 512), sb(kUniverse, 512), sc(kUniverse, 512);
+  sa.update_all(a);
+  sb.update_all(b);
+  sc.update_all(c);
+  const auto sab = MinwiseSketch::combine_union(sa, sb);
+  // |C ∩ (A∪B)| = 750, |C ∪ (A∪B)| = 1500 + 1500 - 750.
+  const double truth = 750.0 / 2250.0;
+  EXPECT_NEAR(MinwiseSketch::resemblance(sab, sc), truth, 0.08);
+}
+
+TEST(MinwiseSketch, SerializationRoundTrip) {
+  const auto pair = make_set_pair(200, 0, 7);
+  MinwiseSketch sketch(kUniverse);
+  sketch.update_all(pair.a);
+  const auto bytes = sketch.serialize();
+  const auto restored = MinwiseSketch::deserialize(bytes);
+  EXPECT_EQ(restored.minima(), sketch.minima());
+  EXPECT_EQ(restored.universe_size(), sketch.universe_size());
+}
+
+TEST(MinwiseSketch, DefaultSketchFitsOnePacket) {
+  // The paper's calling-card constraint: the sketch travels in one 1 KB
+  // packet.
+  MinwiseSketch sketch(kUniverse);
+  sketch.update(1);
+  EXPECT_LE(sketch.serialize().size(),
+            util::kPacketPayloadBytes + 24 /* header */);
+  EXPECT_EQ(sketch.permutation_count() * 8, 1024u);
+}
+
+TEST(ContainmentConversion, RoundTripsThroughResemblance) {
+  // Equal sizes: any containment in [0, 1] is feasible.
+  for (const double c : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    const double r = resemblance_from_containment(c, 1000, 1000);
+    EXPECT_NEAR(containment_from_resemblance(r, 1000, 1000), c, 1e-9);
+  }
+  // Unequal sizes: containment is capped at |A| / |B| (the intersection
+  // cannot exceed the smaller set).
+  for (const double c : {0.0, 0.1, 0.25, 0.5, 0.66}) {
+    const std::size_t size_a = 800, size_b = 1200;
+    const double r = resemblance_from_containment(c, size_a, size_b);
+    EXPECT_NEAR(containment_from_resemblance(r, size_a, size_b), c, 1e-9);
+  }
+}
+
+TEST(ContainmentConversion, KnownValues) {
+  // |A| = |B| = n, half shared: r = (n/2) / (3n/2) = 1/3, c = 1/2.
+  EXPECT_NEAR(containment_from_resemblance(1.0 / 3.0, 1000, 1000), 0.5, 1e-9);
+  // Identical sets.
+  EXPECT_NEAR(containment_from_resemblance(1.0, 1000, 1000), 1.0, 1e-9);
+  // Disjoint sets.
+  EXPECT_NEAR(containment_from_resemblance(0.0, 1000, 1000), 0.0, 1e-9);
+}
+
+TEST(RandomSample, EstimatesContainment) {
+  const auto pair = make_set_pair(2000, 1000, 8);
+  util::Xoshiro256 rng(9);
+  const RandomSample sample(pair.b, 128, rng);
+  const std::unordered_set<std::uint64_t> a_set(pair.a.begin(), pair.a.end());
+  // Fraction of B's samples found in A estimates |A ∩ B| / |B| = 0.5.
+  EXPECT_NEAR(sample.estimate_containment(a_set), 0.5, 0.15);
+}
+
+TEST(RandomSample, SampleSizeAndWireBudget) {
+  const auto pair = make_set_pair(500, 0, 10);
+  util::Xoshiro256 rng(11);
+  const RandomSample sample(pair.a, 128, rng);
+  EXPECT_EQ(sample.samples().size(), 128u);
+  EXPECT_EQ(sample.source_size(), 500u);
+  // 128 64-bit keys ~ 1 KB: the paper's "a 1KB packet can hold roughly 128
+  // keys".
+  EXPECT_LE(sample.wire_bytes(), 1040u);
+}
+
+TEST(RandomSample, EmptySourceThrows) {
+  util::Xoshiro256 rng(12);
+  EXPECT_THROW(RandomSample({}, 10, rng), std::invalid_argument);
+}
+
+TEST(ModKSample, SampleSizeScalesWithK) {
+  const auto pair = make_set_pair(4000, 0, 13);
+  const ModKSample s8(pair.a, 8);
+  const ModKSample s32(pair.a, 32);
+  EXPECT_NEAR(static_cast<double>(s8.samples().size()), 4000.0 / 8, 150.0);
+  EXPECT_NEAR(static_cast<double>(s32.samples().size()), 4000.0 / 32, 60.0);
+}
+
+TEST(ModKSample, EstimatesContainmentFromSamplesAlone) {
+  const auto pair = make_set_pair(4000, 2000, 14);
+  const ModKSample a(pair.a, 16);
+  const ModKSample b(pair.b, 16);
+  // |A ∩ B| / |B| = 0.5, estimated purely from the two small samples.
+  EXPECT_NEAR(ModKSample::estimate_containment(a, b), 0.5, 0.15);
+}
+
+TEST(ModKSample, MismatchedModuliThrow) {
+  const auto pair = make_set_pair(100, 0, 15);
+  const ModKSample a(pair.a, 8);
+  const ModKSample b(pair.b, 16);
+  EXPECT_THROW(ModKSample::estimate_containment(a, b), std::invalid_argument);
+}
+
+TEST(ModKSample, ZeroModulusThrows) {
+  EXPECT_THROW(ModKSample({1, 2, 3}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icd::sketch

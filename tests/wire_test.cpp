@@ -1,0 +1,200 @@
+// Tests for icd::wire: framed message serialization and the simulated
+// lossy channel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wire/channel.hpp"
+#include "wire/message.hpp"
+
+namespace icd::wire {
+namespace {
+
+TEST(WireMessage, HelloRoundTrip) {
+  const Hello hello{1234, 0xdeadbeefULL, 567};
+  const auto frame = encode_frame(hello);
+  const auto decoded = decode_frame(frame);
+  ASSERT_TRUE(std::holds_alternative<Hello>(decoded));
+  EXPECT_EQ(std::get<Hello>(decoded), hello);
+}
+
+TEST(WireMessage, RequestRoundTrip) {
+  const Request request{987654};
+  const auto decoded = decode_frame(encode_frame(request));
+  ASSERT_TRUE(std::holds_alternative<Request>(decoded));
+  EXPECT_EQ(std::get<Request>(decoded), request);
+}
+
+TEST(WireMessage, EncodedSymbolRoundTrip) {
+  EncodedSymbolMessage message;
+  message.symbol.id = 42;
+  message.symbol.payload = {1, 2, 3, 4, 5};
+  const auto decoded = decode_frame(encode_frame(message));
+  ASSERT_TRUE(std::holds_alternative<EncodedSymbolMessage>(decoded));
+  EXPECT_EQ(std::get<EncodedSymbolMessage>(decoded), message);
+}
+
+TEST(WireMessage, RecodedSymbolRoundTrip) {
+  RecodedSymbolMessage message;
+  message.symbol.constituents = {10, 20, 30};
+  message.symbol.payload = {9, 8};
+  const auto decoded = decode_frame(encode_frame(message));
+  ASSERT_TRUE(std::holds_alternative<RecodedSymbolMessage>(decoded));
+  EXPECT_EQ(std::get<RecodedSymbolMessage>(decoded), message);
+}
+
+TEST(WireMessage, SketchRoundTrip) {
+  sketch::MinwiseSketch sketch(1 << 20, 32);
+  sketch.update_all({1, 2, 3, 99});
+  const auto decoded = decode_frame(encode_frame(SketchMessage{sketch}));
+  ASSERT_TRUE(std::holds_alternative<SketchMessage>(decoded));
+  EXPECT_EQ(std::get<SketchMessage>(decoded).sketch.minima(),
+            sketch.minima());
+}
+
+TEST(WireMessage, BloomSummaryRoundTrip) {
+  auto filter = filter::BloomFilter::with_bits_per_element(100, 8.0);
+  for (std::uint64_t i = 0; i < 100; ++i) filter.insert(i * 7);
+  const auto decoded =
+      decode_frame(encode_frame(BloomSummaryMessage{filter}));
+  ASSERT_TRUE(std::holds_alternative<BloomSummaryMessage>(decoded));
+  const auto& restored = std::get<BloomSummaryMessage>(decoded).filter;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(restored.contains(i * 7));
+  }
+}
+
+TEST(WireMessage, ArtSummaryRoundTrip) {
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 300; ++i) keys.push_back(i * 1337);
+  const art::ReconciliationTree tree(keys);
+  const auto summary = art::ArtSummary::build(tree, 4.0, 4.0);
+  const auto decoded = decode_frame(encode_frame(ArtSummaryMessage{summary}));
+  ASSERT_TRUE(std::holds_alternative<ArtSummaryMessage>(decoded));
+  EXPECT_EQ(std::get<ArtSummaryMessage>(decoded).summary.total_bits(),
+            summary.total_bits());
+}
+
+TEST(WireMessage, TypeTagsAreStable) {
+  EXPECT_EQ(message_type(Hello{}), MessageType::kHello);
+  EXPECT_EQ(message_type(Request{}), MessageType::kRequest);
+  EXPECT_EQ(message_type(EncodedSymbolMessage{}),
+            MessageType::kEncodedSymbol);
+  EXPECT_EQ(message_type(RecodedSymbolMessage{}),
+            MessageType::kRecodedSymbol);
+}
+
+TEST(WireMessage, RejectsMalformedFrames) {
+  auto frame = encode_frame(Hello{1, 2, 3});
+  // Bad magic.
+  auto bad = frame;
+  bad[0] ^= 0xff;
+  EXPECT_THROW(decode_frame(bad), std::invalid_argument);
+  // Bad version.
+  bad = frame;
+  bad[2] = 99;
+  EXPECT_THROW(decode_frame(bad), std::invalid_argument);
+  // Unknown type.
+  bad = frame;
+  bad[3] = 200;
+  EXPECT_THROW(decode_frame(bad), std::invalid_argument);
+  // Truncation.
+  bad = frame;
+  bad.pop_back();
+  EXPECT_THROW(decode_frame(bad), std::invalid_argument);
+  // Trailing garbage.
+  bad = frame;
+  bad.push_back(0);
+  EXPECT_THROW(decode_frame(bad), std::invalid_argument);
+}
+
+TEST(WireMessage, StreamBatchesAndSplits) {
+  std::vector<Message> messages;
+  messages.emplace_back(Hello{10, 20, 30});
+  messages.emplace_back(Request{5});
+  EncodedSymbolMessage symbol;
+  symbol.symbol.id = 7;
+  symbol.symbol.payload = {0xaa};
+  messages.emplace_back(symbol);
+  const auto bytes = encode_stream(messages);
+  const auto decoded = decode_stream(bytes);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(std::get<Hello>(decoded[0]), (Hello{10, 20, 30}));
+  EXPECT_EQ(std::get<Request>(decoded[1]), (Request{5}));
+  EXPECT_EQ(std::get<EncodedSymbolMessage>(decoded[2]), symbol);
+}
+
+TEST(LossyChannel, DeliversInOrderWithoutLoss) {
+  LossyChannel channel(ChannelConfig{});
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(channel.send_message(Request{i}));
+  }
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(channel.pending());
+    EXPECT_EQ(std::get<Request>(channel.receive_message()).symbols_desired,
+              i);
+  }
+  EXPECT_FALSE(channel.pending());
+  EXPECT_EQ(channel.dropped(), 0u);
+}
+
+TEST(LossyChannel, DropsAtConfiguredRate) {
+  ChannelConfig config;
+  config.loss_rate = 0.3;
+  config.seed = 7;
+  LossyChannel channel(config);
+  constexpr std::size_t kFrames = 10000;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    channel.send_message(Request{i});
+  }
+  EXPECT_NEAR(static_cast<double>(channel.dropped()) / kFrames, 0.3, 0.03);
+  std::size_t delivered = 0;
+  while (channel.pending()) {
+    channel.receive();
+    ++delivered;
+  }
+  EXPECT_EQ(delivered + channel.dropped(), kFrames);
+}
+
+TEST(LossyChannel, RejectsOversizedFrames) {
+  ChannelConfig config;
+  config.mtu = 16;
+  LossyChannel channel(config);
+  EXPECT_FALSE(channel.send(std::vector<std::uint8_t>(17, 0)));
+  EXPECT_TRUE(channel.send(std::vector<std::uint8_t>(16, 0)));
+  EXPECT_EQ(channel.oversized(), 1u);
+}
+
+TEST(LossyChannel, ReordersButLosesNothing) {
+  ChannelConfig config;
+  config.reorder_rate = 0.5;
+  config.seed = 9;
+  LossyChannel channel(config);
+  constexpr std::uint64_t kFrames = 1000;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    channel.send_message(Request{i});
+  }
+  std::vector<bool> seen(kFrames, false);
+  std::size_t out_of_order = 0;
+  std::uint64_t previous = 0;
+  bool first = true;
+  while (channel.pending()) {
+    const auto v =
+        std::get<Request>(channel.receive_message()).symbols_desired;
+    seen[v] = true;
+    if (!first && v < previous) ++out_of_order;
+    previous = v;
+    first = false;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+  EXPECT_GT(out_of_order, 0u);
+}
+
+TEST(LossyChannel, ReceiveOnEmptyIsEmptyAndMessageThrows) {
+  LossyChannel channel(ChannelConfig{});
+  EXPECT_TRUE(channel.receive().empty());
+  EXPECT_THROW(channel.receive_message(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace icd::wire
