@@ -1,0 +1,183 @@
+// Wire and endpoint overhead measurements:
+//   1. frame encode/decode throughput for data and control messages,
+//   2. endpoint-session symbol rate versus the direct-call path (the cost
+//      of running the protocol through typed frames over a transport),
+//   3. bytes-on-wire per strategy for a standard partial-transfer session.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/endpoint.hpp"
+#include "core/origin.hpp"
+#include "core/peer.hpp"
+#include "core/session.hpp"
+#include "util/random.hpp"
+#include "wire/message.hpp"
+#include "wire/transport.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::vector<std::uint8_t> random_content(std::size_t size,
+                                         std::uint64_t seed) {
+  icd::util::Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> content(size);
+  for (auto& byte : content) byte = static_cast<std::uint8_t>(rng());
+  return content;
+}
+
+void bench_frame_throughput() {
+  icd::bench::print_header("frame encode/decode throughput");
+
+  constexpr std::size_t kPayload = 1024;
+  constexpr std::size_t kRounds = 50000;
+  icd::wire::EncodedSymbolMessage symbol;
+  symbol.symbol.id = 0x1234567890ULL;
+  symbol.symbol.payload.assign(kPayload, 0xab);
+
+  auto start = Clock::now();
+  std::size_t bytes = 0;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    bytes += icd::wire::encode_frame(symbol).size();
+  }
+  const double encode_s = seconds_since(start);
+
+  const auto frame = icd::wire::encode_frame(symbol);
+  start = Clock::now();
+  std::size_t decoded = 0;
+  for (std::size_t i = 0; i < kRounds; ++i) {
+    decoded += std::get<icd::wire::EncodedSymbolMessage>(
+                   icd::wire::decode_frame(frame))
+                   .symbol.payload.size();
+  }
+  const double decode_s = seconds_since(start);
+
+  std::printf("symbol frames (1 KB payload): encode %7.1f MB/s, "
+              "decode %7.1f MB/s\n",
+              static_cast<double>(bytes) / encode_s / 1e6,
+              static_cast<double>(decoded) / decode_s / 1e6);
+
+  icd::sketch::MinwiseSketch sketch(std::uint64_t{1} << 40, 128);
+  for (std::uint64_t i = 0; i < 1000; ++i) sketch.update(i * 9176);
+  const icd::wire::SketchMessage sketch_message{sketch};
+  constexpr std::size_t kControlRounds = 20000;
+  start = Clock::now();
+  bytes = 0;
+  for (std::size_t i = 0; i < kControlRounds; ++i) {
+    bytes += icd::wire::encode_frame(sketch_message).size();
+  }
+  const double control_s = seconds_since(start);
+  std::printf("sketch frames (128 minima):   encode %7.1f MB/s "
+              "(%zu bytes/frame)\n",
+              static_cast<double>(bytes) / control_s / 1e6,
+              icd::wire::encode_frame(sketch_message).size());
+}
+
+/// The direct-call baseline: what InformedSession did before the endpoint
+/// redesign — symbols handed straight from one Peer to the other with no
+/// serialization at all.
+std::size_t direct_transfer(icd::core::Peer& sender,
+                            icd::core::Peer& receiver, std::size_t target,
+                            std::size_t max_transmissions,
+                            std::uint64_t seed) {
+  icd::util::Xoshiro256 rng(seed);
+  const auto dist = icd::codec::DegreeDistribution::robust_soliton(
+                        std::max<std::size_t>(sender.symbol_count(), 2))
+                        .truncated(icd::codec::kDefaultRecodeDegreeLimit);
+  std::size_t sent = 0;
+  while (receiver.symbol_count() < target && !receiver.has_content() &&
+         sent < max_transmissions) {
+    receiver.receive_recoded(sender.recode(dist.sample(rng), rng));
+    ++sent;
+  }
+  return sent;
+}
+
+void bench_endpoint_overhead() {
+  icd::bench::print_header(
+      "endpoint session vs direct calls (Recode, 250-block file)");
+
+  constexpr std::size_t kBlocks = 250;
+  constexpr std::size_t kBlockSize = 256;
+  const auto content = random_content(kBlocks * kBlockSize, 99);
+  const auto dist = icd::codec::DegreeDistribution::robust_soliton(kBlocks);
+
+  for (const bool use_endpoints : {false, true}) {
+    icd::core::OriginServer origin(content, kBlockSize, dist, 777);
+    icd::core::Peer sender("sender", origin.parameters(), dist);
+    icd::core::Peer receiver("receiver", origin.parameters(), dist);
+    for (int i = 0; i < 300; ++i) sender.receive_encoded(origin.next());
+    for (int i = 0; i < 100; ++i) receiver.receive_encoded(origin.next());
+
+    const auto start = Clock::now();
+    std::size_t sent = 0;
+    if (use_endpoints) {
+      icd::core::SessionOptions options;
+      options.strategy = icd::overlay::Strategy::kRecode;
+      icd::core::InformedSession session(sender, receiver, options);
+      session.run(/*target_symbols=*/2 * kBlocks, /*max_transmissions=*/4000);
+      sent = session.stats().symbols_sent;
+    } else {
+      sent = direct_transfer(sender, receiver, 2 * kBlocks, 4000, 0x5eed);
+    }
+    const double elapsed = seconds_since(start);
+    std::printf("%-18s %6zu symbols in %7.3f ms  (%8.0f symbols/s)  "
+                "decoded=%s\n",
+                use_endpoints ? "endpoints (pipe)" : "direct calls", sent,
+                elapsed * 1e3, static_cast<double>(sent) / elapsed,
+                receiver.has_content() ? "yes" : "no");
+  }
+}
+
+void bench_bytes_on_wire() {
+  icd::bench::print_header(
+      "bytes on wire per strategy (280/150 partial peers, 250 blocks)");
+  std::printf("%12s %9s %9s %12s %9s %9s\n", "strategy", "ctrl B",
+              "ctrl pkt", "data B", "symbols", "useful");
+
+  constexpr std::size_t kBlocks = 250;
+  constexpr std::size_t kBlockSize = 256;
+  const auto content = random_content(kBlocks * kBlockSize, 7);
+  const auto dist = icd::codec::DegreeDistribution::robust_soliton(kBlocks);
+
+  for (const auto strategy : icd::overlay::kAllStrategies) {
+    icd::core::OriginServer origin(content, kBlockSize, dist, 777);
+    icd::core::Peer sender("sender", origin.parameters(), dist);
+    icd::core::Peer receiver("receiver", origin.parameters(), dist);
+    for (int i = 0; i < 280; ++i) sender.receive_encoded(origin.next());
+    for (int i = 0; i < 150; ++i) receiver.receive_encoded(origin.next());
+
+    icd::core::SessionOptions options;
+    options.strategy = strategy;
+    // The receiver needs ~350 more symbols for the 500 target; request with
+    // the usual 25% decoding-overhead allowance.
+    options.requested_symbols = 440;
+    icd::core::InformedSession session(sender, receiver, options);
+    session.run(/*target_symbols=*/500, /*max_transmissions=*/4000);
+
+    const auto& stats = session.stats();
+    const auto& tx = session.sender_transport().stats();
+    const auto& rx = session.receiver_transport().stats();
+    std::printf("%12s %9zu %9zu %12zu %9zu %9zu\n",
+                std::string(icd::overlay::strategy_name(strategy)).c_str(),
+                stats.control_bytes, stats.control_packets,
+                tx.data_bytes_sent + rx.data_bytes_sent, stats.symbols_sent,
+                stats.symbols_useful);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench_frame_throughput();
+  bench_endpoint_overhead();
+  bench_bytes_on_wire();
+  return 0;
+}

@@ -53,6 +53,13 @@ void ContentDeliveryService::refresh_sessions() {
   // to max_peer_sessions downloads from admission-ranked senders.
   for (std::size_t me = 0; me < peers_.size(); ++me) {
     PeerEntry& entry = peers_[me];
+    // Graceful teardown (mirrors the simulator's reconfigure): deliver
+    // frames still in flight, then bank the wire costs of the links about
+    // to be retired so cumulative accounting (link_totals) survives.
+    for (auto& [sender_id, download] : entry.downloads) {
+      download->receiver.tick();
+      accumulate_link(*download, retired_link_totals_);
+    }
     entry.downloads.clear();
     if (entry.peer->has_content()) continue;
 
@@ -62,9 +69,24 @@ void ContentDeliveryService::refresh_sessions() {
       candidates.push_back(CandidateSender{
           j, &peers_[j].peer->sketch(), peers_[j].peer->symbol_count()});
     }
-    const auto selected = select_senders(
+    auto selected = select_senders(
         entry.peer->sketch(), entry.peer->symbol_count(), candidates,
         options_.admission, options_.max_peer_sessions);
+    // Starvation fallback: admission exists to skip identical-content
+    // senders, but near the end of a download every candidate looks
+    // near-identical (resemblance above the cutoff) while still holding
+    // the few novel symbols the peer needs to finish. An incomplete peer
+    // connects to the largest candidate rather than stalling forever —
+    // unless peer sessions are disabled outright (max_peer_sessions 0).
+    if (selected.empty() && !candidates.empty() &&
+        options_.max_peer_sessions > 0) {
+      const auto best = std::max_element(
+          candidates.begin(), candidates.end(),
+          [](const CandidateSender& a, const CandidateSender& b) {
+            return a.working_set_size < b.working_set_size;
+          });
+      selected.push_back(best->id);
+    }
 
     const std::size_t target = static_cast<std::size_t>(
         1.07 * static_cast<double>(parameters().block_count));
@@ -77,10 +99,15 @@ void ContentDeliveryService::refresh_sessions() {
           1, (needed * 5 / 4) / std::max<std::size_t>(1, selected.size()));
       session_options.seed = next_session_seed_ =
           util::mix64(next_session_seed_);
-      auto session = std::make_unique<InformedSession>(
-          *peers_[j].peer, *entry.peer, session_options);
-      session->handshake();
-      entry.downloads.emplace(j, std::move(session));
+      const wire::ChannelConfig link_config = wire::resolve_edge_config(
+          options_.link_config, options_.link, j, me,
+          util::mix64(next_session_seed_ ^ 0x11aacULL));
+      auto download = std::make_unique<DownloadLink>(
+          *peers_[j].peer, *entry.peer, session_options, link_config);
+      // The handshake itself flows over the (possibly lossy) link and
+      // completes across subsequent ticks.
+      download->receiver.start();
+      entry.downloads.emplace(j, std::move(download));
     }
   }
 }
@@ -92,16 +119,29 @@ std::size_t ContentDeliveryService::tick() {
   ++ticks_;
 
   std::size_t completed_now = 0;
+  // Once transfer starts, drain the receive side of each link only on
+  // alternate ticks: letting two data frames share the channel queue
+  // between drains is what makes a link's reorder_rate actually swap
+  // adjacent frames (the same alternate-drain rule as the overlay
+  // simulator). During the handshake the receiver ticks every time — its
+  // retry clock counts quiet ticks, and halving it could push the retry
+  // past a short refresh_interval, starving lossy links.
+  const bool drain_tick = (ticks_ % 2) == 0;
   for (PeerEntry& entry : peers_) {
     if (entry.peer->has_content()) continue;
     // Origin feed: one fresh symbol per tick for subscribers.
     if (entry.origin_fed) {
       entry.peer->receive_encoded(origins_[entry.origin_index]->next());
     }
-    // One symbol from each active download session.
-    for (auto& [sender_id, session] : entry.downloads) {
+    // One symbol from each active download link: the serving endpoint
+    // answers handshakes and streams, the receiving endpoint absorbs.
+    for (auto& [sender_id, download] : entry.downloads) {
       if (entry.peer->has_content()) break;
-      session->step();
+      download->sender.tick();
+      download->sender.send_symbol();
+      if (drain_tick || !download->receiver.transfer_started()) {
+        download->receiver.tick();
+      }
     }
     if (entry.peer->has_content()) ++completed_now;
   }
@@ -122,6 +162,37 @@ bool ContentDeliveryService::run(std::size_t max_ticks) {
 std::vector<std::uint8_t> ContentDeliveryService::peer_content(
     std::size_t id) const {
   return peers_.at(id).peer->content(content_.size());
+}
+
+void ContentDeliveryService::accumulate_link(const DownloadLink& download,
+                                             LinkTotals& totals) {
+  for (const wire::Transport* transport :
+       {&download.sender.transport(), &download.receiver.transport()}) {
+    const auto& stats = transport->stats();
+    totals.control_bytes += stats.control_bytes_sent;
+    totals.control_frames += stats.control_frames_sent;
+    totals.data_bytes += stats.data_bytes_sent;
+    totals.data_frames += stats.data_frames_sent;
+    totals.frames_refused += stats.frames_refused;
+  }
+}
+
+ContentDeliveryService::LinkTotals
+ContentDeliveryService::active_link_totals() const {
+  LinkTotals totals;
+  for (const PeerEntry& entry : peers_) {
+    for (const auto& [sender_id, download] : entry.downloads) {
+      accumulate_link(*download, totals);
+    }
+  }
+  return totals;
+}
+
+ContentDeliveryService::LinkTotals ContentDeliveryService::link_totals()
+    const {
+  LinkTotals totals = retired_link_totals_;
+  totals += active_link_totals();
+  return totals;
 }
 
 }  // namespace icd::core

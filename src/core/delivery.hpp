@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -8,18 +9,21 @@
 #include <vector>
 
 #include "core/admission.hpp"
+#include "core/endpoint.hpp"
 #include "core/origin.hpp"
 #include "core/peer.hpp"
-#include "core/session.hpp"
+#include "wire/transport.hpp"
 
 /// ContentDeliveryService: the application-level entry point.
 ///
 /// Owns one piece of content, any number of origin mirrors, and a registry
 /// of peers; each service "tick" advances every download by one round —
 /// origins stream fresh symbols to their subscribers, and peer-to-peer
-/// sessions (formed via sketch-based admission control, re-formed on
-/// demand) move filtered/recoded symbols across the overlay. This is the
-/// façade a downstream application would embed; the lower-level pieces
+/// endpoint sessions (formed via sketch-based admission control, re-formed
+/// on demand) move filtered/recoded symbols across the overlay. Every
+/// peer-to-peer download runs over its own bidirectional ChannelLink, so
+/// scenarios can shape each edge with loss, reordering and an MTU. This is
+/// the façade a downstream application would embed; the lower-level pieces
 /// remain available for custom architectures.
 namespace icd::core {
 
@@ -34,6 +38,15 @@ struct DeliveryOptions {
   /// Re-run admission control and rebuild sessions every this many ticks.
   std::size_t refresh_interval = 50;
   AdmissionPolicy admission;
+  /// Channel shaping (loss, reorder, MTU) applied to every peer-to-peer
+  /// link. Perfect by default. An unset seed is replaced with a fresh
+  /// per-link draw to decorrelate links; an explicit seed is honored
+  /// verbatim.
+  wire::ChannelConfig link;
+  /// Optional per-edge override: (sender_id, receiver_id) -> config. When
+  /// set it replaces `link` for that edge; the unset-seed rule above
+  /// applies to the returned config too.
+  std::function<wire::ChannelConfig(std::size_t, std::size_t)> link_config;
 };
 
 class ContentDeliveryService {
@@ -70,16 +83,60 @@ class ContentDeliveryService {
     return origins_.front()->parameters();
   }
 
+  /// Aggregate wire-level stats over download links.
+  struct LinkTotals {
+    std::size_t control_bytes = 0;
+    std::size_t control_frames = 0;
+    std::size_t data_bytes = 0;
+    std::size_t data_frames = 0;
+    /// Frames the transports refused to carry (MTU too small to fit even
+    /// one fragment). Nonzero while nothing completes means the link
+    /// config, not the protocol, is blocking delivery.
+    std::size_t frames_refused = 0;
+
+    LinkTotals& operator+=(const LinkTotals& other) {
+      control_bytes += other.control_bytes;
+      control_frames += other.control_frames;
+      data_bytes += other.data_bytes;
+      data_frames += other.data_frames;
+      frames_refused += other.frames_refused;
+      return *this;
+    }
+  };
+  /// Stats over currently active links only; resets to near zero after
+  /// every refresh_interval teardown. Use link_totals() for cumulative
+  /// cost accounting.
+  LinkTotals active_link_totals() const;
+  /// Cumulative wire-level stats over the whole delivery: links retired by
+  /// session refreshes plus the currently active ones. Monotonic across
+  /// ticks.
+  LinkTotals link_totals() const;
+
  private:
+  /// One admitted download: a lossy bidirectional link plus the endpoint
+  /// pair driving the protocol over it (sender side = link.a()).
+  struct DownloadLink {
+    DownloadLink(Peer& sender, Peer& receiver, const SessionOptions& options,
+                 wire::ChannelConfig config)
+        : link(config), sender(sender, options, link.a()),
+          receiver(receiver, options, link.b()) {}
+
+    wire::ChannelLink link;
+    SenderEndpoint sender;
+    ReceiverEndpoint receiver;
+  };
+
   struct PeerEntry {
     std::unique_ptr<Peer> peer;
     bool origin_fed = false;
     std::size_t origin_index = 0;
-    /// Active download sessions, keyed by the serving peer id.
-    std::map<std::size_t, std::unique_ptr<InformedSession>> downloads;
+    /// Active downloads, keyed by the serving peer id.
+    std::map<std::size_t, std::unique_ptr<DownloadLink>> downloads;
   };
 
   void refresh_sessions();
+  static void accumulate_link(const DownloadLink& download,
+                              LinkTotals& totals);
 
   std::vector<std::uint8_t> content_;
   DeliveryOptions options_;
@@ -87,6 +144,8 @@ class ContentDeliveryService {
   std::vector<PeerEntry> peers_;
   std::size_t ticks_ = 0;
   std::uint64_t next_session_seed_;
+  /// Wire stats of links already torn down by refresh_sessions().
+  LinkTotals retired_link_totals_;
 };
 
 }  // namespace icd::core

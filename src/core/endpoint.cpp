@@ -1,0 +1,271 @@
+#include "core/endpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "reconcile/set_difference.hpp"
+
+namespace icd::core {
+
+namespace {
+
+codec::DegreeDistribution make_recode_distribution(std::size_t domain_size,
+                                                   std::size_t cap) {
+  return codec::DegreeDistribution::robust_soliton(
+             std::max<std::size_t>(domain_size, 2))
+      .truncated(cap);
+}
+
+}  // namespace
+
+// --- ReceiverEndpoint ------------------------------------------------------
+
+ReceiverEndpoint::ReceiverEndpoint(Peer& peer, SessionOptions options,
+                                   wire::Transport& transport)
+    : peer_(peer), options_(options), transport_(transport) {}
+
+void ReceiverEndpoint::start() {
+  started_ = true;
+  phase_ = EndpointPhase::kEstimate;
+  send_bundle();
+}
+
+void ReceiverEndpoint::send_bundle() {
+  const auto& params = peer_.parameters();
+  transport_.send(wire::Hello{params.block_count, params.session_seed,
+                              peer_.symbol_count()});
+  transport_.send(wire::SketchMessage{peer_.sketch()});
+  if (strategy_uses_bloom(options_.strategy)) {
+    if (!summary_cache_) {
+      if (options_.summary == SummaryKind::kBloomFilter) {
+        summary_cache_ = wire::BloomSummaryMessage{
+            peer_.bloom_summary(options_.bloom_bits_per_element)};
+      } else {
+        summary_cache_ = wire::ArtSummaryMessage{
+            peer_.art_summary(options_.art_leaf_bits_per_element,
+                              options_.art_internal_bits_per_element)};
+      }
+    }
+    transport_.send(*summary_cache_);
+  }
+  // The Request closes the bundle: the sender replies only once it has
+  // everything, so a re-sent Request re-triggers the reply.
+  transport_.send(wire::Request{options_.requested_symbols});
+}
+
+std::size_t ReceiverEndpoint::tick() {
+  if (!started_) {
+    throw std::logic_error("ReceiverEndpoint::tick before start");
+  }
+  std::size_t gained = 0;
+  while (auto message = transport_.receive()) {
+    if (auto* hello = std::get_if<wire::Hello>(&*message)) {
+      if (hello->block_count != peer_.parameters().block_count ||
+          hello->session_seed != peer_.parameters().session_seed) {
+        throw std::invalid_argument(
+            "ReceiverEndpoint: sender uses a different code");
+      }
+      sender_hello_ = *hello;
+    } else if (auto* sketch = std::get_if<wire::SketchMessage>(&*message)) {
+      // Buffered: a reordered link can deliver the sketch before the
+      // Hello that carries the working-set size the estimate needs.
+      sender_sketch_ = std::move(sketch->sketch);
+    } else if (auto* encoded =
+                   std::get_if<wire::EncodedSymbolMessage>(&*message)) {
+      const std::size_t got = peer_.receive_encoded(encoded->symbol);
+      ++symbols_received_;
+      if (got > 0) ++symbols_useful_;
+      new_encoded_symbols_ += got;
+      gained += got;
+    } else if (auto* recoded =
+                   std::get_if<wire::RecodedSymbolMessage>(&*message)) {
+      const std::size_t got = peer_.receive_recoded(recoded->symbol);
+      ++symbols_received_;
+      if (got > 0) ++symbols_useful_;
+      new_encoded_symbols_ += got;
+      gained += got;
+    }
+    // Anything else (stray Request/summary echoes) is ignored.
+  }
+
+  if (sender_hello_ && sender_sketch_) {
+    if (!containment_estimated_) {
+      const double resemblance = sketch::MinwiseSketch::resemblance(
+          peer_.sketch(), *sender_sketch_);
+      estimated_containment_ = sketch::containment_from_resemblance(
+          resemblance, peer_.symbol_count(), sender_hello_->working_set_size);
+      containment_estimated_ = true;
+    }
+    phase_ = EndpointPhase::kTransfer;
+  }
+
+  // Request/retry path: until the sender's reply lands, re-send the whole
+  // bundle periodically — any piece of it may have been lost. The clock
+  // deliberately ignores arriving traffic: symbols can already be
+  // streaming while the (lost) reply is what keeps us out of kTransfer.
+  if (phase_ != EndpointPhase::kTransfer &&
+      ++quiet_ticks_ >= options_.handshake_retry_ticks) {
+    quiet_ticks_ = 0;
+    ++handshake_retries_;
+    send_bundle();
+  }
+  return gained;
+}
+
+// --- SenderEndpoint --------------------------------------------------------
+
+SenderEndpoint::SenderEndpoint(Peer& peer, SessionOptions options,
+                               wire::Transport& transport)
+    : peer_(peer), options_(options), transport_(transport),
+      rng_(options.seed),
+      recode_distribution_(make_recode_distribution(
+          peer.symbol_count(), options.recode_degree_limit)) {}
+
+bool SenderEndpoint::bundle_complete() const {
+  if (!receiver_hello_ || !receiver_sketch_ || !request_seen_) return false;
+  if (strategy_uses_bloom(options_.strategy) && !receiver_bloom_ &&
+      !receiver_art_) {
+    return false;
+  }
+  return true;
+}
+
+void SenderEndpoint::tick() {
+  while (auto message = transport_.receive()) {
+    if (auto* hello = std::get_if<wire::Hello>(&*message)) {
+      if (hello->block_count != peer_.parameters().block_count ||
+          hello->session_seed != peer_.parameters().session_seed) {
+        throw std::invalid_argument(
+            "SenderEndpoint: receiver uses a different code");
+      }
+      receiver_hello_ = *hello;
+    } else if (auto* sketch = std::get_if<wire::SketchMessage>(&*message)) {
+      receiver_sketch_ = sketch->sketch;
+    } else if (auto* bloom =
+                   std::get_if<wire::BloomSummaryMessage>(&*message)) {
+      receiver_bloom_ = bloom->filter;
+    } else if (auto* art = std::get_if<wire::ArtSummaryMessage>(&*message)) {
+      receiver_art_ = art->summary;
+    } else if (auto* request = std::get_if<wire::Request>(&*message)) {
+      symbols_desired_ = request->symbols_desired;
+      request_seen_ = true;
+      reply_due_ = true;  // each (re)sent bundle earns a reply
+    }
+  }
+
+  if (!bundle_complete()) {
+    if (receiver_hello_ || receiver_sketch_) {
+      phase_ = strategy_uses_bloom(options_.strategy)
+                   ? EndpointPhase::kSummarize
+                   : EndpointPhase::kEstimate;
+    }
+    return;
+  }
+  if (phase_ != EndpointPhase::kTransfer) {
+    finish_handshake();
+  } else if (reply_due_) {
+    send_reply();
+  }
+  reply_due_ = false;
+}
+
+void SenderEndpoint::finish_handshake() {
+  using overlay::Strategy;
+
+  // Estimate: containment of the receiver's working set in ours.
+  const double resemblance = sketch::MinwiseSketch::resemblance(
+      *receiver_sketch_, peer_.sketch());
+  estimated_containment_ = sketch::containment_from_resemblance(
+      resemblance, receiver_hello_->working_set_size, peer_.symbol_count());
+
+  // Summarize: digest the Bloom/ART summary into the filtered domain.
+  if (strategy_uses_bloom(options_.strategy)) {
+    if (receiver_bloom_) {
+      domain_ =
+          reconcile::bloom_set_difference(peer_.symbol_ids(), *receiver_bloom_);
+    } else {
+      domain_ = art::find_local_differences(peer_.reconciliation_tree(),
+                                            *receiver_art_,
+                                            options_.art_correction);
+    }
+    // Recode/BF: restrict the recoding domain to the receiver's request
+    // ("we restrict the recoding domain to an appropriate small size").
+    if (options_.strategy == Strategy::kRecodeBloom && symbols_desired_ > 0 &&
+        domain_.size() > symbols_desired_) {
+      util::shuffle(domain_, rng_);
+      domain_.resize(symbols_desired_);
+      std::sort(domain_.begin(), domain_.end());
+    }
+    recode_distribution_ = make_recode_distribution(
+        std::max<std::size_t>(domain_.size(), 2), options_.recode_degree_limit);
+  } else {
+    recode_distribution_ = make_recode_distribution(
+        peer_.symbol_count(), options_.recode_degree_limit);
+  }
+
+  phase_ = EndpointPhase::kTransfer;
+  send_reply();
+}
+
+void SenderEndpoint::send_reply() {
+  const auto& params = peer_.parameters();
+  transport_.send(wire::Hello{params.block_count, params.session_seed,
+                              peer_.symbol_count()});
+  transport_.send(wire::SketchMessage{peer_.sketch()});
+}
+
+bool SenderEndpoint::send_symbol() {
+  using overlay::Strategy;
+  if (phase_ != EndpointPhase::kTransfer) return false;
+  // An empty working set has nothing to serve — every strategy below
+  // would otherwise throw from sampling/recoding over zero held symbols.
+  if (peer_.symbol_count() == 0) return false;
+
+  // A false from the transport means the frame could not be put on the
+  // wire at all (e.g. the MTU cannot fit even one fragment) — distinct
+  // from channel loss, which the transport reports as sent.
+  bool sent = false;
+  switch (options_.strategy) {
+    case Strategy::kRandom: {
+      const auto& ids = peer_.symbol_ids();
+      const std::uint64_t id = ids[rng_.next_below(ids.size())];
+      sent = transport_.send(wire::EncodedSymbolMessage{
+          codec::EncodedSymbol{id, peer_.symbol_payload(id)}});
+      break;
+    }
+    case Strategy::kRandomBloom: {
+      const auto& ids = domain_.empty() ? peer_.symbol_ids() : domain_;
+      const std::uint64_t id = ids[rng_.next_below(ids.size())];
+      sent = transport_.send(wire::EncodedSymbolMessage{
+          codec::EncodedSymbol{id, peer_.symbol_payload(id)}});
+      break;
+    }
+    case Strategy::kRecode:
+    case Strategy::kRecodeMinwise: {
+      std::size_t degree = recode_distribution_.sample(rng_);
+      if (options_.strategy == Strategy::kRecodeMinwise) {
+        degree = codec::minwise_recode_degree(degree, estimated_containment_,
+                                              options_.recode_degree_limit);
+      }
+      sent = transport_.send(
+          wire::RecodedSymbolMessage{peer_.recode(degree, rng_)});
+      break;
+    }
+    case Strategy::kRecodeBloom: {
+      const std::size_t degree = recode_distribution_.sample(rng_);
+      if (domain_.empty()) {
+        sent = transport_.send(
+            wire::RecodedSymbolMessage{peer_.recode(degree, rng_)});
+      } else {
+        sent = transport_.send(wire::RecodedSymbolMessage{
+            peer_.recode_from(domain_, degree, rng_)});
+      }
+      break;
+    }
+  }
+  if (!sent) return false;
+  ++symbols_sent_;
+  return true;
+}
+
+}  // namespace icd::core

@@ -1,0 +1,193 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/peer.hpp"
+#include "overlay/strategy.hpp"
+#include "util/random.hpp"
+#include "wire/transport.hpp"
+
+/// Message-driven protocol endpoints.
+///
+/// SenderEndpoint and ReceiverEndpoint are the two halves of the paper's
+/// informed-transfer protocol (Sections 3-6) as state machines that
+/// communicate *only* through wire::Message frames over a Transport:
+///
+///   handshake  — the receiver ships Hello + its min-wise sketch, the
+///                fine-grained summary its strategy calls for, and a
+///                symbols-desired Request;
+///   estimate   — the sender answers with its own Hello + sketch, and both
+///                sides turn resemblance into a containment estimate;
+///   summarize  — the sender digests the Bloom/ART summary into a filtered
+///                send/recoding domain;
+///   transfer   — the sender streams (re)coded symbols, the receiver's
+///                stacked decoders absorb them.
+///
+/// Because no call crosses the pair except via frames, the endpoints run
+/// identically over a perfect in-process Pipe and over a LossyChannel with
+/// loss and reordering: the receiver re-sends its handshake bundle until
+/// the sender's reply arrives (the Request/retry path), and symbol loss is
+/// absorbed by the fountain code itself. All control/data byte accounting
+/// is exact, measured from the encoded frames by the Transport.
+namespace icd::core {
+
+/// Which fine-grained summary the BF-flavored strategies ship.
+enum class SummaryKind { kBloomFilter, kArt };
+
+struct SessionOptions {
+  overlay::Strategy strategy = overlay::Strategy::kRecodeBloom;
+  SummaryKind summary = SummaryKind::kBloomFilter;
+  double bloom_bits_per_element = 8.0;
+  /// ART budget split and correction level (Table 4 defaults).
+  double art_leaf_bits_per_element = 4.0;
+  double art_internal_bits_per_element = 4.0;
+  int art_correction = 5;
+  /// Degree cap for recoded symbols.
+  std::size_t recode_degree_limit = codec::kDefaultRecodeDegreeLimit;
+  /// Number of symbols the receiver requests (0 = sender's full domain);
+  /// the Recode/BF recoding domain is restricted to this size.
+  std::size_t requested_symbols = 0;
+  /// Receiver re-sends its handshake bundle after this many quiet ticks
+  /// until the sender's reply lands (loss tolerance).
+  std::size_t handshake_retry_ticks = 8;
+  std::uint64_t seed = 0x5e5510a5eedULL;
+};
+
+struct SessionStats {
+  /// Control-plane cost, measured from the actual encoded frames the
+  /// transports carried (both directions): total bytes and frame count.
+  std::size_t control_bytes = 0;
+  std::size_t control_packets = 0;
+  /// Estimated containment |receiver ∩ sender| / |sender| from sketches.
+  double estimated_containment = 0.0;
+  /// Data-plane counters.
+  std::size_t symbols_sent = 0;
+  std::size_t symbols_useful = 0;  // yielded >= 1 new encoded symbol
+  std::size_t new_encoded_symbols = 0;
+};
+
+/// Protocol progress of one endpoint.
+enum class EndpointPhase : std::uint8_t {
+  kHandshake,  // nothing exchanged yet
+  kEstimate,   // sketches in flight / being compared
+  kSummarize,  // sender: waiting for or digesting the summary
+  kTransfer,   // symbols flowing
+};
+
+/// The downloading half. Drives the handshake (it speaks first) and feeds
+/// arriving symbols into its Peer's stacked decoders.
+class ReceiverEndpoint {
+ public:
+  /// The peer and transport must outlive the endpoint.
+  ReceiverEndpoint(Peer& peer, SessionOptions options,
+                   wire::Transport& transport);
+
+  /// Sends the handshake bundle (Hello, sketch, summary, Request). Must be
+  /// called once before tick().
+  void start();
+
+  /// Drains the transport, absorbs symbols, advances the state machine and
+  /// re-sends the handshake bundle on stall. Returns the number of new
+  /// encoded symbols gained this tick.
+  std::size_t tick();
+
+  EndpointPhase phase() const { return phase_; }
+  bool transfer_started() const { return phase_ == EndpointPhase::kTransfer; }
+  bool complete() const { return peer_.has_content(); }
+
+  /// Containment estimated from the sketch exchange (0 until estimated).
+  double estimated_containment() const { return estimated_containment_; }
+
+  Peer& peer() { return peer_; }
+  const Peer& peer() const { return peer_; }
+  const wire::Transport& transport() const { return transport_; }
+
+  /// Cumulative data-plane counters (symbol messages that arrived).
+  std::size_t symbols_received() const { return symbols_received_; }
+  std::size_t symbols_useful() const { return symbols_useful_; }
+  std::size_t new_encoded_symbols() const { return new_encoded_symbols_; }
+  /// Handshake bundle (re)transmissions after the first.
+  std::size_t handshake_retries() const { return handshake_retries_; }
+
+ private:
+  void send_bundle();
+
+  Peer& peer_;
+  SessionOptions options_;
+  wire::Transport& transport_;
+  EndpointPhase phase_ = EndpointPhase::kHandshake;
+  bool started_ = false;
+  std::optional<wire::Hello> sender_hello_;
+  std::optional<sketch::MinwiseSketch> sender_sketch_;
+  /// Summary built on the first send_bundle(); handshake retries re-send
+  /// it instead of reconstructing it. The working set can grow during the
+  /// handshake (origin feed, concurrent links), so a retried summary may
+  /// be slightly stale — accepted: the sender only over-sends symbols the
+  /// receiver since acquired, exactly as with a loss-delayed summary.
+  std::optional<wire::Message> summary_cache_;
+  bool containment_estimated_ = false;
+  double estimated_containment_ = 0.0;
+  std::size_t quiet_ticks_ = 0;
+  std::size_t handshake_retries_ = 0;
+  std::size_t symbols_received_ = 0;
+  std::size_t symbols_useful_ = 0;
+  std::size_t new_encoded_symbols_ = 0;
+};
+
+/// The uploading half. Waits for the receiver's bundle, digests sketch and
+/// summary into a containment estimate and a filtered domain, then serves
+/// symbols under the configured strategy, one per send_symbol() call.
+class SenderEndpoint {
+ public:
+  /// The peer and transport must outlive the endpoint.
+  SenderEndpoint(Peer& peer, SessionOptions options,
+                 wire::Transport& transport);
+
+  /// Drains the transport and advances the handshake; replies to (re)sent
+  /// bundles with Hello + sketch.
+  void tick();
+
+  /// Sends one strategy-selected symbol if the handshake has completed.
+  /// Returns false (and sends nothing) before that.
+  bool send_symbol();
+
+  EndpointPhase phase() const { return phase_; }
+  bool transfer_active() const { return phase_ == EndpointPhase::kTransfer; }
+
+  double estimated_containment() const { return estimated_containment_; }
+  std::size_t symbols_sent() const { return symbols_sent_; }
+
+  /// Send/recoding domain after summary filtering (empty when the strategy
+  /// uses the whole working set).
+  const std::vector<std::uint64_t>& domain() const { return domain_; }
+
+  Peer& peer() { return peer_; }
+  const Peer& peer() const { return peer_; }
+  const wire::Transport& transport() const { return transport_; }
+
+ private:
+  bool bundle_complete() const;
+  void finish_handshake();
+  void send_reply();
+
+  Peer& peer_;
+  SessionOptions options_;
+  wire::Transport& transport_;
+  util::Xoshiro256 rng_;
+  EndpointPhase phase_ = EndpointPhase::kHandshake;
+  std::optional<wire::Hello> receiver_hello_;
+  std::optional<sketch::MinwiseSketch> receiver_sketch_;
+  std::optional<filter::BloomFilter> receiver_bloom_;
+  std::optional<art::ArtSummary> receiver_art_;
+  bool request_seen_ = false;
+  bool reply_due_ = false;
+  std::size_t symbols_desired_ = 0;
+  double estimated_containment_ = 0.0;
+  std::vector<std::uint64_t> domain_;
+  codec::DegreeDistribution recode_distribution_;
+  std::size_t symbols_sent_ = 0;
+};
+
+}  // namespace icd::core

@@ -1,142 +1,69 @@
 #include "core/session.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-
-#include "reconcile/set_difference.hpp"
-#include "util/packet.hpp"
 
 namespace icd::core {
 
-namespace {
-
-codec::DegreeDistribution make_recode_distribution(std::size_t domain_size,
-                                                   std::size_t cap) {
-  return codec::DegreeDistribution::robust_soliton(
-             std::max<std::size_t>(domain_size, 2))
-      .truncated(cap);
-}
-
-}  // namespace
-
 InformedSession::InformedSession(Peer& sender, Peer& receiver,
                                  SessionOptions options)
-    : sender_(sender), receiver_(receiver), options_(options),
-      rng_(options.seed),
-      recode_distribution_(make_recode_distribution(
-          sender.symbol_count(), options.recode_degree_limit)) {
+    : pipe_(kSessionPipeMtu),
+      sender_(sender, options, pipe_.a()),
+      receiver_(receiver, options, pipe_.b()) {
   if (!(sender.parameters() == receiver.parameters())) {
-    throw std::invalid_argument(
-        "InformedSession: peers use different codes");
+    throw std::invalid_argument("InformedSession: peers use different codes");
   }
 }
 
 void InformedSession::handshake() {
-  using overlay::Strategy;
-
-  // Phase 1: sketch exchange (both directions; one 1 KB packet each way).
-  const auto& receiver_sketch = receiver_.sketch();
-  const auto& sender_sketch = sender_.sketch();
-  stats_.control_bytes += receiver_sketch.serialize().size();
-  stats_.control_bytes += sender_sketch.serialize().size();
-  const double resemblance =
-      sketch::MinwiseSketch::resemblance(receiver_sketch, sender_sketch);
-  stats_.estimated_containment = sketch::containment_from_resemblance(
-      resemblance, receiver_.symbol_count(), sender_.symbol_count());
-
-  // Phase 2: fine-grained summary, for the strategies that use one.
-  if (strategy_uses_bloom(options_.strategy)) {
-    if (options_.summary == SummaryKind::kBloomFilter) {
-      const auto filter =
-          receiver_.bloom_summary(options_.bloom_bits_per_element);
-      stats_.control_bytes += filter.serialize().size();
-      domain_ = reconcile::bloom_set_difference(sender_.symbol_ids(), filter);
-    } else {
-      const auto summary =
-          receiver_.art_summary(options_.art_leaf_bits_per_element,
-                                options_.art_internal_bits_per_element);
-      stats_.control_bytes += summary.serialize().size();
-      domain_ = art::find_local_differences(sender_.reconciliation_tree(),
-                                            summary, options_.art_correction);
-    }
-    // Recode/BF: restrict the recoding domain to the receiver's request
-    // ("we restrict the recoding domain to an appropriate small size").
-    if (options_.strategy == Strategy::kRecodeBloom &&
-        options_.requested_symbols > 0 &&
-        domain_.size() > options_.requested_symbols) {
-      util::shuffle(domain_, rng_);
-      domain_.resize(options_.requested_symbols);
-      std::sort(domain_.begin(), domain_.end());
-    }
-    recode_distribution_ = make_recode_distribution(
-        std::max<std::size_t>(domain_.size(), 2),
-        options_.recode_degree_limit);
+  if (handshaken_) return;
+  receiver_.start();
+  // On a perfect pipe the whole exchange settles in one round trip; the
+  // bound only guards against a future transport that needs retries.
+  for (int i = 0; i < 64 && !receiver_.transfer_started(); ++i) {
+    sender_.tick();
+    receiver_.tick();
   }
-
-  stats_.control_packets = util::packets_for(stats_.control_bytes);
+  if (!receiver_.transfer_started()) {
+    throw std::logic_error("InformedSession: handshake did not converge");
+  }
   handshaken_ = true;
+  refresh_stats();
 }
 
 std::size_t InformedSession::step() {
-  using overlay::Strategy;
   if (!handshaken_) {
     throw std::logic_error("InformedSession::step before handshake");
   }
-
-  std::size_t gained = 0;
-  switch (options_.strategy) {
-    case Strategy::kRandom: {
-      const auto& ids = sender_.symbol_ids();
-      const std::uint64_t id = ids[rng_.next_below(ids.size())];
-      gained = receiver_.receive_encoded(
-          codec::EncodedSymbol{id, sender_.symbol_payload(id)});
-      break;
-    }
-    case Strategy::kRandomBloom: {
-      const auto& ids = domain_.empty() ? sender_.symbol_ids() : domain_;
-      const std::uint64_t id = ids[rng_.next_below(ids.size())];
-      gained = receiver_.receive_encoded(
-          codec::EncodedSymbol{id, sender_.symbol_payload(id)});
-      break;
-    }
-    case Strategy::kRecode:
-    case Strategy::kRecodeMinwise: {
-      std::size_t degree = recode_distribution_.sample(rng_);
-      if (options_.strategy == Strategy::kRecodeMinwise) {
-        degree = codec::minwise_recode_degree(degree,
-                                              stats_.estimated_containment,
-                                              options_.recode_degree_limit);
-      }
-      gained = receiver_.receive_recoded(sender_.recode(degree, rng_));
-      break;
-    }
-    case Strategy::kRecodeBloom: {
-      const std::size_t degree = recode_distribution_.sample(rng_);
-      if (domain_.empty()) {
-        gained = receiver_.receive_recoded(sender_.recode(degree, rng_));
-      } else {
-        gained = receiver_.receive_recoded(
-            sender_.recode_from(domain_, degree, rng_));
-      }
-      break;
-    }
-  }
-
-  ++stats_.symbols_sent;
-  if (gained > 0) ++stats_.symbols_useful;
-  stats_.new_encoded_symbols += gained;
+  sender_.tick();
+  sender_.send_symbol();
+  const std::size_t gained = receiver_.tick();
+  refresh_stats();
   return gained;
 }
 
 const SessionStats& InformedSession::run(std::size_t target_symbols,
                                          std::size_t max_transmissions) {
   if (!handshaken_) handshake();
-  while (receiver_.symbol_count() < target_symbols &&
-         !receiver_.has_content() &&
-         stats_.symbols_sent < max_transmissions) {
+  // Bound on attempts, not symbols_sent: a transport refusing frames
+  // (send_symbol() == false) must terminate the loop, not spin it.
+  std::size_t attempts = 0;
+  while (receiver_.peer().symbol_count() < target_symbols &&
+         !receiver_.peer().has_content() && attempts < max_transmissions) {
     step();
+    ++attempts;
   }
   return stats_;
+}
+
+void InformedSession::refresh_stats() {
+  const auto& a = pipe_.a().stats();
+  const auto& b = pipe_.b().stats();
+  stats_.control_bytes = a.control_bytes_sent + b.control_bytes_sent;
+  stats_.control_packets = a.control_frames_sent + b.control_frames_sent;
+  stats_.estimated_containment = receiver_.estimated_containment();
+  stats_.symbols_sent = sender_.symbols_sent();
+  stats_.symbols_useful = receiver_.symbols_useful();
+  stats_.new_encoded_symbols = receiver_.new_encoded_symbols();
 }
 
 }  // namespace icd::core

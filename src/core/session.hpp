@@ -1,18 +1,22 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
-#include <vector>
 
-#include "core/peer.hpp"
-#include "overlay/strategy.hpp"
-#include "util/random.hpp"
+#include "core/endpoint.hpp"
+#include "util/packet.hpp"
 
 /// An informed peer-to-peer transfer session (the full protocol of
-/// Sections 3-5 between two Peers, with real payloads):
+/// Sections 3-5 between two Peers, with real payloads).
 ///
-///   1. *Estimate* — the peers exchange min-wise sketches (one 1 KB packet
-///      each) and estimate working-set containment.
+/// This is a thin compatibility façade over a SenderEndpoint /
+/// ReceiverEndpoint pair wired back-to-back on a perfect in-process Pipe:
+/// the protocol itself runs entirely through wire::Message frames (see
+/// core/endpoint.hpp and DESIGN.md), so SessionStats reports *exact*
+/// control-plane costs measured from the encoded frames — including the
+/// packetization of summaries that exceed the paper's 1 KB packet MTU.
+///
+///   1. *Estimate* — the peers exchange min-wise sketches and estimate
+///      working-set containment.
 ///   2. *Summarize* — per the strategy, the receiver ships a Bloom filter
 ///      or ART summary of its working set.
 ///   3. *Transfer* — the sender streams symbols chosen by the strategy
@@ -20,45 +24,23 @@
 ///      absorb them.
 ///
 /// Control traffic flows once, at handshake ("we never send updates to our
-/// Bloom filter"), and all of it is accounted in 1 KB-packet units.
+/// Bloom filter"). Callers that need loss, reordering or per-link MTUs
+/// should drive the endpoints directly over a ChannelLink instead.
 namespace icd::core {
 
-/// Which fine-grained summary the BF-flavored strategies ship.
-enum class SummaryKind { kBloomFilter, kArt };
-
-struct SessionOptions {
-  overlay::Strategy strategy = overlay::Strategy::kRecodeBloom;
-  SummaryKind summary = SummaryKind::kBloomFilter;
-  double bloom_bits_per_element = 8.0;
-  /// ART budget split and correction level (Table 4 defaults).
-  double art_leaf_bits_per_element = 4.0;
-  double art_internal_bits_per_element = 4.0;
-  int art_correction = 5;
-  /// Degree cap for recoded symbols.
-  std::size_t recode_degree_limit = codec::kDefaultRecodeDegreeLimit;
-  /// Number of symbols the receiver requests (0 = sender's full domain);
-  /// the Recode/BF recoding domain is restricted to this size.
-  std::size_t requested_symbols = 0;
-  std::uint64_t seed = 0x5e5510a5eedULL;
-};
-
-struct SessionStats {
-  /// Control-plane bytes / 1 KB packets exchanged at handshake.
-  std::size_t control_bytes = 0;
-  std::size_t control_packets = 0;
-  /// Estimated containment |receiver ∩ sender| / |sender| from sketches.
-  double estimated_containment = 0.0;
-  /// Data-plane counters.
-  std::size_t symbols_sent = 0;
-  std::size_t symbols_useful = 0;  // yielded >= 1 new encoded symbol
-  std::size_t new_encoded_symbols = 0;
-};
+/// The façade pipe's MTU: the paper's 1 KB control packet.
+inline constexpr std::size_t kSessionPipeMtu = util::kPacketPayloadBytes;
 
 class InformedSession {
  public:
   /// Both peers must share code parameters. The session holds references;
   /// the peers must outlive it.
   InformedSession(Peer& sender, Peer& receiver, SessionOptions options);
+
+  /// The endpoints hold references into the session's pipe: copying or
+  /// moving would silently alias (then dangle) it.
+  InformedSession(const InformedSession&) = delete;
+  InformedSession& operator=(const InformedSession&) = delete;
 
   /// Runs the estimate + summarize phases. Must be called before step().
   void handshake();
@@ -75,16 +57,20 @@ class InformedSession {
 
   const SessionStats& stats() const { return stats_; }
 
+  /// The underlying protocol machinery, exposed for byte-level inspection
+  /// (frame observers, transport stats) and tests.
+  wire::Transport& sender_transport() { return pipe_.a(); }
+  wire::Transport& receiver_transport() { return pipe_.b(); }
+  const SenderEndpoint& sender_endpoint() const { return sender_; }
+  const ReceiverEndpoint& receiver_endpoint() const { return receiver_; }
+
  private:
-  Peer& sender_;
-  Peer& receiver_;
-  SessionOptions options_;
-  util::Xoshiro256 rng_;
+  void refresh_stats();
+
+  wire::Pipe pipe_;
+  SenderEndpoint sender_;
+  ReceiverEndpoint receiver_;
   bool handshaken_ = false;
-  /// Sender-side send/recode domain after summary filtering (empty when the
-  /// strategy uses the whole working set).
-  std::vector<std::uint64_t> domain_;
-  codec::DegreeDistribution recode_distribution_;
   SessionStats stats_;
 };
 

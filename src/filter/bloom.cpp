@@ -96,6 +96,18 @@ BloomFilter BloomFilter::deserialize(const std::vector<std::uint8_t>& bytes) {
   const std::size_t hashes = reader.varint();
   const std::uint64_t seed = reader.u64();
   const std::size_t inserted = reader.varint();
+  // Bound by what the payload can hold: a corrupt bit count must fail
+  // like a truncation, not attempt a giant allocation (and bits near
+  // 2^64 must not overflow the word computation below).
+  if (bits > reader.remaining() * 8) {
+    throw std::out_of_range("BloomFilter: bit count exceeds payload");
+  }
+  // No sane filter probes more positions than it has bits, and real
+  // configurations use a handful; a corrupt hash count must not turn
+  // every future membership query into an unbounded loop.
+  if (hashes > std::min<std::size_t>(bits, 256)) {
+    throw std::out_of_range("BloomFilter: hash count exceeds geometry");
+  }
   BloomFilter filter(bits, hashes, seed);
   const std::size_t words = (bits + 63) / 64;
   filter.bits_ = util::BitVector::from_bytes(reader.raw(words * 8), bits);

@@ -10,6 +10,7 @@
 #include "sketch/minwise.hpp"
 #include "util/packet.hpp"
 #include "util/random.hpp"
+#include "wire/message.hpp"
 
 namespace icd::overlay {
 
@@ -30,7 +31,35 @@ filter::BloomFilter build_bloom(const std::vector<std::uint64_t>& ids,
 struct Connection {
   std::size_t sender_index;
   SenderNode view;  // snapshot of the sender at connection setup
+  /// Per-edge wire: the connection's symbols travel through this channel,
+  /// which owns the edge's loss, reordering and MTU.
+  wire::LossyChannel channel;
 };
+
+/// Count-only symbols still cross the wire as real frames (empty payloads),
+/// so byte accounting and MTU behavior are exact.
+std::vector<std::uint8_t> encode_transmission(const Transmission& t) {
+  if (t.is_recoded()) {
+    return wire::encode_frame(
+        wire::RecodedSymbolMessage{codec::RecodedSymbol{t.constituents, {}}});
+  }
+  return wire::encode_frame(
+      wire::EncodedSymbolMessage{codec::EncodedSymbol{t.id, {}}});
+}
+
+std::optional<Transmission> decode_transmission(
+    const std::vector<std::uint8_t>& frame) {
+  const wire::Message message = wire::decode_frame(frame);
+  if (const auto* encoded =
+          std::get_if<wire::EncodedSymbolMessage>(&message)) {
+    return Transmission{encoded->symbol.id, {}};
+  }
+  if (const auto* recoded =
+          std::get_if<wire::RecodedSymbolMessage>(&message)) {
+    return Transmission{0, recoded->symbol.constituents};
+  }
+  return std::nullopt;
+}
 
 struct PeerState {
   explicit PeerState(const SimConfig& config)
@@ -47,6 +76,8 @@ struct PeerState {
   bool joined = false;
   std::size_t completion_round = 0;
   std::vector<Connection> connections;
+  /// Wire from the origin fountain (built lazily for fanout peers).
+  std::optional<wire::LossyChannel> origin_channel;
 
   const std::vector<std::uint64_t>& symbols() const {
     return decoder.acquisition_log();
@@ -66,6 +97,7 @@ struct PeerState {
     sketch = sketch::MinwiseSketch(kIdUniverse, sketch_permutations);
     sketch_offset = 0;
     connections.clear();
+    origin_channel.reset();
     completion_round = 0;
   }
 
@@ -80,6 +112,15 @@ struct PeerState {
   }
 };
 
+/// Delivers every pending frame on `channel` into `peer`.
+void drain_into(wire::LossyChannel& channel, PeerState& peer) {
+  while (channel.pending()) {
+    if (const auto t = decode_transmission(channel.receive())) {
+      peer.apply(*t);
+    }
+  }
+}
+
 }  // namespace
 
 AdaptiveOverlayResult run_adaptive_overlay(
@@ -91,6 +132,16 @@ AdaptiveOverlayResult run_adaptive_overlay(
   AdaptiveOverlayResult result;
   result.completion_round.assign(config.peer_count, 0);
 
+  // Wire shaping for one edge. The legacy scalar loss_rate fills in when
+  // the default link config supplies none; a per-edge callback fully
+  // specifies its edges (documented on AdaptiveOverlayConfig::loss_rate).
+  wire::ChannelConfig base_link = config.link;
+  if (base_link.loss_rate == 0.0) base_link.loss_rate = config.loss_rate;
+  const auto edge_config = [&](std::size_t sender, std::size_t receiver) {
+    return wire::resolve_edge_config(config.link_config, base_link, sender,
+                                     receiver, rng());
+  };
+
   std::vector<PeerState> peers(config.peer_count, PeerState(config.base));
   FullSender origin(/*stream_index=*/0);
   const std::size_t target = config.base.target();
@@ -99,6 +150,11 @@ AdaptiveOverlayResult run_adaptive_overlay(
   // control traffic of the handshakes.
   const auto reconfigure_peer = [&](std::size_t me) {
     PeerState& peer = peers[me];
+    // Reconfiguration is graceful: frames still in flight on the old
+    // connections (the alternate-round drain can hold one per edge) are
+    // delivered before teardown. A crash, by contrast, loses them in
+    // PeerState::reset().
+    for (Connection& conn : peer.connections) drain_into(conn.channel, peer);
     peer.connections.clear();
     if (!peer.joined || peer.completion_round != 0) return;
 
@@ -169,7 +225,8 @@ AdaptiveOverlayResult run_adaptive_overlay(
             sketch::containment_from_resemblance(r, peer.count(),
                                                  peers[j].count()));
       }
-      peer.connections.push_back(Connection{j, std::move(view)});
+      peer.connections.push_back(
+          Connection{j, std::move(view), wire::LossyChannel(edge_config(j, me))});
     }
   };
 
@@ -178,6 +235,24 @@ AdaptiveOverlayResult run_adaptive_overlay(
       if (!peers[i].joined || peers[i].completion_round == 0) return false;
     }
     return true;
+  };
+
+  // One wire hop shared by the origin feed and the p2p loop: encode,
+  // account (a refused oversized frame is never a transmission), and
+  // drain fully on alternate rounds so frames can pair up for the
+  // channel's adjacent-swap reordering without starving any of them
+  // (latency <= 1 round).
+  const auto send_through = [&](wire::LossyChannel& channel, PeerState& peer,
+                                const Transmission& t, std::size_t round) {
+    auto frame = encode_transmission(t);
+    const std::size_t frame_bytes = frame.size();
+    if (channel.send(std::move(frame))) {
+      ++result.transmissions;
+      result.data_bytes += frame_bytes;
+    } else {
+      ++result.oversized_frames;  // exceeded the edge MTU; never sent
+    }
+    if (round % 2 == 0) drain_into(channel, peer);
   };
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
@@ -200,24 +275,25 @@ AdaptiveOverlayResult run_adaptive_overlay(
       }
     }
 
-    // Origin feed: the fountain serves the first origin_fanout peers.
+    // Origin feed: the fountain serves the first origin_fanout peers, one
+    // symbol per round through each peer's origin wire.
     for (std::size_t i = 0;
          i < std::min(config.origin_fanout, config.peer_count); ++i) {
-      if (!peers[i].joined || peers[i].completion_round != 0) continue;
-      ++result.transmissions;
-      if (!rng.next_bool(config.loss_rate)) {
-        peers[i].apply(origin.produce());
+      PeerState& peer = peers[i];
+      if (!peer.joined || peer.completion_round != 0) continue;
+      if (!peer.origin_channel) {
+        peer.origin_channel.emplace(edge_config(kOriginSenderId, i));
       }
+      send_through(*peer.origin_channel, peer, origin.produce(), round);
     }
 
-    // Peer-to-peer transfers: one symbol per connection per round.
+    // Peer-to-peer transfers: one symbol per connection per round, each
+    // crossing its edge's channel (loss, reordering, MTU apply there).
     for (std::size_t i = 0; i < config.peer_count; ++i) {
       PeerState& peer = peers[i];
       if (!peer.joined || peer.completion_round != 0) continue;
       for (Connection& conn : peer.connections) {
-        ++result.transmissions;
-        if (rng.next_bool(config.loss_rate)) continue;
-        peer.apply(conn.view.produce(rng));
+        send_through(conn.channel, peer, conn.view.produce(rng), round);
       }
     }
 

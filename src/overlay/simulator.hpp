@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "overlay/sim_config.hpp"
 #include "overlay/strategy.hpp"
+#include "wire/channel.hpp"
 
 /// Adaptive overlay simulation (the Section 2.1 environment).
 ///
@@ -38,8 +40,23 @@ struct AdaptiveOverlayConfig {
   std::size_t connections_per_peer = 2;
   /// Rounds between overlay reconfigurations (0 = never reconfigure).
   std::size_t reconfigure_interval = 25;
-  /// Per-symbol Bernoulli loss on every overlay connection.
+  /// Per-symbol Bernoulli loss on every overlay connection. Legacy knob:
+  /// folded into `link.loss_rate` when that is left at zero. Ignored when
+  /// `link_config` is supplied — the callback fully specifies each edge,
+  /// including its loss rate.
   double loss_rate = 0.0;
+  /// Wire shaping for every connection: each edge (including the origin
+  /// feeds) carries its symbols through a LossyChannel built from this
+  /// config, so loss, reordering and the MTU are per-edge properties.
+  /// An unset seed is replaced with a fresh per-edge draw to decorrelate
+  /// edges; an explicit seed is honored verbatim (so every edge sharing
+  /// it sees the same loss realization).
+  wire::ChannelConfig link;
+  /// Optional per-edge override: (sender, receiver) -> config, where the
+  /// sender index kOriginSenderId denotes the origin fountain. It replaces
+  /// `link` for that edge; the unset-seed rule above applies to the
+  /// returned config too.
+  std::function<wire::ChannelConfig(std::size_t, std::size_t)> link_config;
   /// Per-round probability that one random peer crashes and rejoins empty.
   double churn_rate = 0.0;
   /// Rounds between each peer's (staggered) join; 0 = all join at once.
@@ -63,11 +80,22 @@ struct AdaptiveOverlayResult {
   double mean_completion = 0.0;
   /// Data-plane symbols sent (including lost ones).
   std::size_t transmissions = 0;
+  /// Exact data-plane bytes handed to the wire (encoded symbol frames,
+  /// including lost ones).
+  std::size_t data_bytes = 0;
   /// Control-plane packets (sketches + summaries at every [re]connection).
   std::size_t control_packets = 0;
+  /// Frames rejected by an edge MTU (never transmitted, not in data_bytes).
+  /// Nonzero means the configured MTU is too small for this strategy's
+  /// recoded frames.
+  std::size_t oversized_frames = 0;
   /// Crash/rejoin events that occurred.
   std::size_t churn_events = 0;
 };
+
+/// Sender index that denotes the origin fountain in per-edge link_config
+/// callbacks.
+inline constexpr std::size_t kOriginSenderId = static_cast<std::size_t>(-1);
 
 AdaptiveOverlayResult run_adaptive_overlay(const AdaptiveOverlayConfig& config);
 

@@ -77,6 +77,11 @@ MinwiseSketch MinwiseSketch::deserialize(
   const std::uint64_t universe = reader.u64();
   const std::uint64_t seed = reader.u64();
   const std::size_t count = reader.varint();
+  // Bound by what the payload can hold (8 bytes per minimum): a corrupt
+  // count must fail like a truncation, not attempt a giant allocation.
+  if (count > reader.remaining() / 8) {
+    throw std::out_of_range("MinwiseSketch: count exceeds payload");
+  }
   MinwiseSketch sketch(universe, count, seed);
   for (std::size_t j = 0; j < count; ++j) sketch.minima_[j] = reader.u64();
   return sketch;

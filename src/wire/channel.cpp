@@ -5,7 +5,7 @@
 namespace icd::wire {
 
 LossyChannel::LossyChannel(ChannelConfig config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config), rng_(config.seed.value_or(kDefaultChannelSeed)) {}
 
 bool LossyChannel::send(std::vector<std::uint8_t> frame) {
   if (frame.size() > config_.mtu) {
@@ -13,6 +13,7 @@ bool LossyChannel::send(std::vector<std::uint8_t> frame) {
     return false;
   }
   ++sent_;
+  sent_bytes_ += frame.size();
   if (rng_.next_bool(config_.loss_rate)) {
     ++dropped_;
     return true;  // sent, but the network ate it

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "util/random.hpp"
@@ -17,16 +18,46 @@
 /// (byte counts, packet counts, loss tolerance).
 namespace icd::wire {
 
+/// Seed a LossyChannel falls back to when none is set.
+inline constexpr std::uint64_t kDefaultChannelSeed = 0xc0de;
+
 struct ChannelConfig {
   /// Probability an enqueued datagram is silently dropped.
   double loss_rate = 0.0;
-  /// Probability a delivered datagram is swapped with its successor.
+  /// Probability a delivered datagram is swapped with its successor. The
+  /// swap happens when a second frame joins the queue, so drivers that
+  /// want this knob to matter must not drain the queue after every send.
   double reorder_rate = 0.0;
   /// Frames larger than this are rejected (send() returns false) — symbols
   /// are sized to fit; control messages are packetized above this layer.
   std::size_t mtu = 1500;
-  std::uint64_t seed = 0xc0de;
+  /// Loss/reorder randomness. Unset means "let the service pick": the
+  /// per-edge drivers (delivery, overlay simulator) substitute a fresh
+  /// decorrelating draw via with_edge_seed; a standalone channel falls
+  /// back to kDefaultChannelSeed. Any explicitly set value — including
+  /// kDefaultChannelSeed itself — is honored verbatim.
+  std::optional<std::uint64_t> seed;
 };
+
+/// The per-edge seed rule the services share: an unset seed is replaced
+/// by `draw` so edges decorrelate; an explicit seed (pinning one edge's
+/// loss realization) is honored verbatim.
+inline ChannelConfig with_edge_seed(ChannelConfig config,
+                                    std::uint64_t draw) {
+  if (!config.seed) config.seed = draw;
+  return config;
+}
+
+/// Resolves one edge's shaping the way every per-edge service does it:
+/// the (sender, receiver) override callback replaces `fallback` when set,
+/// then the unset-seed rule applies.
+inline ChannelConfig resolve_edge_config(
+    const std::function<ChannelConfig(std::size_t, std::size_t)>& override_fn,
+    const ChannelConfig& fallback, std::size_t sender, std::size_t receiver,
+    std::uint64_t draw) {
+  return with_edge_seed(
+      override_fn ? override_fn(sender, receiver) : fallback, draw);
+}
 
 class LossyChannel {
  public:
@@ -54,7 +85,10 @@ class LossyChannel {
   std::size_t sent() const { return sent_; }
   std::size_t dropped() const { return dropped_; }
   std::size_t oversized() const { return oversized_; }
+  std::size_t sent_bytes() const { return sent_bytes_; }
   std::size_t delivered_bytes() const { return delivered_bytes_; }
+
+  const ChannelConfig& config() const { return config_; }
 
  private:
   ChannelConfig config_;
@@ -63,6 +97,7 @@ class LossyChannel {
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;
   std::size_t oversized_ = 0;
+  std::size_t sent_bytes_ = 0;
   std::size_t delivered_bytes_ = 0;
 };
 

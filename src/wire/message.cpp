@@ -55,12 +55,35 @@ void write_payload(util::ByteWriter& writer,
 RecodedSymbolMessage read_recoded(util::ByteReader& reader) {
   RecodedSymbolMessage message;
   const std::size_t degree = reader.varint();
+  // Bound the reserve by what the payload can actually hold (8 bytes per
+  // constituent): a corrupt degree must fail like any truncation, not
+  // attempt a giant allocation first.
+  if (degree > reader.remaining() / 8) {
+    throw std::out_of_range("wire: recoded degree exceeds payload");
+  }
   message.symbol.constituents.reserve(degree);
   for (std::size_t i = 0; i < degree; ++i) {
     message.symbol.constituents.push_back(reader.u64());
   }
   message.symbol.payload = reader.raw(reader.varint());
   return message;
+}
+
+void write_payload(util::ByteWriter& writer, const Fragment& fragment) {
+  writer.u32(fragment.sequence);
+  writer.u16(fragment.index);
+  writer.u16(fragment.total);
+  writer.varint(fragment.data.size());
+  writer.raw(fragment.data);
+}
+
+Fragment read_fragment(util::ByteReader& reader) {
+  Fragment fragment;
+  fragment.sequence = reader.u32();
+  fragment.index = reader.u16();
+  fragment.total = reader.u16();
+  fragment.data = reader.raw(reader.varint());
+  return fragment;
 }
 
 void write_blob(util::ByteWriter& writer, const std::vector<std::uint8_t>& b) {
@@ -93,6 +116,7 @@ MessageType message_type(const Message& message) {
     MessageType operator()(const RecodedSymbolMessage&) {
       return MessageType::kRecodedSymbol;
     }
+    MessageType operator()(const Fragment&) { return MessageType::kFragment; }
   };
   return std::visit(Visitor{}, message);
 }
@@ -118,6 +142,7 @@ std::vector<std::uint8_t> encode_frame(const Message& message) {
     void operator()(const RecodedSymbolMessage& m) {
       write_payload(writer, m);
     }
+    void operator()(const Fragment& m) { write_payload(writer, m); }
   };
   std::visit(Visitor{payload}, message);
 
@@ -163,6 +188,8 @@ Message decode_from_reader(util::ByteReader& reader) {
         return read_encoded(payload);
       case MessageType::kRecodedSymbol:
         return read_recoded(payload);
+      case MessageType::kFragment:
+        return read_fragment(payload);
     }
     throw std::invalid_argument("wire: unknown message type");
   }();

@@ -32,6 +32,7 @@ enum class MessageType : std::uint8_t {
   kRequest = 5,        // symbols desired from this sender (Section 6.1)
   kEncodedSymbol = 6,  // one regular encoded symbol
   kRecodedSymbol = 7,  // one recoded symbol (Section 5.4.2)
+  kFragment = 8,       // one MTU-sized slice of a larger frame
 };
 
 /// Session hello: advertises the code and the sender's working-set size
@@ -77,9 +78,22 @@ struct RecodedSymbolMessage {
   bool operator==(const RecodedSymbolMessage&) const = default;
 };
 
+/// One slice of a frame too large for the link MTU (control summaries can
+/// exceed it). `sequence` identifies the fragmented frame, `index`/`total`
+/// place the slice; the transport layer reassembles and re-decodes.
+struct Fragment {
+  std::uint32_t sequence = 0;
+  std::uint16_t index = 0;
+  std::uint16_t total = 0;
+  std::vector<std::uint8_t> data;
+
+  bool operator==(const Fragment&) const = default;
+};
+
 using Message =
     std::variant<Hello, SketchMessage, BloomSummaryMessage, ArtSummaryMessage,
-                 Request, EncodedSymbolMessage, RecodedSymbolMessage>;
+                 Request, EncodedSymbolMessage, RecodedSymbolMessage,
+                 Fragment>;
 
 /// The wire type tag of a message.
 MessageType message_type(const Message& message);

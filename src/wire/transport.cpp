@@ -1,0 +1,183 @@
+#include "wire/transport.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace icd::wire {
+
+bool Transport::send(const Message& message) {
+  auto frame = encode_frame(message);
+  const bool control = !is_data_type(message_type(message));
+  if (frame.size() <= mtu_) {
+    if (!send_frame(std::move(frame), control)) return false;
+    ++stats_.messages_sent;
+    return true;
+  }
+
+  // Packetize: slice the oversized frame into Fragment messages, each of
+  // which fits the MTU with room for its own header.
+  if (mtu_ <= kFragmentOverhead) {
+    ++stats_.frames_refused;
+    return false;
+  }
+  const std::size_t chunk = mtu_ - kFragmentOverhead;
+  const std::size_t count = (frame.size() + chunk - 1) / chunk;
+  if (count > std::numeric_limits<std::uint16_t>::max()) {
+    ++stats_.frames_refused;
+    return false;
+  }
+  const std::uint32_t sequence = next_sequence_++;
+  for (std::size_t i = 0; i < count; ++i) {
+    Fragment fragment;
+    fragment.sequence = sequence;
+    fragment.index = static_cast<std::uint16_t>(i);
+    fragment.total = static_cast<std::uint16_t>(count);
+    const std::size_t begin = i * chunk;
+    const std::size_t end = std::min(frame.size(), begin + chunk);
+    fragment.data.assign(frame.begin() + static_cast<std::ptrdiff_t>(begin),
+                         frame.begin() + static_cast<std::ptrdiff_t>(end));
+    if (!send_frame(encode_frame(fragment), control)) return false;
+  }
+  ++stats_.messages_sent;
+  return true;
+}
+
+bool Transport::send_frame(std::vector<std::uint8_t> frame, bool control) {
+  const std::size_t size = frame.size();
+  if (observer_) observer_(frame, control);
+  if (!send_datagram(std::move(frame))) {
+    ++stats_.frames_refused;
+    return false;
+  }
+  ++stats_.frames_sent;
+  stats_.bytes_sent += size;
+  if (control) {
+    ++stats_.control_frames_sent;
+    stats_.control_bytes_sent += size;
+  } else {
+    ++stats_.data_frames_sent;
+    stats_.data_bytes_sent += size;
+  }
+  return true;
+}
+
+std::optional<Message> Transport::receive() {
+  while (auto datagram = next_datagram()) {
+    ++stats_.frames_received;
+    stats_.bytes_received += datagram->size();
+    Message message;
+    try {
+      message = decode_frame(*datagram);
+    } catch (const std::invalid_argument&) {
+      ++stats_.malformed_frames;
+      continue;
+    }
+    if (auto* fragment = std::get_if<Fragment>(&message)) {
+      if (auto whole = absorb_fragment(std::move(*fragment))) {
+        ++stats_.messages_received;
+        return whole;
+      }
+      continue;
+    }
+    ++stats_.messages_received;
+    return message;
+  }
+  return std::nullopt;
+}
+
+std::optional<Message> Transport::absorb_fragment(Fragment fragment) {
+  if (fragment.total == 0 || fragment.index >= fragment.total) {
+    ++stats_.malformed_frames;
+    return std::nullopt;
+  }
+  // Bound reassembly memory before inserting a new sequence: evict the
+  // oldest partial (its siblings were lost or hopelessly delayed; the
+  // endpoints' retry path re-sends). Evicting first guarantees the entry
+  // we are about to use is never the one destroyed.
+  if (partials_.size() >= kMaxPartialReassemblies &&
+      !partials_.contains(fragment.sequence)) {
+    auto oldest = partials_.begin();
+    stats_.stale_fragments += oldest->second.received;
+    partials_.erase(oldest);
+  }
+  auto [it, inserted] = partials_.try_emplace(fragment.sequence);
+  Partial& partial = it->second;
+  if (inserted) {
+    partial.parts.resize(fragment.total);
+  } else if (partial.parts.size() != fragment.total) {
+    ++stats_.malformed_frames;
+    return std::nullopt;
+  }
+  auto& slot = partial.parts[fragment.index];
+  if (!slot.empty()) return std::nullopt;  // duplicate
+  slot = std::move(fragment.data);
+  if (slot.empty()) {
+    // An empty slice can never complete; treat as malformed.
+    ++stats_.malformed_frames;
+    partials_.erase(it);
+    return std::nullopt;
+  }
+  if (++partial.received < partial.parts.size()) return std::nullopt;
+
+  std::vector<std::uint8_t> whole;
+  for (const auto& part : partial.parts) {
+    whole.insert(whole.end(), part.begin(), part.end());
+  }
+  partials_.erase(it);
+  try {
+    return decode_frame(whole);
+  } catch (const std::invalid_argument&) {
+    ++stats_.malformed_frames;
+    return std::nullopt;
+  }
+}
+
+Pipe::Pipe(std::size_t mtu)
+    : a_(mtu, a_to_b_, b_to_a_), b_(mtu, b_to_a_, a_to_b_) {}
+
+bool Pipe::End::send_datagram(std::vector<std::uint8_t> frame) {
+  tx_.push_back(std::move(frame));
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> Pipe::End::next_datagram() {
+  if (rx_.empty()) return std::nullopt;
+  auto frame = std::move(rx_.front());
+  rx_.pop_front();
+  return frame;
+}
+
+ChannelTransport::ChannelTransport(LossyChannel& tx, LossyChannel& rx)
+    : Transport(tx.config().mtu), tx_(tx), rx_(rx) {}
+
+bool ChannelTransport::send_datagram(std::vector<std::uint8_t> frame) {
+  return tx_.send(std::move(frame));
+}
+
+std::optional<std::vector<std::uint8_t>> ChannelTransport::next_datagram() {
+  if (!rx_.pending()) return std::nullopt;
+  return rx_.receive();
+}
+
+namespace {
+
+ChannelConfig decorrelated(ChannelConfig config) {
+  config.seed = util::mix64(config.seed.value_or(kDefaultChannelSeed) ^
+                            0x9e3779b97f4a7c15ULL);
+  return config;
+}
+
+}  // namespace
+
+ChannelLink::ChannelLink(ChannelConfig both_ways)
+    : ChannelLink(both_ways, decorrelated(both_ways)) {}
+
+ChannelLink::ChannelLink(ChannelConfig a_to_b, ChannelConfig b_to_a)
+    : a_to_b_(a_to_b), b_to_a_(b_to_a), a_(a_to_b_, b_to_a_),
+      b_(b_to_a_, a_to_b_) {}
+
+}  // namespace icd::wire

@@ -1,0 +1,206 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "wire/channel.hpp"
+#include "wire/message.hpp"
+
+/// Message transports: the seam between protocol endpoints and the network.
+///
+/// A Transport carries typed wire::Message frames in one direction pair of a
+/// point-to-point link. It owns the two substrate concerns the endpoints
+/// must not care about:
+///
+///   * Packetization — frames larger than the link MTU (Bloom/ART control
+///     summaries, big sketches) are split into Fragment messages and
+///     reassembled on the far side; a lost fragment loses the whole message,
+///     which the endpoints' retry path absorbs.
+///   * Accounting — every frame that hits the wire is classified as control
+///     or data and counted in bytes and frames, so sessions can report
+///     *exact* (not estimated) control-plane costs.
+///
+/// Two implementations: an in-process perfect Pipe (lossless, in-order) and
+/// an adapter over the simulated LossyChannel (loss, reordering, MTU). See
+/// DESIGN.md for the layering.
+namespace icd::wire {
+
+/// Data plane = symbols; everything else (hello, sketch, summaries,
+/// requests) is the control plane. Fragments inherit the class of the frame
+/// they slice.
+constexpr bool is_data_type(MessageType type) {
+  return type == MessageType::kEncodedSymbol ||
+         type == MessageType::kRecodedSymbol;
+}
+
+struct TransportStats {
+  /// Frames / bytes actually handed to the link (including ones the network
+  /// later drops), split by plane. Fragments count toward the plane of the
+  /// message they carry.
+  std::size_t frames_sent = 0;
+  std::size_t control_frames_sent = 0;
+  std::size_t data_frames_sent = 0;
+  std::size_t bytes_sent = 0;
+  std::size_t control_bytes_sent = 0;
+  std::size_t data_bytes_sent = 0;
+  /// Whole messages accepted for sending / delivered after reassembly.
+  std::size_t messages_sent = 0;
+  std::size_t messages_received = 0;
+  /// Frames / bytes that arrived from the link.
+  std::size_t frames_received = 0;
+  std::size_t bytes_received = 0;
+  /// Received frames that failed to decode (corruption) — dropped.
+  std::size_t malformed_frames = 0;
+  /// Fragments evicted before their message completed (a sibling was lost).
+  std::size_t stale_fragments = 0;
+  /// Frames the backend refused to carry (MTU too small to fit even one
+  /// fragment) — never transmitted, never byte-counted. Nonzero while a
+  /// session makes no progress is the tiny-MTU diagnostic.
+  std::size_t frames_refused = 0;
+};
+
+/// Worst-case frame + Fragment header bytes; fragments carry
+/// mtu - kFragmentOverhead payload bytes each.
+inline constexpr std::size_t kFragmentOverhead = 24;
+
+/// Incomplete reassemblies kept per transport before the oldest is evicted.
+inline constexpr std::size_t kMaxPartialReassemblies = 8;
+
+class Transport {
+ public:
+  /// Observes every frame at the moment it is handed to the link; lets
+  /// tests and benchmarks independently audit the byte accounting.
+  using FrameObserver =
+      std::function<void(const std::vector<std::uint8_t>& frame,
+                         bool is_control)>;
+
+  virtual ~Transport() = default;
+
+  /// Sends one message, fragmenting if its frame exceeds the MTU. Returns
+  /// false when the message was not fully handed to the link: an MTU too
+  /// small to carry even one fragment payload byte, or a backend refusing
+  /// a datagram. A refusal mid-fragment-train leaves the earlier fragments
+  /// transmitted and byte-counted — to the peer that is indistinguishable
+  /// from fragment loss (the partial reassembly is evicted, the message
+  /// retried by the protocol); messages_sent counts only complete sends.
+  bool send(const Message& message);
+
+  /// Delivers the next fully reassembled message, if any. Malformed frames
+  /// are counted and skipped, never thrown.
+  std::optional<Message> receive();
+
+  std::size_t mtu() const { return mtu_; }
+  const TransportStats& stats() const { return stats_; }
+  void set_frame_observer(FrameObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+ protected:
+  explicit Transport(std::size_t mtu) : mtu_(mtu) {}
+
+  /// One datagram to / from the underlying link.
+  virtual bool send_datagram(std::vector<std::uint8_t> frame) = 0;
+  virtual std::optional<std::vector<std::uint8_t>> next_datagram() = 0;
+
+ private:
+  bool send_frame(std::vector<std::uint8_t> frame, bool control);
+  std::optional<Message> absorb_fragment(Fragment fragment);
+
+  struct Partial {
+    std::vector<std::vector<std::uint8_t>> parts;
+    std::size_t received = 0;
+  };
+
+  std::size_t mtu_;
+  TransportStats stats_;
+  FrameObserver observer_;
+  std::uint32_t next_sequence_ = 1;
+  std::map<std::uint32_t, Partial> partials_;
+};
+
+/// A perfect in-process link: lossless, in-order, but still MTU-bounded so
+/// byte accounting (and fragmentation of oversized summaries) matches what
+/// a real datagram network would carry.
+class Pipe {
+ public:
+  explicit Pipe(std::size_t mtu = 1500);
+
+  /// The ends hold references into this object: copying or moving would
+  /// silently alias (then dangle) the source's queues.
+  Pipe(const Pipe&) = delete;
+  Pipe& operator=(const Pipe&) = delete;
+
+  /// The two endpoint views. `a()` sends toward `b()` and vice versa.
+  Transport& a() { return a_; }
+  Transport& b() { return b_; }
+
+ private:
+  class End : public Transport {
+   public:
+    End(std::size_t mtu, std::deque<std::vector<std::uint8_t>>& tx,
+        std::deque<std::vector<std::uint8_t>>& rx)
+        : Transport(mtu), tx_(tx), rx_(rx) {}
+
+   protected:
+    bool send_datagram(std::vector<std::uint8_t> frame) override;
+    std::optional<std::vector<std::uint8_t>> next_datagram() override;
+
+   private:
+    std::deque<std::vector<std::uint8_t>>& tx_;
+    std::deque<std::vector<std::uint8_t>>& rx_;
+  };
+
+  std::deque<std::vector<std::uint8_t>> a_to_b_;
+  std::deque<std::vector<std::uint8_t>> b_to_a_;
+  End a_;
+  End b_;
+};
+
+/// Transport view over one direction pair of LossyChannels. The channels
+/// must outlive the transport.
+class ChannelTransport : public Transport {
+ public:
+  /// MTU is taken from the outbound channel's config.
+  ChannelTransport(LossyChannel& tx, LossyChannel& rx);
+
+ protected:
+  bool send_datagram(std::vector<std::uint8_t> frame) override;
+  std::optional<std::vector<std::uint8_t>> next_datagram() override;
+
+ private:
+  LossyChannel& tx_;
+  LossyChannel& rx_;
+};
+
+/// A bidirectional lossy link: two LossyChannels plus the two endpoint
+/// transports over them, bundled so callers can stand up a per-edge link
+/// from a pair of ChannelConfigs in one line.
+class ChannelLink {
+ public:
+  /// Same shaping in both directions; the reverse channel gets a
+  /// decorrelated seed.
+  explicit ChannelLink(ChannelConfig both_ways);
+  ChannelLink(ChannelConfig a_to_b, ChannelConfig b_to_a);
+
+  /// The transports hold references into this object's channels: copying
+  /// or moving would silently alias (then dangle) them.
+  ChannelLink(const ChannelLink&) = delete;
+  ChannelLink& operator=(const ChannelLink&) = delete;
+
+  Transport& a() { return a_; }
+  Transport& b() { return b_; }
+  const LossyChannel& a_to_b() const { return a_to_b_; }
+  const LossyChannel& b_to_a() const { return b_to_a_; }
+
+ private:
+  LossyChannel a_to_b_;
+  LossyChannel b_to_a_;
+  ChannelTransport a_;
+  ChannelTransport b_;
+};
+
+}  // namespace icd::wire

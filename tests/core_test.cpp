@@ -188,11 +188,22 @@ TEST(Session, HandshakeMeasuresControlTraffic) {
   InformedSession session(sender, receiver, options);
   session.handshake();
   const auto& stats = session.stats();
-  // Two sketches (~1 KB each) + one Bloom filter (~200 bytes at 8 bpe).
+  // Two sketches (~1 KB each, fragmented over the 1 KB-MTU pipe) + one
+  // Bloom filter (~200 bytes at 8 bpe) + hellos and the request.
   EXPECT_GT(stats.control_bytes, 2000u);
   EXPECT_LT(stats.control_bytes, 4096u);
+  // control_packets counts the actual control frames on the wire, both
+  // directions: receiver hello + 2 sketch fragments + Bloom + request,
+  // sender hello + 2 sketch fragments.
+  const auto& tx = session.sender_transport().stats();
+  const auto& rx = session.receiver_transport().stats();
   EXPECT_EQ(stats.control_packets,
-            (stats.control_bytes + 1023) / 1024);
+            tx.control_frames_sent + rx.control_frames_sent);
+  EXPECT_EQ(stats.control_bytes,
+            tx.control_bytes_sent + rx.control_bytes_sent);
+  EXPECT_GE(stats.control_packets, 7u);
+  // Every frame respects the paper's 1 KB packet MTU.
+  EXPECT_LE(stats.control_bytes, stats.control_packets * kSessionPipeMtu);
   // Disjoint sets: estimated containment near zero.
   EXPECT_LT(stats.estimated_containment, 0.15);
 }

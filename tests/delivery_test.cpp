@@ -89,6 +89,70 @@ TEST(DeliveryService, CompletedPeersServeLateJoiners) {
   EXPECT_EQ(service.peer_content(late), content);
 }
 
+TEST(DeliveryService, ShortRefreshIntervalDoesNotStarveNearCompletePeers) {
+  // Regression: with short sessions a nearly-complete peer's sketch
+  // resembles every candidate above the admission cutoff, and without the
+  // starvation fallback refresh_sessions stops creating downloads — the
+  // peer stalls a few symbols short of decoding, forever.
+  const auto content = random_content(64 * 150, 9);
+  auto options = small_options();
+  options.refresh_interval = 10;
+  options.link.loss_rate = 0.1;  // over lossy edges, too
+  ContentDeliveryService service(content, options);
+  service.add_peer("seed", true);
+  const auto leaf = service.add_peer("leaf", false);
+  ASSERT_TRUE(service.run(6000));
+  EXPECT_EQ(service.peer_content(leaf), content);
+}
+
+TEST(DeliveryService, TinyLinkMtuIsDiagnosableNotSilent) {
+  // An MTU below the fragment overhead means no frame can ever cross the
+  // peer links; the service must stall visibly (frames_refused) instead
+  // of reporting an idle wire.
+  const auto content = random_content(64 * 50, 11);
+  auto options = small_options();
+  options.link.mtu = 16;
+  ContentDeliveryService service(content, options);
+  service.add_peer("seed", true);
+  const auto leaf = service.add_peer("leaf", false);
+  EXPECT_FALSE(service.run(100));
+  EXPECT_FALSE(service.peer_complete(leaf));
+  const auto totals = service.link_totals();
+  EXPECT_GT(totals.frames_refused, 0u);
+  // Only the few-byte Request fits a 16-byte MTU; Hello, sketch, and
+  // summary are all refused, so the handshake stalls and no data-plane
+  // traffic ever flows.
+  EXPECT_EQ(totals.data_bytes, 0u);
+}
+
+TEST(DeliveryService, LinkTotalsAreCumulativeAcrossRefreshes) {
+  const auto content = random_content(64 * 150, 7);
+  auto options = small_options();
+  options.refresh_interval = 10;  // force several session teardowns
+  ContentDeliveryService service(content, options);
+  service.add_peer("seed", true);
+  const auto leaf = service.add_peer("leaf", false);
+
+  ContentDeliveryService::LinkTotals previous;
+  std::size_t refreshes_observed = 0;
+  for (int t = 0; t < 600 && !service.peer_complete(leaf); ++t) {
+    service.tick();
+    const auto totals = service.link_totals();
+    // Cumulative totals never decrease, even across a refresh teardown.
+    EXPECT_GE(totals.control_bytes, previous.control_bytes);
+    EXPECT_GE(totals.data_bytes, previous.data_bytes);
+    EXPECT_GE(totals.control_frames, previous.control_frames);
+    EXPECT_GE(totals.data_frames, previous.data_frames);
+    if (service.active_link_totals().control_bytes < totals.control_bytes) {
+      ++refreshes_observed;  // some cost now lives only in retired links
+    }
+    previous = totals;
+  }
+  EXPECT_GT(refreshes_observed, 0u);
+  EXPECT_GT(previous.control_bytes, 0u);
+  EXPECT_GT(previous.data_bytes, 0u);
+}
+
 TEST(DeliveryService, TicksAreCountedAndContentIsStable) {
   const auto content = random_content(64 * 50, 5);
   ContentDeliveryService service(content, small_options());

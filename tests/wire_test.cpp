@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "util/buffer.hpp"
 #include "wire/channel.hpp"
 #include "wire/message.hpp"
 
@@ -194,6 +195,178 @@ TEST(LossyChannel, ReceiveOnEmptyIsEmptyAndMessageThrows) {
   LossyChannel channel(ChannelConfig{});
   EXPECT_TRUE(channel.receive().empty());
   EXPECT_THROW(channel.receive_message(), std::logic_error);
+}
+
+// --- Property-style robustness: malformed inputs must throw, never UB ----
+
+std::vector<Message> sample_messages() {
+  std::vector<Message> messages;
+  messages.emplace_back(Hello{1234, 0xdeadbeefULL, 567});
+  messages.emplace_back(Request{987654});
+  EncodedSymbolMessage encoded;
+  encoded.symbol.id = 42;
+  encoded.symbol.payload = {1, 2, 3, 4, 5, 6, 7};
+  messages.emplace_back(encoded);
+  RecodedSymbolMessage recoded;
+  recoded.symbol.constituents = {10, 20, 30, 40};
+  recoded.symbol.payload = {9, 8, 7};
+  messages.emplace_back(recoded);
+  sketch::MinwiseSketch sketch(1 << 20, 16);
+  sketch.update_all({1, 2, 3, 99});
+  messages.emplace_back(SketchMessage{sketch});
+  auto filter = filter::BloomFilter::with_bits_per_element(64, 8.0);
+  for (std::uint64_t i = 0; i < 64; ++i) filter.insert(i * 7);
+  messages.emplace_back(BloomSummaryMessage{filter});
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 100; ++i) keys.push_back(i * 1337);
+  messages.emplace_back(ArtSummaryMessage{
+      art::ArtSummary::build(art::ReconciliationTree(keys), 4.0, 4.0)});
+  messages.emplace_back(Fragment{7, 0, 2, {1, 2, 3}});
+  return messages;
+}
+
+TEST(WireProperty, HugeRecodedDegreeIsRejectedWithoutAllocating) {
+  // A corrupt RecodedSymbol frame can claim any degree in its varint; the
+  // decoder must reject it like a truncation instead of reserving a
+  // multi-gigabyte constituent vector first.
+  for (const std::uint64_t degree :
+       {std::uint64_t{1} << 61, std::uint64_t{1} << 35,
+        std::uint64_t{1000}}) {
+    util::ByteWriter payload;
+    payload.varint(degree);  // claims far more constituents than follow
+    util::ByteWriter frame;
+    frame.u16(kMagic);
+    frame.u8(kVersion);
+    frame.u8(static_cast<std::uint8_t>(MessageType::kRecodedSymbol));
+    frame.varint(payload.bytes().size());
+    frame.raw(payload.bytes());
+    EXPECT_THROW(decode_frame(frame.bytes()), std::invalid_argument)
+        << "degree " << degree;
+  }
+}
+
+TEST(WireProperty, HugeSummaryCountsAreRejectedWithoutAllocating) {
+  // Same class of corruption as the recoded-degree case, for the
+  // size-prefixed summary deserializers: claimed element counts far
+  // beyond the payload must be rejected, not allocated.
+  const auto frame_of = [](MessageType type,
+                           const std::vector<std::uint8_t>& blob) {
+    util::ByteWriter payload;
+    payload.varint(blob.size());
+    payload.raw(blob);
+    util::ByteWriter frame;
+    frame.u16(kMagic);
+    frame.u8(kVersion);
+    frame.u8(static_cast<std::uint8_t>(type));
+    frame.varint(payload.bytes().size());
+    frame.raw(payload.bytes());
+    return frame.bytes();
+  };
+
+  util::ByteWriter sketch_blob;  // universe, seed, then an absurd count
+  sketch_blob.u64(1ull << 20);
+  sketch_blob.u64(42);
+  sketch_blob.varint(std::uint64_t{1} << 40);
+  EXPECT_THROW(decode_frame(frame_of(MessageType::kSketch,
+                                     sketch_blob.bytes())),
+               std::invalid_argument);
+
+  util::ByteWriter bloom_blob;  // an absurd bit count, then the rest
+  bloom_blob.varint(std::uint64_t{1} << 40);
+  bloom_blob.varint(8);
+  bloom_blob.u64(42);
+  bloom_blob.varint(100);
+  EXPECT_THROW(decode_frame(frame_of(MessageType::kBloomSummary,
+                                     bloom_blob.bytes())),
+               std::invalid_argument);
+}
+
+TEST(WireProperty, EveryTruncationOfEveryFrameIsRejected) {
+  for (const Message& message : sample_messages()) {
+    const auto frame = encode_frame(message);
+    for (std::size_t keep = 0; keep < frame.size(); ++keep) {
+      std::vector<std::uint8_t> prefix(frame.begin(),
+                                       frame.begin() + keep);
+      EXPECT_THROW(decode_frame(prefix), std::invalid_argument)
+          << "type " << static_cast<int>(message_type(message))
+          << " truncated to " << keep << " of " << frame.size();
+    }
+  }
+}
+
+TEST(WireProperty, TrailingBytesAfterAnyFrameAreRejected) {
+  util::Xoshiro256 rng(0x7a11);
+  for (const Message& message : sample_messages()) {
+    for (std::size_t extra = 1; extra <= 4; ++extra) {
+      auto frame = encode_frame(message);
+      for (std::size_t i = 0; i < extra; ++i) {
+        frame.push_back(static_cast<std::uint8_t>(rng()));
+      }
+      EXPECT_THROW(decode_frame(frame), std::invalid_argument);
+    }
+  }
+}
+
+TEST(WireProperty, CorruptedMagicIsAlwaysRejected) {
+  for (const Message& message : sample_messages()) {
+    const auto frame = encode_frame(message);
+    for (int bit = 0; bit < 16; ++bit) {
+      auto bad = frame;
+      bad[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
+      EXPECT_THROW(decode_frame(bad), std::invalid_argument);
+    }
+  }
+}
+
+TEST(WireProperty, RandomSingleByteCorruptionNeverCrashes) {
+  util::Xoshiro256 rng(0xc0881);
+  const auto messages = sample_messages();
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto frame = encode_frame(messages[trial % messages.size()]);
+    const std::size_t pos = rng.next_below(frame.size());
+    frame[pos] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    // Either the corruption is detected or it produced a different but
+    // well-formed message; both are acceptable, crashing is not.
+    try {
+      (void)decode_frame(frame);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(WireProperty, RandomGarbageNeverCrashesDecoders) {
+  util::Xoshiro256 rng(0x6a5ba6e);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.next_below(96));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    try {
+      (void)decode_frame(bytes);
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      (void)decode_stream(bytes);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(WireProperty, TruncatedStreamsRejectOrYieldAPrefix) {
+  const auto messages = sample_messages();
+  const auto bytes = encode_stream(messages);
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + keep);
+    try {
+      const auto decoded = decode_stream(prefix);
+      // A cut on a frame boundary yields exactly the leading messages.
+      EXPECT_LT(decoded.size(), messages.size());
+      for (std::size_t i = 0; i < decoded.size(); ++i) {
+        EXPECT_EQ(message_type(decoded[i]), message_type(messages[i]));
+      }
+    } catch (const std::invalid_argument&) {
+      // A cut inside a frame must be detected.
+    }
+  }
 }
 
 }  // namespace
