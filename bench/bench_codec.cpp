@@ -1,14 +1,21 @@
 // E9 (Section 6.1 coding parameters): decoding overhead and degree
-// statistics of the sparse parity-check codec, plus encode/decode
+// statistics of the sparse parity-check codec, plus encode/decode and XOR
 // micro-benchmarks.
 //
 // Paper: "The degree distribution used had an average degree of 11 for the
 // encoded symbols and average decoding overhead of 6.8%" at l = 23,968
 // blocks (32 MB in 1400-byte blocks).
+//
+// Emits BENCH_codec.json (flat key -> number) so future PRs can track the
+// perf trajectory. --smoke shrinks the tables and skips the Google
+// Benchmark loops so CI can exercise the binary cheaply.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "codec/block_source.hpp"
 #include "codec/decoder.hpp"
 #include "codec/degree.hpp"
@@ -20,15 +27,61 @@
 namespace {
 
 using namespace icd;
+using Clock = std::chrono::steady_clock;
 
-void print_overhead_table() {
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Byte-at-a-time reference for the word-wise xor_bytes kernel; kept here
+/// (and in the parity tests) as the semantic ground truth.
+void xor_bytes_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+}
+
+void print_xor_throughput(bench::JsonReport& report, bool smoke) {
+  std::printf("=== XOR kernel: word-wise vs byte-wise (1400-byte "
+              "payloads) ===\n");
+  constexpr std::size_t kSize = 1400;  // the paper's block size
+  const std::size_t rounds = smoke ? 2000 : 2000000;
+  std::vector<std::uint8_t> dst(kSize, 0x5a);
+  std::vector<std::uint8_t> src(kSize, 0xa5);
+
+  auto start = Clock::now();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    codec::xor_bytes(dst.data(), src.data(), kSize);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  const double word_s = seconds_since(start);
+
+  start = Clock::now();
+  for (std::size_t i = 0; i < rounds; ++i) {
+    xor_bytes_scalar(dst.data(), src.data(), kSize);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  const double scalar_s = seconds_since(start);
+
+  const double bytes = static_cast<double>(rounds) * kSize;
+  const double word_gbps = bytes / word_s / 1e9;
+  const double scalar_gbps = bytes / scalar_s / 1e9;
+  std::printf("word-wise %7.2f GB/s, byte-wise %7.2f GB/s (%.2fx)\n\n",
+              word_gbps, scalar_gbps, word_gbps / scalar_gbps);
+  report.add("xor_wordwise_gbps", word_gbps);
+  report.add("xor_scalar_gbps", scalar_gbps);
+}
+
+void print_overhead_table(bench::JsonReport& report, bool smoke) {
   std::printf("\n=== Section 6.1: codec degree and decoding overhead ===\n");
   std::printf("%10s %12s %14s %12s\n", "blocks", "avg degree",
               "overhead (avg)", "paper");
-  for (const std::size_t blocks : {500u, 1000u, 2000u, 5000u, 10000u, 23968u}) {
+  std::vector<std::size_t> sweep = {500u, 1000u, 2000u, 5000u, 10000u,
+                                    23968u};
+  if (smoke) sweep = {500u};
+  for (const std::size_t blocks : sweep) {
     const auto dist = codec::DegreeDistribution::robust_soliton(blocks);
     double overhead = 0;
-    const int trials = blocks > 5000 ? 2 : 5;
+    const int trials = smoke ? 1 : (blocks > 5000 ? 2 : 5);
     for (int t = 0; t < trials; ++t) {
       overhead += codec::measure_decode_overhead(
           static_cast<std::uint32_t>(blocks), 4, dist,
@@ -38,27 +91,30 @@ void print_overhead_table() {
     std::printf("%10zu %12.2f %13.1f%% %12s\n", blocks, dist.mean(),
                 100.0 * (overhead - 1.0),
                 blocks == 23968u ? "deg 11, 6.8%" : "");
+    report.add("decode_overhead_" + std::to_string(blocks), overhead - 1.0);
   }
   std::printf("\n");
 }
 
-void print_inactivation_table() {
+void print_inactivation_table(bool smoke) {
   std::printf("=== Extension: peeling vs inactivation decoding overhead "
               "===\n");
   std::printf("%10s %14s %16s\n", "blocks", "peeling", "inactivation");
-  for (const std::size_t blocks : {500u, 1000u, 2000u}) {
+  std::vector<std::size_t> sweep = {500u, 1000u, 2000u};
+  if (smoke) sweep = {500u};
+  for (const std::size_t blocks : sweep) {
     const auto dist = codec::DegreeDistribution::robust_soliton(blocks);
     double peel = 0, inact = 0;
-    constexpr int kTrials = 3;
-    for (int t = 0; t < kTrials; ++t) {
+    const int trials = smoke ? 1 : 3;
+    for (int t = 0; t < trials; ++t) {
       peel += codec::measure_decode_overhead(
           static_cast<std::uint32_t>(blocks), 4, dist, 0xabc + t);
       inact += codec::measure_inactivation_overhead(
           static_cast<std::uint32_t>(blocks), 4, dist, 0xabc + t);
     }
     std::printf("%10zu %13.1f%% %15.2f%%\n", blocks,
-                100.0 * (peel / kTrials - 1.0),
-                100.0 * (inact / kTrials - 1.0));
+                100.0 * (peel / trials - 1.0),
+                100.0 * (inact / trials - 1.0));
   }
   std::printf("\n");
 }
@@ -70,13 +126,50 @@ codec::BlockSource make_source(std::size_t blocks, std::size_t block_size) {
   return codec::BlockSource(content, block_size);
 }
 
+/// Timed by hand (not Google Benchmark) so the figure lands in the JSON
+/// report: full-file decode rate, the XOR-bound consumer of the word-wise
+/// kernel.
+void print_decode_rate(bench::JsonReport& report, bool smoke) {
+  const std::size_t blocks = 2000;
+  const std::size_t block_size = smoke ? 16 : 256;
+  const auto source = make_source(blocks, block_size);
+  const auto dist = codec::DegreeDistribution::robust_soliton(blocks);
+  codec::Encoder encoder(source, dist, 8);
+  std::vector<codec::EncodedSymbol> symbols;
+  for (std::size_t i = 0; i < 2 * blocks; ++i) {
+    symbols.push_back(encoder.next());
+  }
+  const int reps = smoke ? 1 : 5;
+  const auto start = Clock::now();
+  std::size_t consumed = 0;
+  for (int r = 0; r < reps; ++r) {
+    codec::Decoder decoder(encoder.parameters(), dist);
+    std::size_t i = 0;
+    while (!decoder.complete() && i < symbols.size()) {
+      decoder.add_symbol(symbols[i].id, symbols[i].payload);
+      ++i;
+    }
+    consumed += i;
+  }
+  const double elapsed = seconds_since(start);
+  const double mbps = static_cast<double>(consumed) *
+                      static_cast<double>(block_size) / elapsed / 1e6;
+  std::printf("=== full-file decode (%zu blocks x %zu B): %.1f MB/s of "
+              "symbol payload ===\n\n",
+              blocks, block_size, mbps);
+  report.add("decode_payload_mbps", mbps);
+}
+
 void BM_Encode(benchmark::State& state) {
   const auto blocks = static_cast<std::size_t>(state.range(0));
   const auto source = make_source(blocks, 1400);
   const auto dist = codec::DegreeDistribution::robust_soliton(blocks);
   codec::Encoder encoder(source, dist, 7);
+  codec::EncodedSymbol symbol;
+  std::uint64_t id = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(encoder.next());
+    encoder.encode_into(symbol, id++);
+    benchmark::DoNotOptimize(symbol.payload.data());
   }
   state.SetBytesProcessed(state.iterations() * 1400);
 }
@@ -122,9 +215,26 @@ BENCHMARK(BM_RecodeGenerate);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_overhead_table();
-  print_inactivation_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const bool smoke = icd::bench::smoke_mode(argc, argv);
+  // Strip --smoke before Google Benchmark sees the args.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) != "--smoke") args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+
+  icd::bench::JsonReport report;
+  report.add_string("bench", "codec");
+  report.add_string("mode", smoke ? "smoke" : "full");
+  print_xor_throughput(report, smoke);
+  print_overhead_table(report, smoke);
+  print_inactivation_table(smoke);
+  print_decode_rate(report, smoke);
+  report.write("BENCH_codec.json");
+
+  if (!smoke) {
+    benchmark::Initialize(&bench_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+  }
   return 0;
 }

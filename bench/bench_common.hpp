@@ -2,10 +2,14 @@
 
 // Shared helpers for the experiment harnesses. Each bench binary prints the
 // rows/series of one table or figure from the paper, in a fixed-width
-// format suitable for eyeballing against the original plots.
+// format suitable for eyeballing against the original plots, and the perf
+// benches additionally emit a machine-readable BENCH_*.json so successive
+// PRs can track the throughput/allocation trajectory.
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "overlay/scenario.hpp"
@@ -47,5 +51,55 @@ double average_over_trials(std::size_t trials, std::uint64_t base_seed,
   }
   return total / static_cast<double>(trials);
 }
+
+/// True when the binary was invoked with --smoke (tiny iteration counts so
+/// CI can exercise the bench binaries without paying full measurement
+/// time). Numbers produced under smoke are build-health checks, not
+/// benchmarks.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  return false;
+}
+
+/// Flat key -> number report written as one JSON object. Keys are emitted
+/// in insertion order; values print with enough precision to diff runs.
+class JsonReport {
+ public:
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, std::size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void add_string(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Writes {"k": v, ...} to `path`; returns false (and warns) on failure.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("{\n", f);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fputs("}\n", f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace icd::bench

@@ -14,9 +14,15 @@ Decoder::Decoder(CodeParameters params, DegreeDistribution dist)
 }
 
 bool Decoder::add_symbol(const EncodedSymbol& symbol) {
+  return add_symbol(symbol.id, symbol.payload);
+}
+
+bool Decoder::add_symbol(std::uint64_t id,
+                         std::span<const std::uint8_t> payload) {
   ++received_;
-  auto keys = symbol_neighbors(params_, dist_, symbol.id);
-  return peeler_.add_equation(std::move(keys), symbol.payload);
+  symbol_neighbors_into(neighbor_scratch_, pick_scratch_, params_, dist_, id);
+  return peeler_.add_equation(
+      std::span<const std::uint32_t>(neighbor_scratch_), payload);
 }
 
 std::vector<std::vector<std::uint8_t>> Decoder::blocks() const {

@@ -26,6 +26,12 @@ class Decoder {
   /// least one new source block.
   bool add_symbol(const EncodedSymbol& symbol);
 
+  /// View variant for the zero-copy receive path: `payload` may borrow a
+  /// transport frame or another decoder's storage; it is copied exactly
+  /// once, into this decoder. Neighbor derivation reuses scratch vectors,
+  /// so a warm decode loop performs no allocation beyond that copy.
+  bool add_symbol(std::uint64_t id, std::span<const std::uint8_t> payload);
+
   std::size_t recovered_count() const { return peeler_.known_count(); }
   std::size_t received_count() const { return received_; }
   bool complete() const { return recovered_count() == params_.block_count; }
@@ -43,6 +49,9 @@ class Decoder {
   DegreeDistribution dist_;
   PeelingDecoder<std::uint32_t> peeler_;
   std::size_t received_ = 0;
+  // add_symbol scratch (neighbor derivation).
+  std::vector<std::uint32_t> neighbor_scratch_;
+  std::vector<std::uint64_t> pick_scratch_;
 };
 
 /// Runs a fresh encode/decode session over random content of

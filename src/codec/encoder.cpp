@@ -11,21 +11,31 @@ namespace icd::codec {
 std::vector<std::uint32_t> symbol_neighbors(const CodeParameters& params,
                                             const DegreeDistribution& dist,
                                             std::uint64_t symbol_id) {
+  std::vector<std::uint32_t> neighbors;
+  std::vector<std::uint64_t> picks;
+  symbol_neighbors_into(neighbors, picks, params, dist, symbol_id);
+  return neighbors;
+}
+
+void symbol_neighbors_into(std::vector<std::uint32_t>& out,
+                           std::vector<std::uint64_t>& pick_scratch,
+                           const CodeParameters& params,
+                           const DegreeDistribution& dist,
+                           std::uint64_t symbol_id) {
   if (params.block_count == 0) {
     throw std::invalid_argument("symbol_neighbors: block_count must be > 0");
   }
   util::Xoshiro256 rng(util::hash64(symbol_id, params.session_seed));
   const std::size_t degree =
       std::min<std::size_t>(dist.sample(rng), params.block_count);
-  const auto picks =
-      util::sample_without_replacement(params.block_count, degree, rng);
-  std::vector<std::uint32_t> neighbors;
-  neighbors.reserve(picks.size());
-  for (const std::uint64_t p : picks) {
-    neighbors.push_back(static_cast<std::uint32_t>(p));
+  util::sample_without_replacement_into(pick_scratch, params.block_count,
+                                        degree, rng);
+  out.clear();
+  out.reserve(pick_scratch.size());
+  for (const std::uint64_t p : pick_scratch) {
+    out.push_back(static_cast<std::uint32_t>(p));
   }
-  std::sort(neighbors.begin(), neighbors.end());
-  return neighbors;
+  std::sort(out.begin(), out.end());
 }
 
 Encoder::Encoder(const BlockSource& source, DegreeDistribution dist,
@@ -41,6 +51,16 @@ EncodedSymbol Encoder::encode(std::uint64_t symbol_id) const {
     xor_into(symbol.payload, source_.block(b));
   }
   return symbol;
+}
+
+void Encoder::encode_into(EncodedSymbol& out, std::uint64_t symbol_id) {
+  out.id = symbol_id;
+  out.payload.clear();
+  symbol_neighbors_into(neighbor_scratch_, pick_scratch_, params_, dist_,
+                        symbol_id);
+  for (const std::uint32_t b : neighbor_scratch_) {
+    xor_into(out.payload, source_.block(b));
+  }
 }
 
 EncodedSymbol Encoder::next() { return encode(next_id_++); }

@@ -32,6 +32,15 @@ std::vector<std::uint32_t> symbol_neighbors(const CodeParameters& params,
                                             const DegreeDistribution& dist,
                                             std::uint64_t symbol_id);
 
+/// Allocation-free variant for hot decode/encode loops: writes the neighbor
+/// set into `out` (cleared first), reusing both vectors' capacity. Same
+/// result as symbol_neighbors for the same arguments.
+void symbol_neighbors_into(std::vector<std::uint32_t>& out,
+                           std::vector<std::uint64_t>& pick_scratch,
+                           const CodeParameters& params,
+                           const DegreeDistribution& dist,
+                           std::uint64_t symbol_id);
+
 class Encoder {
  public:
   /// The encoder keeps a reference to `source`; the caller must keep it
@@ -49,6 +58,10 @@ class Encoder {
   /// blocks).
   EncodedSymbol encode(std::uint64_t symbol_id) const;
 
+  /// In-place variant: reuses `out`'s payload capacity and the encoder's
+  /// neighbor scratch, so a warm fountain stream allocates nothing.
+  void encode_into(EncodedSymbol& out, std::uint64_t symbol_id);
+
   /// Produces the next symbol of the fountain stream: ids are consumed
   /// sequentially from a random 64-bit starting point, so streams from
   /// different seeds do not collide.
@@ -63,6 +76,9 @@ class Encoder {
   DegreeDistribution dist_;
   CodeParameters params_;
   std::uint64_t next_id_;
+  // encode_into scratch (neighbor derivation).
+  std::vector<std::uint32_t> neighbor_scratch_;
+  std::vector<std::uint64_t> pick_scratch_;
 };
 
 }  // namespace icd::codec

@@ -37,11 +37,29 @@ class PeelingDecoder {
     return true;
   }
 
+  /// Span variant: the value is copied exactly once, into the solver's own
+  /// storage — the single copy the zero-copy receive path budgets for.
+  bool mark_known(const Key& key, std::span<const std::uint8_t> value) {
+    if (known_.contains(key)) return false;
+    recover(key, std::vector<std::uint8_t>(value.begin(), value.end()));
+    drain();
+    return true;
+  }
+
   /// Adds the constraint payload = XOR_{k in keys} value(k). Duplicate keys
   /// within one equation cancel (x ^ x = 0) and are removed up front.
   /// Returns true if the equation caused at least one new variable to be
   /// recovered (immediately useful), false if it was buffered or redundant.
   bool add_equation(std::vector<Key> keys, std::vector<std::uint8_t> payload);
+
+  /// Span variant for frames decoded in place: keys and payload may borrow
+  /// a transport buffer; the payload is copied exactly once, into the
+  /// solver.
+  bool add_equation(std::span<const Key> keys,
+                    std::span<const std::uint8_t> payload) {
+    return add_equation_impl(
+        keys, std::vector<std::uint8_t>(payload.begin(), payload.end()));
+  }
 
   bool is_known(const Key& key) const { return known_.contains(key); }
 
@@ -87,6 +105,9 @@ class PeelingDecoder {
   // Substitutes every newly recovered key into the equations that name it.
   void drain();
 
+  bool add_equation_impl(std::span<const Key> keys,
+                         std::vector<std::uint8_t> payload);
+
   std::unordered_map<Key, std::vector<std::uint8_t>> known_;
   std::vector<Equation> equations_;
   std::unordered_map<Key, std::vector<std::size_t>> waiting_;  // key -> eq ids
@@ -99,27 +120,41 @@ class PeelingDecoder {
 template <typename Key>
 bool PeelingDecoder<Key>::add_equation(std::vector<Key> keys,
                                        std::vector<std::uint8_t> payload) {
+  return add_equation_impl(keys, std::move(payload));
+}
+
+template <typename Key>
+bool PeelingDecoder<Key>::add_equation_impl(std::span<const Key> keys,
+                                            std::vector<std::uint8_t> payload) {
   // Cancel duplicate keys (x XOR x = 0).
-  {
-    std::unordered_map<Key, int> counts;
-    for (const Key& k : keys) ++counts[k];
-    std::vector<Key> deduped;
-    deduped.reserve(keys.size());
-    for (const auto& [k, c] : counts) {
-      if (c % 2 == 1) deduped.push_back(k);
+  // Both producers (symbol_neighbors, recoded constituents) emit sorted
+  // distinct keys; detect that and skip the dedup map on the hot path.
+  bool sorted_distinct = true;
+  for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
+    if (!(keys[i] < keys[i + 1])) {
+      sorted_distinct = false;
+      break;
     }
-    keys = std::move(deduped);
   }
 
-  // Substitute already-known variables.
+  // Substitute already-known variables (after duplicate cancellation).
   std::vector<Key> unknowns;
   unknowns.reserve(keys.size());
-  for (const Key& k : keys) {
+  const auto substitute = [&](const Key& k) {
     const auto it = known_.find(k);
     if (it == known_.end()) {
       unknowns.push_back(k);
     } else {
       xor_into(payload, it->second);
+    }
+  };
+  if (sorted_distinct) {
+    for (const Key& k : keys) substitute(k);
+  } else {
+    std::unordered_map<Key, int> counts;
+    for (const Key& k : keys) ++counts[k];
+    for (const auto& [k, c] : counts) {
+      if (c % 2 == 1) substitute(k);
     }
   }
 

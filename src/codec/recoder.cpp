@@ -62,7 +62,15 @@ bool RecodeDecoder::add_held_symbol(const EncodedSymbol& symbol) {
   return peeler_.mark_known(symbol.id, symbol.payload);
 }
 
+bool RecodeDecoder::add_held_symbol(const EncodedSymbolView& symbol) {
+  return peeler_.mark_known(symbol.id, symbol.payload);
+}
+
 bool RecodeDecoder::add_recoded(const RecodedSymbol& symbol) {
+  return add_recoded(RecodedSymbolView(symbol));
+}
+
+bool RecodeDecoder::add_recoded(const RecodedSymbolView& symbol) {
   return peeler_.add_equation(symbol.constituents, symbol.payload);
 }
 

@@ -79,9 +79,16 @@ class RecodeDecoder {
   /// Returns false if the id was already present.
   bool add_held_symbol(const EncodedSymbol& symbol);
 
+  /// View variant for payloads borrowed from a transport frame: the
+  /// payload is copied exactly once, into the solver's storage.
+  bool add_held_symbol(const EncodedSymbolView& symbol);
+
   /// Feeds one recoded symbol; returns true if it immediately recovered at
   /// least one new encoded symbol.
   bool add_recoded(const RecodedSymbol& symbol);
+
+  /// View variant; constituents and payload may borrow a transport frame.
+  bool add_recoded(const RecodedSymbolView& symbol);
 
   /// Encoded symbols recovered (or held) so far.
   std::size_t symbol_count() const { return peeler_.known_count(); }

@@ -5,16 +5,16 @@
 namespace icd::codec {
 
 void xor_into(std::vector<std::uint8_t>& dst,
-              const std::vector<std::uint8_t>& src) {
+              std::span<const std::uint8_t> src) {
   if (src.empty()) return;
   if (dst.empty()) {
-    dst = src;
+    dst.assign(src.begin(), src.end());
     return;
   }
   if (dst.size() != src.size()) {
     throw std::invalid_argument("xor_into: payload size mismatch");
   }
-  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+  xor_bytes(dst.data(), src.data(), dst.size());
 }
 
 std::size_t wire_bytes(const EncodedSymbol& symbol) {

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <vector>
 
 /// Symbol types exchanged by peers.
@@ -38,11 +40,61 @@ struct RecodedSymbol {
   bool operator==(const RecodedSymbol&) const = default;
 };
 
+/// Non-owning views of the symbol types, for the zero-copy fast path: the
+/// sender serializes straight out of its decoder's storage, and the
+/// receiver's transport decodes frames in place and hands out views whose
+/// spans borrow the frame buffer (valid only until the next receive).
+struct EncodedSymbolView {
+  std::uint64_t id = 0;
+  std::span<const std::uint8_t> payload;
+
+  EncodedSymbolView() = default;
+  EncodedSymbolView(std::uint64_t id, std::span<const std::uint8_t> payload)
+      : id(id), payload(payload) {}
+  explicit EncodedSymbolView(const EncodedSymbol& symbol)
+      : id(symbol.id), payload(symbol.payload) {}
+};
+
+struct RecodedSymbolView {
+  std::span<const std::uint64_t> constituents;
+  std::span<const std::uint8_t> payload;
+
+  RecodedSymbolView() = default;
+  RecodedSymbolView(std::span<const std::uint64_t> constituents,
+                    std::span<const std::uint8_t> payload)
+      : constituents(constituents), payload(payload) {}
+  explicit RecodedSymbolView(const RecodedSymbol& symbol)
+      : constituents(symbol.constituents), payload(symbol.payload) {}
+
+  std::size_t degree() const { return constituents.size(); }
+};
+
+/// Word-wise XOR kernel: dst[i] ^= src[i] for `n` bytes, eight bytes per
+/// lane (memcpy keeps it alignment- and aliasing-safe; compilers lower the
+/// loop to full-width vector XORs). This is the one XOR inner loop shared
+/// by the encoder, recoder, peeling decoders and inactivation solver.
+inline void xor_bytes(std::uint8_t* dst, const std::uint8_t* src,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t a, b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
 /// XORs `src` into `dst`. Empty operands are treated as all-zero: XOR into
 /// an empty destination copies, XOR of an empty source is a no-op. Sizes
 /// must otherwise match.
 void xor_into(std::vector<std::uint8_t>& dst,
-              const std::vector<std::uint8_t>& src);
+              std::span<const std::uint8_t> src);
+inline void xor_into(std::vector<std::uint8_t>& dst,
+                     const std::vector<std::uint8_t>& src) {
+  xor_into(dst, std::span<const std::uint8_t>(src));
+}
 
 /// Serialized wire sizes (header + payload), used by the simulator to charge
 /// bandwidth.

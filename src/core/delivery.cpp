@@ -53,10 +53,13 @@ void ContentDeliveryService::refresh_sessions() {
   // to max_peer_sessions downloads from admission-ranked senders.
   for (std::size_t me = 0; me < peers_.size(); ++me) {
     PeerEntry& entry = peers_[me];
-    // Graceful teardown (mirrors the simulator's reconfigure): deliver
-    // frames still in flight, then bank the wire costs of the links about
-    // to be retired so cumulative accounting (link_totals) survives.
+    // Graceful teardown (mirrors the simulator's reconfigure): flush and
+    // deliver frames still in flight (nothing further will be sent on the
+    // link, so the channel's one-hop clock would never release them), then
+    // bank the wire costs of the links about to be retired so cumulative
+    // accounting (link_totals) survives.
     for (auto& [sender_id, download] : entry.downloads) {
+      download->link.flush();
       download->receiver.tick();
       accumulate_link(*download, retired_link_totals_);
     }
@@ -119,14 +122,6 @@ std::size_t ContentDeliveryService::tick() {
   ++ticks_;
 
   std::size_t completed_now = 0;
-  // Once transfer starts, drain the receive side of each link only on
-  // alternate ticks: letting two data frames share the channel queue
-  // between drains is what makes a link's reorder_rate actually swap
-  // adjacent frames (the same alternate-drain rule as the overlay
-  // simulator). During the handshake the receiver ticks every time — its
-  // retry clock counts quiet ticks, and halving it could push the retry
-  // past a short refresh_interval, starving lossy links.
-  const bool drain_tick = (ticks_ % 2) == 0;
   for (PeerEntry& entry : peers_) {
     if (entry.peer->has_content()) continue;
     // Origin feed: one fresh symbol per tick for subscribers.
@@ -135,13 +130,13 @@ std::size_t ContentDeliveryService::tick() {
     }
     // One symbol from each active download link: the serving endpoint
     // answers handshakes and streams, the receiving endpoint absorbs.
+    // The channel's one-hop residency keeps adjacent data frames paired
+    // for reorder_rate even though both sides drain every tick.
     for (auto& [sender_id, download] : entry.downloads) {
       if (entry.peer->has_content()) break;
       download->sender.tick();
       download->sender.send_symbol();
-      if (drain_tick || !download->receiver.transfer_started()) {
-        download->receiver.tick();
-      }
+      download->receiver.tick();
     }
     if (entry.peer->has_content()) ++completed_now;
   }

@@ -58,34 +58,50 @@ std::size_t ReceiverEndpoint::tick() {
     throw std::logic_error("ReceiverEndpoint::tick before start");
   }
   std::size_t gained = 0;
-  while (auto message = transport_.receive()) {
-    if (auto* hello = std::get_if<wire::Hello>(&*message)) {
-      if (hello->block_count != peer_.parameters().block_count ||
-          hello->session_seed != peer_.parameters().session_seed) {
-        throw std::invalid_argument(
-            "ReceiverEndpoint: sender uses a different code");
-      }
-      sender_hello_ = *hello;
-    } else if (auto* sketch = std::get_if<wire::SketchMessage>(&*message)) {
-      // Buffered: a reordered link can deliver the sketch before the
-      // Hello that carries the working-set size the estimate needs.
-      sender_sketch_ = std::move(sketch->sketch);
-    } else if (auto* encoded =
-                   std::get_if<wire::EncodedSymbolMessage>(&*message)) {
-      const std::size_t got = peer_.receive_encoded(encoded->symbol);
-      ++symbols_received_;
-      if (got > 0) ++symbols_useful_;
-      new_encoded_symbols_ += got;
-      gained += got;
+  // Zero-copy drain: symbol frames arrive as views into the transport's
+  // receive buffer and are copied exactly once, into the peer's decoder;
+  // only control frames materialize owning Messages.
+  while (auto frame = transport_.receive_frame()) {
+    std::size_t got = 0;
+    bool was_symbol = true;
+    if (auto* encoded = std::get_if<codec::EncodedSymbolView>(&*frame)) {
+      got = peer_.receive_encoded(*encoded);
     } else if (auto* recoded =
-                   std::get_if<wire::RecodedSymbolMessage>(&*message)) {
-      const std::size_t got = peer_.receive_recoded(recoded->symbol);
+                   std::get_if<codec::RecodedSymbolView>(&*frame)) {
+      got = peer_.receive_recoded(*recoded);
+    } else {
+      was_symbol = false;
+      auto& message = std::get<wire::Message>(*frame);
+      if (auto* hello = std::get_if<wire::Hello>(&message)) {
+        if (hello->block_count != peer_.parameters().block_count ||
+            hello->session_seed != peer_.parameters().session_seed) {
+          throw std::invalid_argument(
+              "ReceiverEndpoint: sender uses a different code");
+        }
+        sender_hello_ = *hello;
+      } else if (auto* sketch = std::get_if<wire::SketchMessage>(&message)) {
+        // Buffered: a reordered link can deliver the sketch before the
+        // Hello that carries the working-set size the estimate needs.
+        sender_sketch_ = std::move(sketch->sketch);
+      } else if (auto* encoded_msg =
+                     std::get_if<wire::EncodedSymbolMessage>(&message)) {
+        // Symbols larger than the link MTU arrive fragment-reassembled as
+        // owning messages instead of views.
+        was_symbol = true;
+        got = peer_.receive_encoded(encoded_msg->symbol);
+      } else if (auto* recoded_msg =
+                     std::get_if<wire::RecodedSymbolMessage>(&message)) {
+        was_symbol = true;
+        got = peer_.receive_recoded(recoded_msg->symbol);
+      }
+      // Anything else (stray Request/summary echoes) is ignored.
+    }
+    if (was_symbol) {
       ++symbols_received_;
       if (got > 0) ++symbols_useful_;
       new_encoded_symbols_ += got;
       gained += got;
     }
-    // Anything else (stray Request/summary echoes) is ignored.
   }
 
   if (sender_hello_ && sender_sketch_) {
@@ -131,7 +147,9 @@ bool SenderEndpoint::bundle_complete() const {
 }
 
 void SenderEndpoint::tick() {
-  while (auto message = transport_.receive()) {
+  while (auto frame = transport_.receive_frame()) {
+    auto* message = std::get_if<wire::Message>(&*frame);
+    if (!message) continue;  // stray symbol frames carry nothing for us
     if (auto* hello = std::get_if<wire::Hello>(&*message)) {
       if (hello->block_count != peer_.parameters().block_count ||
           hello->session_seed != peer_.parameters().session_seed) {
@@ -224,20 +242,24 @@ bool SenderEndpoint::send_symbol() {
   // A false from the transport means the frame could not be put on the
   // wire at all (e.g. the MTU cannot fit even one fragment) — distinct
   // from channel loss, which the transport reports as sent.
+  //
+  // Every branch serializes straight from borrowed storage (the peer's
+  // decoder for encoded symbols, recode_scratch_ for recoded ones) into a
+  // pooled transport buffer: the steady-state send allocates nothing.
   bool sent = false;
   switch (options_.strategy) {
     case Strategy::kRandom: {
       const auto& ids = peer_.symbol_ids();
       const std::uint64_t id = ids[rng_.next_below(ids.size())];
-      sent = transport_.send(wire::EncodedSymbolMessage{
-          codec::EncodedSymbol{id, peer_.symbol_payload(id)}});
+      sent = transport_.send(
+          codec::EncodedSymbolView{id, peer_.symbol_payload(id)});
       break;
     }
     case Strategy::kRandomBloom: {
       const auto& ids = domain_.empty() ? peer_.symbol_ids() : domain_;
       const std::uint64_t id = ids[rng_.next_below(ids.size())];
-      sent = transport_.send(wire::EncodedSymbolMessage{
-          codec::EncodedSymbol{id, peer_.symbol_payload(id)}});
+      sent = transport_.send(
+          codec::EncodedSymbolView{id, peer_.symbol_payload(id)});
       break;
     }
     case Strategy::kRecode:
@@ -247,19 +269,18 @@ bool SenderEndpoint::send_symbol() {
         degree = codec::minwise_recode_degree(degree, estimated_containment_,
                                               options_.recode_degree_limit);
       }
-      sent = transport_.send(
-          wire::RecodedSymbolMessage{peer_.recode(degree, rng_)});
+      peer_.recode_into(recode_scratch_, degree, rng_);
+      sent = transport_.send(codec::RecodedSymbolView(recode_scratch_));
       break;
     }
     case Strategy::kRecodeBloom: {
       const std::size_t degree = recode_distribution_.sample(rng_);
       if (domain_.empty()) {
-        sent = transport_.send(
-            wire::RecodedSymbolMessage{peer_.recode(degree, rng_)});
+        peer_.recode_into(recode_scratch_, degree, rng_);
       } else {
-        sent = transport_.send(wire::RecodedSymbolMessage{
-            peer_.recode_from(domain_, degree, rng_)});
+        peer_.recode_from_into(recode_scratch_, domain_, degree, rng_);
       }
+      sent = transport_.send(codec::RecodedSymbolView(recode_scratch_));
       break;
     }
   }

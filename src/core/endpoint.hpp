@@ -188,6 +188,9 @@ class SenderEndpoint {
   std::vector<std::uint64_t> domain_;
   codec::DegreeDistribution recode_distribution_;
   std::size_t symbols_sent_ = 0;
+  /// Reused by send_symbol so a warm transfer builds every recoded symbol
+  /// in place (no per-symbol vectors); serialized from a view.
+  codec::RecodedSymbol recode_scratch_;
 };
 
 }  // namespace icd::core

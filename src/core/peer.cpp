@@ -28,8 +28,9 @@ std::size_t Peer::absorb_acquisitions() {
     const std::uint64_t id = log[log_offset_++];
     symbol_ids_.push_back(id);
     sketch_.update(id % kSymbolIdUniverse);
-    block_decoder_.add_symbol(
-        codec::EncodedSymbol{id, recode_decoder_.payload(id)});
+    // Span feed: the block decoder copies the payload into its own solver;
+    // no intermediate EncodedSymbol is materialized.
+    block_decoder_.add_symbol(id, recode_decoder_.payload(id));
     ++fresh;
   }
   return fresh;
@@ -41,6 +42,16 @@ std::size_t Peer::receive_encoded(const codec::EncodedSymbol& symbol) {
 }
 
 std::size_t Peer::receive_recoded(const codec::RecodedSymbol& symbol) {
+  recode_decoder_.add_recoded(symbol);
+  return absorb_acquisitions();
+}
+
+std::size_t Peer::receive_encoded(const codec::EncodedSymbolView& symbol) {
+  recode_decoder_.add_held_symbol(symbol);
+  return absorb_acquisitions();
+}
+
+std::size_t Peer::receive_recoded(const codec::RecodedSymbolView& symbol) {
   recode_decoder_.add_recoded(symbol);
   return absorb_acquisitions();
 }
@@ -83,31 +94,62 @@ codec::EncodedSymbol Peer::encode_fresh() {
 
 codec::RecodedSymbol Peer::recode(std::size_t degree,
                                   util::Xoshiro256& rng) const {
-  return recode_from(symbol_ids_, degree, rng);
+  codec::RecodedSymbol symbol;
+  recode_into(symbol, degree, rng);
+  return symbol;
 }
 
 codec::RecodedSymbol Peer::recode_from(
     const std::vector<std::uint64_t>& domain_ids, std::size_t degree,
     util::Xoshiro256& rng) const {
-  std::vector<std::uint64_t> held;
-  held.reserve(domain_ids.size());
+  codec::RecodedSymbol symbol;
+  recode_from_into(symbol, domain_ids, degree, rng);
+  return symbol;
+}
+
+void Peer::recode_into(codec::RecodedSymbol& out, std::size_t degree,
+                       util::Xoshiro256& rng) const {
+  // The whole working set is the domain and every id in it is held by
+  // construction: sample symbol_ids_ directly, skipping the held filter.
+  blend_recode(out, symbol_ids_, degree, rng);
+}
+
+void Peer::recode_from_into(codec::RecodedSymbol& out,
+                            const std::vector<std::uint64_t>& domain_ids,
+                            std::size_t degree, util::Xoshiro256& rng) const {
+  recode_held_scratch_.clear();
+  recode_held_scratch_.reserve(domain_ids.size());
   for (const std::uint64_t id : domain_ids) {
-    if (recode_decoder_.has_symbol(id)) held.push_back(id);
+    if (recode_decoder_.has_symbol(id)) recode_held_scratch_.push_back(id);
   }
+  blend_recode(out, recode_held_scratch_, degree, rng);
+}
+
+void Peer::blend_recode(codec::RecodedSymbol& out,
+                        const std::vector<std::uint64_t>& held,
+                        std::size_t degree, util::Xoshiro256& rng) const {
   if (held.empty()) {
     throw std::invalid_argument("Peer::recode_from: no held ids in domain");
   }
   const std::size_t d = std::min(std::max<std::size_t>(degree, 1), held.size());
-  codec::RecodedSymbol symbol;
-  symbol.constituents.reserve(d);
-  for (const std::uint64_t pick :
-       util::sample_without_replacement(held.size(), d, rng)) {
+  // Reserve to the degree cap (not just d): capacities then reach steady
+  // state on the first call instead of whenever the degree distribution
+  // happens to draw its maximum — which keeps the send path's
+  // zero-allocation guarantee deterministic.
+  const std::size_t hint = std::max(
+      d, std::min(held.size(), codec::kDefaultRecodeDegreeLimit));
+  recode_pick_scratch_.reserve(hint);
+  util::sample_without_replacement_into(recode_pick_scratch_, held.size(), d,
+                                        rng);
+  out.constituents.clear();
+  out.constituents.reserve(hint);
+  out.payload.clear();
+  for (const std::uint64_t pick : recode_pick_scratch_) {
     const std::uint64_t id = held[static_cast<std::size_t>(pick)];
-    symbol.constituents.push_back(id);
-    codec::xor_into(symbol.payload, recode_decoder_.payload(id));
+    out.constituents.push_back(id);
+    codec::xor_into(out.payload, recode_decoder_.payload(id));
   }
-  std::sort(symbol.constituents.begin(), symbol.constituents.end());
-  return symbol;
+  std::sort(out.constituents.begin(), out.constituents.end());
 }
 
 }  // namespace icd::core

@@ -53,6 +53,12 @@ class Peer {
   /// recovered (0 if it was redundant or had to be buffered).
   std::size_t receive_recoded(const codec::RecodedSymbol& symbol);
 
+  /// View variants for symbols decoded in place from a transport frame:
+  /// the payload is copied exactly once, into the recode decoder (the
+  /// single-copy rule of the zero-copy receive path; see DESIGN.md).
+  std::size_t receive_encoded(const codec::EncodedSymbolView& symbol);
+  std::size_t receive_recoded(const codec::RecodedSymbolView& symbol);
+
   /// --- State -------------------------------------------------------------
 
   /// Distinct encoded symbols held (received or recovered).
@@ -114,10 +120,27 @@ class Peer {
                                    std::size_t degree,
                                    util::Xoshiro256& rng) const;
 
+  /// In-place variants for the endpoint fast path: `out`'s vectors are
+  /// reused (cleared, capacity kept), and the whole-working-set overload
+  /// samples symbol_ids() directly, so a warm sender allocates nothing per
+  /// recoded symbol. Same symbol (same rng consumption) as the returning
+  /// overloads.
+  void recode_into(codec::RecodedSymbol& out, std::size_t degree,
+                   util::Xoshiro256& rng) const;
+  void recode_from_into(codec::RecodedSymbol& out,
+                        const std::vector<std::uint64_t>& domain_ids,
+                        std::size_t degree, util::Xoshiro256& rng) const;
+
  private:
   /// Pulls newly acquired ids out of the recode decoder's log, updating the
   /// sketch and feeding the block decoder. Returns how many were new.
   std::size_t absorb_acquisitions();
+
+  /// Shared recode core: XOR-blend `degree` distinct symbols sampled from
+  /// `held` (all of which must be held) into `out`.
+  void blend_recode(codec::RecodedSymbol& out,
+                    const std::vector<std::uint64_t>& held, std::size_t degree,
+                    util::Xoshiro256& rng) const;
 
   std::string name_;
   codec::CodeParameters params_;
@@ -129,6 +152,10 @@ class Peer {
   std::size_t log_offset_ = 0;
   std::uint64_t next_fresh_id_;
   std::optional<std::vector<std::vector<std::uint8_t>>> decoded_blocks_;
+  // recode_into scratch: held-id filter and sampled indices. Mutable so
+  // the logically-const recode paths can reuse capacity across calls.
+  mutable std::vector<std::uint64_t> recode_held_scratch_;
+  mutable std::vector<std::uint64_t> recode_pick_scratch_;
 };
 
 }  // namespace icd::core

@@ -112,10 +112,15 @@ struct PeerState {
   }
 };
 
-/// Delivers every pending frame on `channel` into `peer`.
+/// Delivers every deliverable frame on `channel` into `peer`. A frame
+/// still in flight (one-hop residency) is released by the trailing empty
+/// receive and arrives on the next drain; flush the channel first at
+/// teardown to collect it immediately.
 void drain_into(wire::LossyChannel& channel, PeerState& peer) {
   while (channel.pending()) {
-    if (const auto t = decode_transmission(channel.receive())) {
+    const auto frame = channel.receive();
+    if (frame.empty()) break;  // in flight; deliverable next drain
+    if (const auto t = decode_transmission(frame)) {
       peer.apply(*t);
     }
   }
@@ -151,10 +156,13 @@ AdaptiveOverlayResult run_adaptive_overlay(
   const auto reconfigure_peer = [&](std::size_t me) {
     PeerState& peer = peers[me];
     // Reconfiguration is graceful: frames still in flight on the old
-    // connections (the alternate-round drain can hold one per edge) are
-    // delivered before teardown. A crash, by contrast, loses them in
+    // connections (the channel's one-hop residency can hold one per edge)
+    // are delivered before teardown. A crash, by contrast, loses them in
     // PeerState::reset().
-    for (Connection& conn : peer.connections) drain_into(conn.channel, peer);
+    for (Connection& conn : peer.connections) {
+      conn.channel.flush();
+      drain_into(conn.channel, peer);
+    }
     peer.connections.clear();
     if (!peer.joined || peer.completion_round != 0) return;
 
@@ -239,11 +247,11 @@ AdaptiveOverlayResult run_adaptive_overlay(
 
   // One wire hop shared by the origin feed and the p2p loop: encode,
   // account (a refused oversized frame is never a transmission), and
-  // drain fully on alternate rounds so frames can pair up for the
-  // channel's adjacent-swap reordering without starving any of them
-  // (latency <= 1 round).
+  // drain. The channel's own one-hop residency pairs adjacent frames for
+  // its swap reordering (latency <= 1 round), so draining every round is
+  // correct — no alternate-round rule needed.
   const auto send_through = [&](wire::LossyChannel& channel, PeerState& peer,
-                                const Transmission& t, std::size_t round) {
+                                const Transmission& t) {
     auto frame = encode_transmission(t);
     const std::size_t frame_bytes = frame.size();
     if (channel.send(std::move(frame))) {
@@ -252,7 +260,7 @@ AdaptiveOverlayResult run_adaptive_overlay(
     } else {
       ++result.oversized_frames;  // exceeded the edge MTU; never sent
     }
-    if (round % 2 == 0) drain_into(channel, peer);
+    drain_into(channel, peer);
   };
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
@@ -284,7 +292,7 @@ AdaptiveOverlayResult run_adaptive_overlay(
       if (!peer.origin_channel) {
         peer.origin_channel.emplace(edge_config(kOriginSenderId, i));
       }
-      send_through(*peer.origin_channel, peer, origin.produce(), round);
+      send_through(*peer.origin_channel, peer, origin.produce());
     }
 
     // Peer-to-peer transfers: one symbol per connection per round, each
@@ -293,7 +301,7 @@ AdaptiveOverlayResult run_adaptive_overlay(
       PeerState& peer = peers[i];
       if (!peer.joined || peer.completion_round != 0) continue;
       for (Connection& conn : peer.connections) {
-        send_through(conn.channel, peer, conn.view.produce(rng), round);
+        send_through(conn.channel, peer, conn.view.produce(rng));
       }
     }
 

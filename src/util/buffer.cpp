@@ -95,4 +95,11 @@ std::vector<std::uint8_t> ByteReader::raw(std::size_t n) {
   return out;
 }
 
+std::span<const std::uint8_t> ByteReader::view(std::size_t n) {
+  need(n);
+  const auto out = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 }  // namespace icd::util

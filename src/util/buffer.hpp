@@ -13,8 +13,28 @@
 /// wire size can be measured against the paper's 1 KB-packet budgets.
 namespace icd::util {
 
+/// Encoded size of a LEB128 varint (1-10 bytes).
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Adopts `storage` as the output buffer, clearing its contents but
+  /// keeping its capacity — the zero-allocation path: hand a recycled
+  /// buffer (wire::BufferPool) to the writer and take() it back out.
+  explicit ByteWriter(std::vector<std::uint8_t> storage)
+      : bytes_(std::move(storage)) {
+    bytes_.clear();
+  }
+
   void u8(std::uint8_t v) { bytes_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -42,6 +62,9 @@ class ByteReader {
   std::uint64_t u64();
   std::uint64_t varint();
   std::vector<std::uint8_t> raw(std::size_t n);
+  /// Bounds-checked non-owning view of the next `n` bytes; the span borrows
+  /// the reader's underlying buffer and is invalidated with it.
+  std::span<const std::uint8_t> view(std::size_t n);
 
   std::size_t remaining() const { return bytes_.size() - pos_; }
   bool done() const { return pos_ == bytes_.size(); }

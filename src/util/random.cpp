@@ -59,4 +59,43 @@ std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
   return result;
 }
 
+void sample_without_replacement_into(std::vector<std::uint64_t>& out,
+                                     std::uint64_t n, std::size_t k,
+                                     Xoshiro256& rng) {
+  if (k > n) {
+    throw std::invalid_argument("sample_without_replacement: k > n");
+  }
+  out.clear();
+  // Both branches run Robert Floyd's algorithm with identical rng draws,
+  // so this yields the same sample as the vector version for the same
+  // arguments — required: encoder and decoder derive neighbor sets from
+  // whichever variant their call site uses.
+  if (k > 64) {
+    // Rare large draw (the soliton tail): the O(k^2) scan would dominate,
+    // so fall back to a hash set and accept the allocation.
+    std::unordered_set<std::uint64_t> chosen;
+    chosen.reserve(k * 2);
+    for (std::uint64_t j = n - k; j < n; ++j) {
+      const std::uint64_t t = rng.next_below(j + 1);
+      if (chosen.insert(t).second) {
+        out.push_back(t);
+      } else {
+        chosen.insert(j);
+        out.push_back(j);
+      }
+    }
+    return;
+  }
+  const auto contains = [&out](std::uint64_t v) {
+    for (const std::uint64_t x : out) {
+      if (x == v) return true;
+    }
+    return false;
+  };
+  for (std::uint64_t j = n - k; j < n; ++j) {
+    const std::uint64_t t = rng.next_below(j + 1);
+    out.push_back(contains(t) ? j : t);
+  }
+}
+
 }  // namespace icd::util

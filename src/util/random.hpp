@@ -94,6 +94,15 @@ std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
                                                       std::size_t k,
                                                       Xoshiro256& rng);
 
+/// In-place variant: reuses `out`'s capacity, and for small k (<= 64, which
+/// covers the recode degree cap and the bulk of the soliton mass) tests
+/// membership by linear scan so it allocates nothing. Larger draws fall
+/// back to a hash set. Produces the same sample as the vector version for
+/// the same arguments.
+void sample_without_replacement_into(std::vector<std::uint64_t>& out,
+                                     std::uint64_t n, std::size_t k,
+                                     Xoshiro256& rng);
+
 /// Fisher-Yates shuffle of `values` in place.
 template <typename T>
 void shuffle(std::vector<T>& values, Xoshiro256& rng) {

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+/// Reusable frame buffers for the zero-allocation symbol path.
+///
+/// Every frame a Transport puts on the wire is a std::vector<uint8_t>; in
+/// steady state the same handful of buffers cycle sender -> queue ->
+/// receiver -> pool -> sender, so after warmup no send allocates. See
+/// DESIGN.md ("Buffer ownership and lifetimes") for who borrows what and
+/// when spans into these buffers are invalidated.
+namespace icd::wire {
+
+class BufferPool {
+ public:
+  /// Buffers retained beyond this are freed on release() — bounds the
+  /// memory a bursty phase (handshake fragment trains) can pin forever.
+  static constexpr std::size_t kMaxPooled = 64;
+
+  struct Stats {
+    std::size_t acquires = 0;  // total acquire() calls
+    std::size_t hits = 0;      // acquires served from the freelist
+    std::size_t releases = 0;  // buffers returned (kept or freed)
+
+    double hit_rate() const {
+      return acquires == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(acquires);
+    }
+  };
+
+  /// An empty buffer, recycled (capacity retained) when one is available.
+  std::vector<std::uint8_t> acquire() {
+    ++stats_.acquires;
+    if (free_.empty()) return {};
+    ++stats_.hits;
+    std::vector<std::uint8_t> buffer = std::move(free_.back());
+    free_.pop_back();
+    return buffer;
+  }
+
+  /// Returns a buffer to the freelist. Contents are cleared here so a
+  /// recycled buffer can never leak a previous frame's bytes.
+  void release(std::vector<std::uint8_t> buffer) {
+    ++stats_.releases;
+    if (free_.size() >= kMaxPooled) return;  // freed by destruction
+    buffer.clear();
+    free_.push_back(std::move(buffer));
+  }
+
+  std::size_t pooled() const { return free_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> free_;
+  Stats stats_;
+};
+
+}  // namespace icd::wire

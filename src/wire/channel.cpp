@@ -1,6 +1,7 @@
 #include "wire/channel.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace icd::wire {
 
@@ -18,26 +19,45 @@ bool LossyChannel::send(std::vector<std::uint8_t> frame) {
     ++dropped_;
     return true;  // sent, but the network ate it
   }
-  queue_.push_back(std::move(frame));
-  if (queue_.size() >= 2 && rng_.next_bool(config_.reorder_rate)) {
-    std::swap(queue_[queue_.size() - 1], queue_[queue_.size() - 2]);
+  // The arriving frame pushes its predecessor out of flight and into the
+  // deliverable queue; the two may swap (adjacent reordering).
+  if (in_flight_) {
+    queue_.push_back(std::move(*in_flight_));
+    in_flight_.reset();
+  }
+  in_flight_ = std::move(frame);
+  if (!queue_.empty() && rng_.next_bool(config_.reorder_rate)) {
+    std::swap(queue_.back(), *in_flight_);
   }
   return true;
 }
 
 std::vector<std::uint8_t> LossyChannel::receive() {
-  if (queue_.empty()) return {};
-  auto frame = std::move(queue_.front());
-  queue_.pop_front();
+  if (queue_.empty()) {
+    // The empty observation is the channel's clock: the in-flight frame
+    // completes its hop and is deliverable to the *next* receive().
+    flush();
+    return {};
+  }
+  auto frame = queue_.pop_front();
   delivered_bytes_ += frame.size();
   return frame;
 }
 
 Message LossyChannel::receive_message() {
-  if (queue_.empty()) {
+  if (!pending()) {
     throw std::logic_error("LossyChannel::receive_message: queue empty");
   }
-  return decode_frame(receive());
+  auto frame = receive();
+  if (frame.empty()) frame = receive();  // first call released the hop
+  return decode_frame(frame);
+}
+
+void LossyChannel::flush() {
+  if (in_flight_) {
+    queue_.push_back(std::move(*in_flight_));
+    in_flight_.reset();
+  }
 }
 
 }  // namespace icd::wire

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "util/random.hpp"
+#include "util/ring.hpp"
 #include "wire/message.hpp"
 
 /// Simulated unreliable datagram channels.
@@ -16,6 +16,13 @@
 /// between two in-process endpoints with configurable Bernoulli loss,
 /// reordering and an MTU, preserving everything the evaluation measures
 /// (byte counts, packet counts, loss tolerance).
+///
+/// The channel models a minimum queue residency of one hop: the most
+/// recently sent frame is "in flight" and becomes deliverable only once a
+/// later frame arrives behind it or a receive attempt finds the queue empty
+/// (which advances the channel's clock). This is what makes reorder_rate
+/// bite for *every* driver — adjacent frames genuinely coexist in the
+/// queue — without drivers hand-rolling alternate-drain rules.
 namespace icd::wire {
 
 /// Seed a LossyChannel falls back to when none is set.
@@ -25,8 +32,9 @@ struct ChannelConfig {
   /// Probability an enqueued datagram is silently dropped.
   double loss_rate = 0.0;
   /// Probability a delivered datagram is swapped with its successor. The
-  /// swap happens when a second frame joins the queue, so drivers that
-  /// want this knob to matter must not drain the queue after every send.
+  /// swap happens when a new frame arrives behind one still in the queue;
+  /// the one-hop minimum residency guarantees such pairs form even under
+  /// drivers that drain after every send.
   double reorder_rate = 0.0;
   /// Frames larger than this are rejected (send() returns false) — symbols
   /// are sized to fit; control messages are packetized above this layer.
@@ -64,7 +72,8 @@ class LossyChannel {
   explicit LossyChannel(ChannelConfig config);
 
   /// Enqueues one frame. Returns false (and sends nothing) if the frame
-  /// exceeds the MTU.
+  /// exceeds the MTU. The frame is in flight (not yet deliverable) until
+  /// the next send or an empty receive advances the clock.
   bool send(std::vector<std::uint8_t> frame);
 
   /// Convenience: encode + send a typed message.
@@ -72,14 +81,21 @@ class LossyChannel {
     return send(encode_frame(message));
   }
 
-  /// Whether a datagram is ready for delivery.
-  bool pending() const { return !queue_.empty(); }
+  /// Whether any frame is queued or still in flight.
+  bool pending() const { return !queue_.empty() || in_flight_.has_value(); }
 
-  /// Pops the next delivered datagram; empty when none pending.
+  /// Pops the next deliverable datagram. Empty when nothing is deliverable
+  /// *this hop* — an empty result with pending() still true means the
+  /// in-flight frame just completed its hop and the next receive() gets it.
   std::vector<std::uint8_t> receive();
 
-  /// Pops and decodes the next datagram; throws if none pending.
+  /// Receives the next pending datagram, waiting out the in-flight hop if
+  /// needed, and decodes it; throws if nothing is pending.
   Message receive_message();
+
+  /// Teardown: makes the in-flight frame deliverable immediately (nothing
+  /// further will be sent, so the clock would never release it).
+  void flush();
 
   /// Statistics.
   std::size_t sent() const { return sent_; }
@@ -93,7 +109,9 @@ class LossyChannel {
  private:
   ChannelConfig config_;
   util::Xoshiro256 rng_;
-  std::deque<std::vector<std::uint8_t>> queue_;
+  util::RingBuffer<std::vector<std::uint8_t>> queue_;
+  /// The most recently sent frame, one hop away from deliverable.
+  std::optional<std::vector<std::uint8_t>> in_flight_;
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;
   std::size_t oversized_ = 0;

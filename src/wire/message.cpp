@@ -121,7 +121,32 @@ MessageType message_type(const Message& message) {
   return std::visit(Visitor{}, message);
 }
 
-std::vector<std::uint8_t> encode_frame(const Message& message) {
+namespace {
+
+void write_frame_header(util::ByteWriter& out, MessageType type,
+                        std::size_t payload_size) {
+  out.u16(kMagic);
+  out.u8(kVersion);
+  out.u8(static_cast<std::uint8_t>(type));
+  out.varint(payload_size);
+}
+
+}  // namespace
+
+void encode_frame_into(util::ByteWriter& out, const Message& message) {
+  // The symbol types have computable payload sizes and serialize straight
+  // into `out`; everything else (control plane) stages its payload in a
+  // local writer because the length prefix precedes bytes whose size only
+  // serialization reveals.
+  if (const auto* encoded = std::get_if<EncodedSymbolMessage>(&message)) {
+    encode_frame_into(out, codec::EncodedSymbolView(encoded->symbol));
+    return;
+  }
+  if (const auto* recoded = std::get_if<RecodedSymbolMessage>(&message)) {
+    encode_frame_into(out, codec::RecodedSymbolView(recoded->symbol));
+    return;
+  }
+
   util::ByteWriter payload;
   struct Visitor {
     util::ByteWriter& writer;
@@ -136,22 +161,42 @@ std::vector<std::uint8_t> encode_frame(const Message& message) {
       write_blob(writer, m.summary.serialize());
     }
     void operator()(const Request& m) { write_payload(writer, m); }
-    void operator()(const EncodedSymbolMessage& m) {
-      write_payload(writer, m);
-    }
-    void operator()(const RecodedSymbolMessage& m) {
-      write_payload(writer, m);
-    }
+    void operator()(const EncodedSymbolMessage&) {}  // handled above
+    void operator()(const RecodedSymbolMessage&) {}  // handled above
     void operator()(const Fragment& m) { write_payload(writer, m); }
   };
   std::visit(Visitor{payload}, message);
 
+  write_frame_header(out, message_type(message), payload.size());
+  out.raw(payload.bytes());
+}
+
+void encode_frame_into(util::ByteWriter& out,
+                       const codec::EncodedSymbolView& symbol) {
+  const std::size_t payload_size =
+      8 + util::varint_size(symbol.payload.size()) + symbol.payload.size();
+  write_frame_header(out, MessageType::kEncodedSymbol, payload_size);
+  out.u64(symbol.id);
+  out.varint(symbol.payload.size());
+  out.raw(symbol.payload);
+}
+
+void encode_frame_into(util::ByteWriter& out,
+                       const codec::RecodedSymbolView& symbol) {
+  const std::size_t payload_size =
+      util::varint_size(symbol.constituents.size()) +
+      8 * symbol.constituents.size() +
+      util::varint_size(symbol.payload.size()) + symbol.payload.size();
+  write_frame_header(out, MessageType::kRecodedSymbol, payload_size);
+  out.varint(symbol.constituents.size());
+  for (const std::uint64_t id : symbol.constituents) out.u64(id);
+  out.varint(symbol.payload.size());
+  out.raw(symbol.payload);
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& message) {
   util::ByteWriter frame;
-  frame.u16(kMagic);
-  frame.u8(kVersion);
-  frame.u8(static_cast<std::uint8_t>(message_type(message)));
-  frame.varint(payload.size());
-  frame.raw(payload.bytes());
+  encode_frame_into(frame, message);
   return frame.take();
 }
 
@@ -201,7 +246,7 @@ Message decode_from_reader(util::ByteReader& reader) {
 
 }  // namespace
 
-Message decode_frame(const std::vector<std::uint8_t>& frame) {
+Message decode_frame(std::span<const std::uint8_t> frame) {
   try {
     util::ByteReader reader(frame);
     Message message = decode_from_reader(reader);
@@ -216,16 +261,67 @@ Message decode_frame(const std::vector<std::uint8_t>& frame) {
   }
 }
 
-std::vector<std::uint8_t> encode_stream(const std::vector<Message>& messages) {
-  std::vector<std::uint8_t> bytes;
-  for (const Message& message : messages) {
-    const auto frame = encode_frame(message);
-    bytes.insert(bytes.end(), frame.begin(), frame.end());
+std::optional<SymbolFrameView> decode_symbol_frame(
+    std::span<const std::uint8_t> frame,
+    std::vector<std::uint64_t>& constituent_scratch) {
+  try {
+    util::ByteReader reader(frame);
+    if (reader.u16() != kMagic) {
+      throw std::invalid_argument("wire: bad magic");
+    }
+    if (reader.u8() != kVersion) {
+      throw std::invalid_argument("wire: unsupported version");
+    }
+    const auto type = static_cast<MessageType>(reader.u8());
+    if (type != MessageType::kEncodedSymbol &&
+        type != MessageType::kRecodedSymbol) {
+      return std::nullopt;  // control frame: caller uses decode_frame
+    }
+    const std::size_t length = reader.varint();
+    util::ByteReader payload(reader.view(length));
+    if (!reader.done()) {
+      throw std::invalid_argument("wire: trailing bytes after frame");
+    }
+
+    SymbolFrameView view;
+    if (type == MessageType::kEncodedSymbol) {
+      const std::uint64_t id = payload.u64();
+      view.encoded.emplace(id, payload.view(payload.varint()));
+    } else {
+      const std::size_t degree = payload.varint();
+      // Same corrupt-degree bound as read_recoded: reject before reserving.
+      if (degree > payload.remaining() / 8) {
+        throw std::invalid_argument("wire: recoded degree exceeds payload");
+      }
+      constituent_scratch.clear();
+      constituent_scratch.reserve(degree);
+      for (std::size_t i = 0; i < degree; ++i) {
+        constituent_scratch.push_back(payload.u64());
+      }
+      view.recoded.emplace(constituent_scratch,
+                           payload.view(payload.varint()));
+    }
+    if (!payload.done()) {
+      throw std::invalid_argument("wire: trailing bytes in payload");
+    }
+    return view;
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("wire: truncated frame");
   }
-  return bytes;
 }
 
-std::vector<Message> decode_stream(const std::vector<std::uint8_t>& bytes) {
+void encode_stream_into(util::ByteWriter& out,
+                        const std::vector<Message>& messages) {
+  for (const Message& message : messages) encode_frame_into(out, message);
+}
+
+std::vector<std::uint8_t> encode_stream(const std::vector<Message>& messages) {
+  util::ByteWriter bytes;
+  encode_stream_into(bytes, messages);
+  return bytes.take();
+}
+
+std::vector<Message> decode_stream(std::span<const std::uint8_t> bytes) {
   try {
     std::vector<Message> messages;
     util::ByteReader reader(bytes);

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <variant>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "codec/symbol.hpp"
 #include "filter/bloom.hpp"
 #include "sketch/minwise.hpp"
+#include "util/buffer.hpp"
 
 /// Wire protocol for the control and data planes.
 ///
@@ -98,17 +100,48 @@ using Message =
 /// The wire type tag of a message.
 MessageType message_type(const Message& message);
 
+/// Appends one self-describing frame for `message` to `out`. This is the
+/// in-place API behind encode_frame: hand it a writer over a recycled
+/// buffer (wire::BufferPool) and nothing on the frame path allocates.
+void encode_frame_into(util::ByteWriter& out, const Message& message);
+
+/// Symbol fast path: serializes a frame straight from non-owning views, so
+/// a sender can put a held payload on the wire without materializing an
+/// EncodedSymbolMessage/RecodedSymbolMessage first. Byte-identical to the
+/// Message overload for the equivalent owning symbol.
+void encode_frame_into(util::ByteWriter& out,
+                       const codec::EncodedSymbolView& symbol);
+void encode_frame_into(util::ByteWriter& out,
+                       const codec::RecodedSymbolView& symbol);
+
 /// Serializes a message into one self-describing frame.
 std::vector<std::uint8_t> encode_frame(const Message& message);
 
 /// Parses one frame. Throws std::invalid_argument on malformed input
 /// (bad magic, unknown version/type, truncation, trailing bytes).
-Message decode_frame(const std::vector<std::uint8_t>& frame);
+Message decode_frame(std::span<const std::uint8_t> frame);
+
+/// In-place decode of a symbol frame. Exactly one of the views is engaged;
+/// its payload span borrows `frame` (valid only while the frame bytes
+/// live), and recoded constituent ids are decoded into
+/// `constituent_scratch`, which the view then borrows. Returns nullopt for
+/// well-formed non-symbol frames (callers fall back to decode_frame);
+/// throws std::invalid_argument on malformed input like decode_frame.
+struct SymbolFrameView {
+  std::optional<codec::EncodedSymbolView> encoded;
+  std::optional<codec::RecodedSymbolView> recoded;
+};
+std::optional<SymbolFrameView> decode_symbol_frame(
+    std::span<const std::uint8_t> frame,
+    std::vector<std::uint64_t>& constituent_scratch);
 
 /// Encodes a sequence of messages back-to-back into one byte stream, and
 /// splits a byte stream back into frames. Enables batching several control
-/// messages into one packet.
+/// messages into one packet. encode_stream_into appends to a (possibly
+/// recycled) buffer via the writer.
+void encode_stream_into(util::ByteWriter& out,
+                        const std::vector<Message>& messages);
 std::vector<std::uint8_t> encode_stream(const std::vector<Message>& messages);
-std::vector<Message> decode_stream(const std::vector<std::uint8_t>& bytes);
+std::vector<Message> decode_stream(std::span<const std::uint8_t> bytes);
 
 }  // namespace icd::wire

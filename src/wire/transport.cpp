@@ -10,24 +10,51 @@
 namespace icd::wire {
 
 bool Transport::send(const Message& message) {
-  auto frame = encode_frame(message);
+  util::ByteWriter writer(pool_->acquire());
+  encode_frame_into(writer, message);
+  auto frame = writer.take();
   const bool control = !is_data_type(message_type(message));
   if (frame.size() <= mtu_) {
     if (!send_frame(std::move(frame), control)) return false;
     ++stats_.messages_sent;
     return true;
   }
+  return send_oversized(std::move(frame), control);
+}
 
+bool Transport::send(const codec::EncodedSymbolView& symbol) {
+  util::ByteWriter writer(pool_->acquire());
+  encode_frame_into(writer, symbol);
+  auto frame = writer.take();
+  if (frame.size() > mtu_) return send_oversized(std::move(frame), false);
+  if (!send_frame(std::move(frame), false)) return false;
+  ++stats_.messages_sent;
+  return true;
+}
+
+bool Transport::send(const codec::RecodedSymbolView& symbol) {
+  util::ByteWriter writer(pool_->acquire());
+  encode_frame_into(writer, symbol);
+  auto frame = writer.take();
+  if (frame.size() > mtu_) return send_oversized(std::move(frame), false);
+  if (!send_frame(std::move(frame), false)) return false;
+  ++stats_.messages_sent;
+  return true;
+}
+
+bool Transport::send_oversized(std::vector<std::uint8_t> frame, bool control) {
   // Packetize: slice the oversized frame into Fragment messages, each of
   // which fits the MTU with room for its own header.
   if (mtu_ <= kFragmentOverhead) {
     ++stats_.frames_refused;
+    pool_->release(std::move(frame));
     return false;
   }
   const std::size_t chunk = mtu_ - kFragmentOverhead;
   const std::size_t count = (frame.size() + chunk - 1) / chunk;
   if (count > std::numeric_limits<std::uint16_t>::max()) {
     ++stats_.frames_refused;
+    pool_->release(std::move(frame));
     return false;
   }
   const std::uint32_t sequence = next_sequence_++;
@@ -40,8 +67,14 @@ bool Transport::send(const Message& message) {
     const std::size_t end = std::min(frame.size(), begin + chunk);
     fragment.data.assign(frame.begin() + static_cast<std::ptrdiff_t>(begin),
                          frame.begin() + static_cast<std::ptrdiff_t>(end));
-    if (!send_frame(encode_frame(fragment), control)) return false;
+    util::ByteWriter writer(pool_->acquire());
+    encode_frame_into(writer, Message{std::move(fragment)});
+    if (!send_frame(writer.take(), control)) {
+      pool_->release(std::move(frame));
+      return false;
+    }
   }
+  pool_->release(std::move(frame));
   ++stats_.messages_sent;
   return true;
 }
@@ -65,13 +98,40 @@ bool Transport::send_frame(std::vector<std::uint8_t> frame, bool control) {
   return true;
 }
 
-std::optional<Message> Transport::receive() {
-  while (auto datagram = next_datagram()) {
+bool Transport::take_datagram() {
+  // Views handed out by the previous receive die here: the frame they
+  // borrow goes back to the pool for the sender to recycle.
+  if (rx_frame_live_) {
+    pool_->release(std::move(rx_frame_));
+    rx_frame_ = {};
+    rx_frame_live_ = false;
+  }
+  auto datagram = next_datagram();
+  if (!datagram) return false;
+  rx_frame_ = std::move(*datagram);
+  rx_frame_live_ = true;
+  return true;
+}
+
+std::optional<Transport::ReceivedFrame> Transport::receive_frame() {
+  while (take_datagram()) {
     ++stats_.frames_received;
-    stats_.bytes_received += datagram->size();
+    stats_.bytes_received += rx_frame_.size();
+    // Symbol frames (the overwhelming majority in transfer) decode in
+    // place; only control frames take the owning decode_frame path.
+    try {
+      if (auto symbol = decode_symbol_frame(rx_frame_, rx_constituents_)) {
+        ++stats_.messages_received;
+        if (symbol->encoded) return ReceivedFrame{*symbol->encoded};
+        return ReceivedFrame{*symbol->recoded};
+      }
+    } catch (const std::invalid_argument&) {
+      ++stats_.malformed_frames;
+      continue;
+    }
     Message message;
     try {
-      message = decode_frame(*datagram);
+      message = decode_frame(rx_frame_);
     } catch (const std::invalid_argument&) {
       ++stats_.malformed_frames;
       continue;
@@ -79,14 +139,31 @@ std::optional<Message> Transport::receive() {
     if (auto* fragment = std::get_if<Fragment>(&message)) {
       if (auto whole = absorb_fragment(std::move(*fragment))) {
         ++stats_.messages_received;
-        return whole;
+        return ReceivedFrame{std::move(*whole)};
       }
       continue;
     }
     ++stats_.messages_received;
-    return message;
+    return ReceivedFrame{std::move(message)};
   }
   return std::nullopt;
+}
+
+std::optional<Message> Transport::receive() {
+  auto frame = receive_frame();
+  if (!frame) return std::nullopt;
+  if (auto* message = std::get_if<Message>(&*frame)) {
+    return std::move(*message);
+  }
+  if (auto* encoded = std::get_if<codec::EncodedSymbolView>(&*frame)) {
+    return EncodedSymbolMessage{codec::EncodedSymbol{
+        encoded->id,
+        {encoded->payload.begin(), encoded->payload.end()}}};
+  }
+  const auto& recoded = std::get<codec::RecodedSymbolView>(*frame);
+  return RecodedSymbolMessage{codec::RecodedSymbol{
+      {recoded.constituents.begin(), recoded.constituents.end()},
+      {recoded.payload.begin(), recoded.payload.end()}}};
 }
 
 std::optional<Message> Transport::absorb_fragment(Fragment fragment) {
@@ -137,7 +214,8 @@ std::optional<Message> Transport::absorb_fragment(Fragment fragment) {
 }
 
 Pipe::Pipe(std::size_t mtu)
-    : a_(mtu, a_to_b_, b_to_a_), b_(mtu, b_to_a_, a_to_b_) {}
+    : pool_(std::make_shared<BufferPool>()),
+      a_(mtu, pool_, a_to_b_, b_to_a_), b_(mtu, pool_, b_to_a_, a_to_b_) {}
 
 bool Pipe::End::send_datagram(std::vector<std::uint8_t> frame) {
   tx_.push_back(std::move(frame));
@@ -146,21 +224,23 @@ bool Pipe::End::send_datagram(std::vector<std::uint8_t> frame) {
 
 std::optional<std::vector<std::uint8_t>> Pipe::End::next_datagram() {
   if (rx_.empty()) return std::nullopt;
-  auto frame = std::move(rx_.front());
-  rx_.pop_front();
-  return frame;
+  return rx_.pop_front();
 }
 
-ChannelTransport::ChannelTransport(LossyChannel& tx, LossyChannel& rx)
-    : Transport(tx.config().mtu), tx_(tx), rx_(rx) {}
+ChannelTransport::ChannelTransport(LossyChannel& tx, LossyChannel& rx,
+                                   std::shared_ptr<BufferPool> pool)
+    : Transport(tx.config().mtu, std::move(pool)), tx_(tx), rx_(rx) {}
 
 bool ChannelTransport::send_datagram(std::vector<std::uint8_t> frame) {
   return tx_.send(std::move(frame));
 }
 
 std::optional<std::vector<std::uint8_t>> ChannelTransport::next_datagram() {
-  if (!rx_.pending()) return std::nullopt;
-  return rx_.receive();
+  // An empty receive is the channel's clock: the frame in flight becomes
+  // deliverable on the *next* drain (one-hop minimum queue residency).
+  auto frame = rx_.receive();
+  if (frame.empty()) return std::nullopt;
+  return frame;
 }
 
 namespace {
@@ -177,7 +257,7 @@ ChannelLink::ChannelLink(ChannelConfig both_ways)
     : ChannelLink(both_ways, decorrelated(both_ways)) {}
 
 ChannelLink::ChannelLink(ChannelConfig a_to_b, ChannelConfig b_to_a)
-    : a_to_b_(a_to_b), b_to_a_(b_to_a), a_(a_to_b_, b_to_a_),
-      b_(b_to_a_, a_to_b_) {}
+    : a_to_b_(a_to_b), b_to_a_(b_to_a), pool_(std::make_shared<BufferPool>()),
+      a_(a_to_b_, b_to_a_, pool_), b_(b_to_a_, a_to_b_, pool_) {}
 
 }  // namespace icd::wire

@@ -1,12 +1,15 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
+#include <variant>
 #include <vector>
 
+#include "util/ring.hpp"
+#include "wire/buffer_pool.hpp"
 #include "wire/channel.hpp"
 #include "wire/message.hpp"
 
@@ -23,6 +26,11 @@
 ///   * Accounting — every frame that hits the wire is classified as control
 ///     or data and counted in bytes and frames, so sessions can report
 ///     *exact* (not estimated) control-plane costs.
+///
+/// Frames are plain byte vectors recycled through a BufferPool shared by the
+/// two ends of a link, and symbol frames are encoded from / decoded into
+/// non-owning views, so the steady-state symbol path allocates nothing (see
+/// DESIGN.md, "Buffer ownership and lifetimes").
 ///
 /// Two implementations: an in-process perfect Pipe (lossless, in-order) and
 /// an adapter over the simulated LossyChannel (loss, reordering, MTU). See
@@ -78,6 +86,13 @@ class Transport {
       std::function<void(const std::vector<std::uint8_t>& frame,
                          bool is_control)>;
 
+  /// One received item: an owning control Message, or a symbol decoded in
+  /// place. The views' spans borrow transport-owned storage (the receive
+  /// buffer and the constituent scratch) and are invalidated by the next
+  /// receive()/receive_frame() call on this transport.
+  using ReceivedFrame = std::variant<Message, codec::EncodedSymbolView,
+                                     codec::RecodedSymbolView>;
+
   virtual ~Transport() = default;
 
   /// Sends one message, fragmenting if its frame exceeds the MTU. Returns
@@ -89,18 +104,36 @@ class Transport {
   /// retried by the protocol); messages_sent counts only complete sends.
   bool send(const Message& message);
 
-  /// Delivers the next fully reassembled message, if any. Malformed frames
-  /// are counted and skipped, never thrown.
+  /// Zero-allocation sends for the symbol fast path: the frame is encoded
+  /// straight from the view into a pooled buffer. Wire bytes are identical
+  /// to send(EncodedSymbolMessage{...}) / send(RecodedSymbolMessage{...}).
+  bool send(const codec::EncodedSymbolView& symbol);
+  bool send(const codec::RecodedSymbolView& symbol);
+
+  /// Delivers the next fully reassembled message, if any, decoding symbol
+  /// frames in place (payload spans borrow the transport's receive buffer
+  /// until the next receive call — the single-copy receive rule). Malformed
+  /// frames are counted and skipped, never thrown.
+  std::optional<ReceivedFrame> receive_frame();
+
+  /// Owning variant of receive_frame(): symbol views are materialized into
+  /// EncodedSymbolMessage/RecodedSymbolMessage. Control paths and tests.
   std::optional<Message> receive();
 
   std::size_t mtu() const { return mtu_; }
   const TransportStats& stats() const { return stats_; }
+  const BufferPool& pool() const { return *pool_; }
   void set_frame_observer(FrameObserver observer) {
     observer_ = std::move(observer);
   }
 
  protected:
-  explicit Transport(std::size_t mtu) : mtu_(mtu) {}
+  /// Transports at the two ends of one link share `pool` so buffers cycle
+  /// sender -> link -> receiver -> pool -> sender; a null pool gets a
+  /// private one.
+  Transport(std::size_t mtu, std::shared_ptr<BufferPool> pool)
+      : mtu_(mtu),
+        pool_(pool ? std::move(pool) : std::make_shared<BufferPool>()) {}
 
   /// One datagram to / from the underlying link.
   virtual bool send_datagram(std::vector<std::uint8_t> frame) = 0;
@@ -108,6 +141,8 @@ class Transport {
 
  private:
   bool send_frame(std::vector<std::uint8_t> frame, bool control);
+  bool send_oversized(std::vector<std::uint8_t> frame, bool control);
+  bool take_datagram();
   std::optional<Message> absorb_fragment(Fragment fragment);
 
   struct Partial {
@@ -116,10 +151,17 @@ class Transport {
   };
 
   std::size_t mtu_;
+  std::shared_ptr<BufferPool> pool_;
   TransportStats stats_;
   FrameObserver observer_;
   std::uint32_t next_sequence_ = 1;
   std::map<std::uint32_t, Partial> partials_;
+  /// The last datagram taken from the link: views handed out by
+  /// receive_frame() borrow it; released to the pool on the next take.
+  std::vector<std::uint8_t> rx_frame_;
+  bool rx_frame_live_ = false;
+  /// Decoded recoded-symbol ids; RecodedSymbolView borrows this.
+  std::vector<std::uint64_t> rx_constituents_;
 };
 
 /// A perfect in-process link: lossless, in-order, but still MTU-bounded so
@@ -139,23 +181,28 @@ class Pipe {
   Transport& b() { return b_; }
 
  private:
+  using Queue = util::RingBuffer<std::vector<std::uint8_t>>;
+
   class End : public Transport {
    public:
-    End(std::size_t mtu, std::deque<std::vector<std::uint8_t>>& tx,
-        std::deque<std::vector<std::uint8_t>>& rx)
-        : Transport(mtu), tx_(tx), rx_(rx) {}
+    End(std::size_t mtu, std::shared_ptr<BufferPool> pool, Queue& tx,
+        Queue& rx)
+        : Transport(mtu, std::move(pool)), tx_(tx), rx_(rx) {}
 
    protected:
     bool send_datagram(std::vector<std::uint8_t> frame) override;
     std::optional<std::vector<std::uint8_t>> next_datagram() override;
 
    private:
-    std::deque<std::vector<std::uint8_t>>& tx_;
-    std::deque<std::vector<std::uint8_t>>& rx_;
+    Queue& tx_;
+    Queue& rx_;
   };
 
-  std::deque<std::vector<std::uint8_t>> a_to_b_;
-  std::deque<std::vector<std::uint8_t>> b_to_a_;
+  Queue a_to_b_;
+  Queue b_to_a_;
+  /// Shared by both ends so a buffer sent by `a` returns to the pool when
+  /// `b` consumes it, ready for `a`'s next send. Declared before the ends.
+  std::shared_ptr<BufferPool> pool_;
   End a_;
   End b_;
 };
@@ -165,7 +212,8 @@ class Pipe {
 class ChannelTransport : public Transport {
  public:
   /// MTU is taken from the outbound channel's config.
-  ChannelTransport(LossyChannel& tx, LossyChannel& rx);
+  ChannelTransport(LossyChannel& tx, LossyChannel& rx,
+                   std::shared_ptr<BufferPool> pool = nullptr);
 
  protected:
   bool send_datagram(std::vector<std::uint8_t> frame) override;
@@ -196,9 +244,19 @@ class ChannelLink {
   const LossyChannel& a_to_b() const { return a_to_b_; }
   const LossyChannel& b_to_a() const { return b_to_a_; }
 
+  /// Makes both directions' in-flight frames deliverable immediately
+  /// (teardown: nothing further will be sent, so the one-hop clock would
+  /// never release them).
+  void flush() {
+    a_to_b_.flush();
+    b_to_a_.flush();
+  }
+
  private:
   LossyChannel a_to_b_;
   LossyChannel b_to_a_;
+  /// Shared pool, as in Pipe; frames the channels drop are simply freed.
+  std::shared_ptr<BufferPool> pool_;
   ChannelTransport a_;
   ChannelTransport b_;
 };

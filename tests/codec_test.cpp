@@ -120,15 +120,16 @@ TEST(BlockSource, ZeroBlockSizeThrows) {
 
 TEST(XorInto, Semantics) {
   std::vector<std::uint8_t> a{1, 2, 3};
-  xor_into(a, {1, 2, 3});
+  xor_into(a, std::vector<std::uint8_t>{1, 2, 3});
   EXPECT_EQ(a, (std::vector<std::uint8_t>{0, 0, 0}));
   std::vector<std::uint8_t> empty;
-  xor_into(empty, {7, 8});
+  xor_into(empty, std::vector<std::uint8_t>{7, 8});
   EXPECT_EQ(empty, (std::vector<std::uint8_t>{7, 8}));
-  xor_into(empty, {});
+  xor_into(empty, std::vector<std::uint8_t>{});
   EXPECT_EQ(empty, (std::vector<std::uint8_t>{7, 8}));
   std::vector<std::uint8_t> mismatched{1};
-  EXPECT_THROW(xor_into(mismatched, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(xor_into(mismatched, std::vector<std::uint8_t>{1, 2}),
+               std::invalid_argument);
 }
 
 TEST(Encoder, NeighborsAreDeterministicAndDistinct) {
@@ -174,9 +175,11 @@ TEST(Encoder, StreamsWithDistinctSeedsAreDisjoint) {
 TEST(PeelingDecoder, DirectAndCascadedRecovery) {
   PeelingDecoder<int> peeler;
   // y1 = x1; y2 = x1 ^ x2; y3 = x2 ^ x3 — the paper's substitution example.
-  EXPECT_TRUE(peeler.add_equation({1}, {0x0f}));
-  EXPECT_TRUE(peeler.add_equation({1, 2}, {0x0f ^ 0x35}));
-  EXPECT_TRUE(peeler.add_equation({2, 3}, {0x35 ^ 0x77}));
+  EXPECT_TRUE(peeler.add_equation({1}, std::vector<std::uint8_t>{0x0f}));
+  EXPECT_TRUE(
+      peeler.add_equation({1, 2}, std::vector<std::uint8_t>{0x0f ^ 0x35}));
+  EXPECT_TRUE(
+      peeler.add_equation({2, 3}, std::vector<std::uint8_t>{0x35 ^ 0x77}));
   EXPECT_EQ(peeler.known_count(), 3u);
   EXPECT_EQ(peeler.value(1), (std::vector<std::uint8_t>{0x0f}));
   EXPECT_EQ(peeler.value(2), (std::vector<std::uint8_t>{0x35}));
@@ -185,25 +188,26 @@ TEST(PeelingDecoder, DirectAndCascadedRecovery) {
 
 TEST(PeelingDecoder, BufferedEquationResolvesLater) {
   PeelingDecoder<int> peeler;
-  EXPECT_FALSE(peeler.add_equation({1, 2}, {0x03}));  // buffered
+  EXPECT_FALSE(peeler.add_equation(
+      {1, 2}, std::vector<std::uint8_t>{0x03}));  // buffered
   EXPECT_EQ(peeler.buffered_count(), 1u);
-  EXPECT_TRUE(peeler.mark_known(1, {0x01}));
+  EXPECT_TRUE(peeler.mark_known(1, std::vector<std::uint8_t>{0x01}));
   EXPECT_EQ(peeler.buffered_count(), 0u);
   EXPECT_EQ(peeler.value(2), (std::vector<std::uint8_t>{0x02}));
 }
 
 TEST(PeelingDecoder, RedundantEquationsCounted) {
   PeelingDecoder<int> peeler;
-  peeler.mark_known(1, {0x01});
-  peeler.mark_known(2, {0x02});
-  EXPECT_FALSE(peeler.add_equation({1, 2}, {0x03}));
+  peeler.mark_known(1, std::vector<std::uint8_t>{0x01});
+  peeler.mark_known(2, std::vector<std::uint8_t>{0x02});
+  EXPECT_FALSE(peeler.add_equation({1, 2}, std::vector<std::uint8_t>{0x03}));
   EXPECT_EQ(peeler.redundant_count(), 1u);
 }
 
 TEST(PeelingDecoder, DuplicateKeysCancel) {
   PeelingDecoder<int> peeler;
   // x1 ^ x1 ^ x2 = x2.
-  EXPECT_TRUE(peeler.add_equation({1, 1, 2}, {0x09}));
+  EXPECT_TRUE(peeler.add_equation({1, 1, 2}, std::vector<std::uint8_t>{0x09}));
   EXPECT_TRUE(peeler.is_known(2));
   EXPECT_FALSE(peeler.is_known(1));
   EXPECT_EQ(peeler.value(2), (std::vector<std::uint8_t>{0x09}));
@@ -211,8 +215,8 @@ TEST(PeelingDecoder, DuplicateKeysCancel) {
 
 TEST(PeelingDecoder, RecoveryLogOrdersAcquisitions) {
   PeelingDecoder<int> peeler;
-  peeler.mark_known(5, {});
-  peeler.add_equation({5, 6}, {});
+  peeler.mark_known(5, std::vector<std::uint8_t>{});
+  peeler.add_equation({5, 6}, std::vector<std::uint8_t>{});
   ASSERT_EQ(peeler.recovery_log().size(), 2u);
   EXPECT_EQ(peeler.recovery_log()[0], 5);
   EXPECT_EQ(peeler.recovery_log()[1], 6);
