@@ -7,6 +7,7 @@
 // PRs can track the throughput/allocation trajectory.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -61,6 +62,31 @@ inline bool smoke_mode(int argc, char** argv) {
     if (std::strcmp(argv[i], "--smoke") == 0) return true;
   }
   return false;
+}
+
+/// Parses --shards N — the SimConfig::shards worker-pool knob shared by
+/// the delivery engine and the Section 6 harnesses. 1 (the bit-for-bit
+/// single-threaded path) when absent or unparsable.
+inline std::size_t shards_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "--shards needs a value; using 1\n");
+      return 1;
+    }
+    // strtoul wraps negatives to huge values and stops at the first
+    // non-digit; reject both rather than letting ShardPool try to spawn
+    // 2^64 threads or silently dropping trailing garbage.
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(argv[i + 1], &end, 10);
+    if (end == argv[i + 1] || *end != '\0' || value == 0 || value > 256) {
+      std::fprintf(stderr, "--shards %s not in [1, 256]; using 1\n",
+                   argv[i + 1]);
+      return 1;
+    }
+    return static_cast<std::size_t>(value);
+  }
+  return 1;
 }
 
 /// Flat key -> number report written as one JSON object. Keys are emitted

@@ -1,0 +1,210 @@
+// Sharded delivery engine scaling: a 64-peer swarm downloading one piece
+// of content through ContentDeliveryService-style ticks, run on 1/2/4/8
+// worker shards of core::ShardedDelivery. Emits BENCH_delivery.json.
+//
+// Two scaling views are reported:
+//   * wall-clock speedup — honest elapsed time; meaningful when the
+//     machine has at least as many cores as shards;
+//   * critical-path speedup — the work model baseline_wall /
+//     (serial_part + max per-shard thread-CPU time), which is what the
+//     wall clock converges to on a sufficiently parallel machine. On
+//     boxes with fewer cores than shards (CI runners, laptops in
+//     containers) this is the only view that can show scaling, and the
+//     JSON labels which basis the headline speedup uses.
+//
+// Also checks the determinism contract on every run: shards = 1 must
+// reproduce the legacy single-threaded ContentDeliveryService per-peer
+// results exactly (completion ticks and cumulative wire accounting).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/delivery.hpp"
+#include "core/sharded_delivery.hpp"
+
+namespace {
+
+using namespace icd;
+
+std::vector<std::uint8_t> make_content(std::size_t bytes) {
+  std::vector<std::uint8_t> content(bytes);
+  util::Xoshiro256 rng(0xc0ffee);
+  for (auto& b : content) b = static_cast<std::uint8_t>(rng());
+  return content;
+}
+
+core::DeliveryOptions delivery_options() {
+  core::DeliveryOptions options;
+  options.block_size = 512;
+  options.max_peer_sessions = 2;
+  options.refresh_interval = 40;
+  return options;
+}
+
+struct SwarmRun {
+  bool completed = false;
+  std::size_t ticks = 0;
+  double wall_ms = 0.0;
+  /// Sum over peers of distinct encoded symbols absorbed — the "work" the
+  /// throughput figures are normalized by.
+  std::size_t symbols = 0;
+  double serial_ms = 0.0;    // wall time outside the parallel phases
+  double max_busy_ms = 0.0;  // busiest shard's thread-CPU time
+  std::vector<std::size_t> completion_ticks;
+  std::size_t control_bytes = 0;
+  std::size_t data_bytes = 0;
+};
+
+template <typename Service>
+void drive(Service& service, std::size_t peers, std::size_t origin_fed,
+           std::size_t max_ticks, SwarmRun& run) {
+  for (std::size_t p = 0; p < peers; ++p) {
+    service.add_peer("peer" + std::to_string(p), p < origin_fed);
+  }
+  run.completion_ticks.assign(peers, 0);
+  for (std::size_t t = 0; t < max_ticks; ++t) {
+    service.tick();
+    for (std::size_t p = 0; p < peers; ++p) {
+      if (run.completion_ticks[p] == 0 && service.peer_complete(p)) {
+        run.completion_ticks[p] = service.ticks();
+      }
+    }
+    bool all = true;
+    for (std::size_t p = 0; p < peers; ++p) {
+      all = all && service.peer_complete(p);
+    }
+    if (all) break;
+  }
+  run.ticks = service.ticks();
+  run.completed = std::all_of(run.completion_ticks.begin(),
+                              run.completion_ticks.end(),
+                              [](std::size_t t) { return t != 0; });
+  for (std::size_t p = 0; p < peers; ++p) {
+    run.symbols += service.peer(p).symbol_count();
+  }
+  const auto totals = service.link_totals();
+  run.control_bytes = totals.control_bytes;
+  run.data_bytes = totals.data_bytes;
+}
+
+SwarmRun run_swarm(const std::vector<std::uint8_t>& content,
+                   std::size_t shards, std::size_t peers,
+                   std::size_t max_ticks) {
+  SwarmRun run;
+  core::ShardOptions shard_options;
+  shard_options.shards = shards;
+  core::ShardedDelivery service(content, delivery_options(), shard_options);
+  service.add_mirror();
+  const auto start = std::chrono::steady_clock::now();
+  drive(service, peers, /*origin_fed=*/peers / 4, max_ticks, run);
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  run.serial_ms =
+      run.wall_ms - static_cast<double>(service.parallel_wall_ns()) / 1e6;
+  for (const std::uint64_t ns : service.shard_busy_ns()) {
+    run.max_busy_ms = std::max(run.max_busy_ms, static_cast<double>(ns) / 1e6);
+  }
+  return run;
+}
+
+/// shards = 1 must reproduce the legacy engine exactly.
+bool check_determinism(const std::vector<std::uint8_t>& content,
+                       std::size_t peers, std::size_t max_ticks) {
+  SwarmRun legacy;
+  {
+    core::ContentDeliveryService service(content, delivery_options());
+    service.add_mirror();
+    drive(service, peers, peers / 4, max_ticks, legacy);
+  }
+  SwarmRun sharded = run_swarm(content, /*shards=*/1, peers, max_ticks);
+  const bool equal = legacy.completion_ticks == sharded.completion_ticks &&
+                     legacy.control_bytes == sharded.control_bytes &&
+                     legacy.data_bytes == sharded.data_bytes &&
+                     legacy.symbols == sharded.symbols;
+  std::printf("determinism (shards=1 vs legacy): %s\n",
+              equal ? "EXACT" : "MISMATCH");
+  return equal;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = icd::bench::smoke_mode(argc, argv);
+  const std::size_t peers = smoke ? 8 : 64;
+  const std::size_t content_bytes = smoke ? 16 * 1024 : 96 * 1024;
+  const std::size_t max_ticks = smoke ? 4000 : 20000;
+  const std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
+
+  const auto content = make_content(content_bytes);
+  icd::bench::JsonReport report;
+  report.add_string("bench", "delivery_shard_scaling");
+  report.add_string("mode", smoke ? "smoke" : "full");
+  report.add("peers", peers);
+  report.add("content_bytes", content_bytes);
+  report.add("hw_threads",
+             static_cast<std::size_t>(std::thread::hardware_concurrency()));
+
+  const bool deterministic = check_determinism(content, peers, max_ticks);
+  report.add("shards1_matches_legacy", deterministic ? std::size_t{1}
+                                                     : std::size_t{0});
+
+  std::printf("%8s %10s %12s %12s %12s %10s\n", "shards", "ticks", "wall ms",
+              "serial ms", "max busy ms", "complete");
+  double base_wall = 0.0;
+  double wall_speedup_at_8 = 0.0;
+  double model_speedup_at_8 = 0.0;
+  for (const std::size_t shards : shard_counts) {
+    const SwarmRun run = run_swarm(content, shards, peers, max_ticks);
+    std::printf("%8zu %10zu %12.1f %12.1f %12.1f %10s\n", shards, run.ticks,
+                run.wall_ms, run.serial_ms, run.max_busy_ms,
+                run.completed ? "yes" : "NO");
+    const std::string prefix = "shards" + std::to_string(shards);
+    report.add(prefix + "_wall_ms", run.wall_ms);
+    report.add(prefix + "_ticks", run.ticks);
+    report.add(prefix + "_symbols", run.symbols);
+    report.add(prefix + "_completed", run.completed ? std::size_t{1}
+                                                    : std::size_t{0});
+    report.add(prefix + "_sym_per_sec",
+               run.wall_ms > 0
+                   ? static_cast<double>(run.symbols) / (run.wall_ms / 1e3)
+                   : 0.0);
+    if (shards == 1) {
+      base_wall = run.wall_ms;
+    } else {
+      // The parallel-machine model: serial part + the busiest shard's CPU
+      // time is what the wall clock becomes once every shard has a core.
+      const double modeled = run.serial_ms + run.max_busy_ms;
+      const double wall_speedup =
+          run.wall_ms > 0 ? base_wall / run.wall_ms : 0.0;
+      const double model_speedup = modeled > 0 ? base_wall / modeled : 0.0;
+      report.add(prefix + "_wall_speedup", wall_speedup);
+      report.add(prefix + "_critical_path_ms", modeled);
+      report.add(prefix + "_critical_path_speedup", model_speedup);
+      if (shards == shard_counts.back()) {
+        wall_speedup_at_8 = wall_speedup;
+        model_speedup_at_8 = model_speedup;
+      }
+    }
+  }
+
+  // Headline speedup: wall clock when the machine can actually run all
+  // shards concurrently, the critical-path model otherwise.
+  const std::size_t cores = std::thread::hardware_concurrency();
+  const bool use_wall = cores >= shard_counts.back();
+  report.add_string("speedup_basis", use_wall ? "wall_clock" : "critical_path");
+  report.add("speedup_max_shards",
+             use_wall ? wall_speedup_at_8 : model_speedup_at_8);
+  std::printf("speedup at %zu shards: %.2fx (%s basis, %zu hw threads)\n",
+              shard_counts.back(),
+              use_wall ? wall_speedup_at_8 : model_speedup_at_8,
+              use_wall ? "wall clock" : "critical path", cores);
+
+  report.write("BENCH_delivery.json");
+  return deterministic ? 0 : 1;
+}

@@ -9,6 +9,9 @@
 
 namespace {
 
+/// --shards N: produce each round's sender symbols on a worker pool.
+std::size_t g_shards = 1;
+
 void run_scenario(const char* name, double stretch, double max_correlation,
                   std::size_t senders) {
   using namespace icd;
@@ -33,6 +36,7 @@ void run_scenario(const char* name, double stretch, double max_correlation,
             realized = scenario.correlation;
             overlay::SimConfig c = config;
             c.seed = seed ^ 0xbeef;
+            c.shards = g_shards;
             return overlay::run_multi_transfer(scenario, strategy, c)
                 .speedup();
           });
@@ -46,7 +50,8 @@ void run_scenario(const char* name, double stretch, double max_correlation,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_shards = icd::bench::shards_arg(argc, argv);
   run_scenario("compact (1.1n distinct symbols)", icd::overlay::kCompactStretch,
                0.30, 2);
   run_scenario("stretched (1.5n distinct symbols)",

@@ -54,20 +54,35 @@ std::size_t ArtSummary::total_bits() const {
 
 std::vector<std::uint8_t> ArtSummary::serialize() const {
   util::ByteWriter writer;
-  writer.varint(element_count_);
-  writer.u8(leaf_filter_ ? 1 : 0);
-  writer.u8(internal_filter_ ? 1 : 0);
+  serialize_into(writer);
+  return writer.take();
+}
+
+std::size_t ArtSummary::serialized_size() const {
+  std::size_t size = util::varint_size(element_count_) + 2;
   if (leaf_filter_) {
-    const auto bytes = leaf_filter_->serialize();
-    writer.varint(bytes.size());
-    writer.raw(bytes);
+    const std::size_t inner = leaf_filter_->serialized_size();
+    size += util::varint_size(inner) + inner;
   }
   if (internal_filter_) {
-    const auto bytes = internal_filter_->serialize();
-    writer.varint(bytes.size());
-    writer.raw(bytes);
+    const std::size_t inner = internal_filter_->serialized_size();
+    size += util::varint_size(inner) + inner;
   }
-  return writer.take();
+  return size;
+}
+
+void ArtSummary::serialize_into(util::ByteWriter& out) const {
+  out.varint(element_count_);
+  out.u8(leaf_filter_ ? 1 : 0);
+  out.u8(internal_filter_ ? 1 : 0);
+  if (leaf_filter_) {
+    out.varint(leaf_filter_->serialized_size());
+    leaf_filter_->serialize_into(out);
+  }
+  if (internal_filter_) {
+    out.varint(internal_filter_->serialized_size());
+    internal_filter_->serialize_into(out);
+  }
 }
 
 ArtSummary ArtSummary::deserialize(const std::vector<std::uint8_t>& bytes) {

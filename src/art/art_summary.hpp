@@ -36,8 +36,13 @@ class ArtSummary {
   std::size_t element_count() const { return element_count_; }
 
   /// Total size of both filters in bits / in serialized bytes.
+  /// serialize_into appends the same bytes as serialize() to an existing
+  /// writer (e.g. over a pooled frame buffer) without scratch vectors;
+  /// serialized_size is the exact byte count it will append.
   std::size_t total_bits() const;
   std::vector<std::uint8_t> serialize() const;
+  std::size_t serialized_size() const;
+  void serialize_into(util::ByteWriter& out) const;
   static ArtSummary deserialize(const std::vector<std::uint8_t>& bytes);
 
   static constexpr std::uint64_t kSummarySeed = 0x5a11ad5b100f11ULL;

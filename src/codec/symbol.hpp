@@ -5,6 +5,10 @@
 #include <span>
 #include <vector>
 
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 /// Symbol types exchanged by peers.
 ///
 /// An *encoded symbol* is the XOR of a subset of source blocks; the subset is
@@ -69,13 +73,45 @@ struct RecodedSymbolView {
   std::size_t degree() const { return constituents.size(); }
 };
 
-/// Word-wise XOR kernel: dst[i] ^= src[i] for `n` bytes, eight bytes per
-/// lane (memcpy keeps it alignment- and aliasing-safe; compilers lower the
-/// loop to full-width vector XORs). This is the one XOR inner loop shared
-/// by the encoder, recoder, peeling decoders and inactivation solver.
+/// Wide XOR kernel: dst[i] ^= src[i] for `n` bytes. This is the one XOR
+/// inner loop shared by the encoder, recoder, peeling decoders and
+/// inactivation solver, so it is explicitly widened rather than left to
+/// auto-vectorization: 32 bytes per iteration via AVX2 when the build
+/// enables it, otherwise an unrolled 4x-uint64 block (memcpy keeps both
+/// alignment- and aliasing-safe), then a word tail and a byte tail.
 inline void xor_bytes(std::uint8_t* dst, const std::uint8_t* src,
                       std::size_t n) {
   std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+#else
+  for (; i + 32 <= n; i += 32) {
+    std::uint64_t a0, a1, a2, a3, b0, b1, b2, b3;
+    std::memcpy(&a0, dst + i, 8);
+    std::memcpy(&a1, dst + i + 8, 8);
+    std::memcpy(&a2, dst + i + 16, 8);
+    std::memcpy(&a3, dst + i + 24, 8);
+    std::memcpy(&b0, src + i, 8);
+    std::memcpy(&b1, src + i + 8, 8);
+    std::memcpy(&b2, src + i + 16, 8);
+    std::memcpy(&b3, src + i + 24, 8);
+    a0 ^= b0;
+    a1 ^= b1;
+    a2 ^= b2;
+    a3 ^= b3;
+    std::memcpy(dst + i, &a0, 8);
+    std::memcpy(dst + i + 8, &a1, 8);
+    std::memcpy(dst + i + 16, &a2, 8);
+    std::memcpy(dst + i + 24, &a3, 8);
+  }
+#endif
   for (; i + 8 <= n; i += 8) {
     std::uint64_t a, b;
     std::memcpy(&a, dst + i, 8);

@@ -3,21 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/session_plan.hpp"
 #include "util/hash.hpp"
 
 namespace icd::core {
-
-namespace {
-
-codec::DegreeDistribution make_distribution(std::size_t content_size,
-                                            std::size_t block_size) {
-  const std::size_t blocks =
-      std::max<std::size_t>(1, (content_size + block_size - 1) / block_size);
-  return codec::DegreeDistribution::robust_soliton(std::max<std::size_t>(
-      blocks, 2));
-}
-
-}  // namespace
 
 ContentDeliveryService::ContentDeliveryService(
     std::vector<std::uint8_t> content, DeliveryOptions options)
@@ -25,14 +14,14 @@ ContentDeliveryService::ContentDeliveryService(
       next_session_seed_(util::mix64(options.session_seed ^ 0x5e551075ULL)) {
   origins_.push_back(std::make_unique<OriginServer>(
       content_, options_.block_size,
-      make_distribution(content_.size(), options_.block_size),
+      delivery_distribution(content_.size(), options_.block_size),
       options_.session_seed, /*stream_index=*/0));
 }
 
 void ContentDeliveryService::add_mirror() {
   origins_.push_back(std::make_unique<OriginServer>(
       content_, options_.block_size,
-      make_distribution(content_.size(), options_.block_size),
+      delivery_distribution(content_.size(), options_.block_size),
       options_.session_seed, /*stream_index=*/origins_.size()));
 }
 
@@ -41,7 +30,7 @@ std::size_t ContentDeliveryService::add_peer(const std::string& name,
   PeerEntry entry;
   entry.peer = std::make_unique<Peer>(
       name, origins_.front()->parameters(),
-      make_distribution(content_.size(), options_.block_size));
+      delivery_distribution(content_.size(), options_.block_size));
   entry.origin_fed = subscribe_origin;
   entry.origin_index = peers_.size() % origins_.size();
   peers_.push_back(std::move(entry));
@@ -50,69 +39,44 @@ std::size_t ContentDeliveryService::add_peer(const std::string& name,
 
 void ContentDeliveryService::refresh_sessions() {
   // Tear down finished/stale sessions, then give every incomplete peer up
-  // to max_peer_sessions downloads from admission-ranked senders.
-  for (std::size_t me = 0; me < peers_.size(); ++me) {
-    PeerEntry& entry = peers_[me];
-    // Graceful teardown (mirrors the simulator's reconfigure): flush and
-    // deliver frames still in flight (nothing further will be sent on the
-    // link, so the channel's one-hop clock would never release them), then
-    // bank the wire costs of the links about to be retired so cumulative
-    // accounting (link_totals) survives.
-    for (auto& [sender_id, download] : entry.downloads) {
-      download->link.flush();
-      download->receiver.tick();
-      accumulate_link(*download, retired_link_totals_);
-    }
-    entry.downloads.clear();
-    if (entry.peer->has_content()) continue;
-
-    std::vector<CandidateSender> candidates;
-    for (std::size_t j = 0; j < peers_.size(); ++j) {
-      if (j == me || peers_[j].peer->symbol_count() == 0) continue;
-      candidates.push_back(CandidateSender{
-          j, &peers_[j].peer->sketch(), peers_[j].peer->symbol_count()});
-    }
-    auto selected = select_senders(
-        entry.peer->sketch(), entry.peer->symbol_count(), candidates,
-        options_.admission, options_.max_peer_sessions);
-    // Starvation fallback: admission exists to skip identical-content
-    // senders, but near the end of a download every candidate looks
-    // near-identical (resemblance above the cutoff) while still holding
-    // the few novel symbols the peer needs to finish. An incomplete peer
-    // connects to the largest candidate rather than stalling forever —
-    // unless peer sessions are disabled outright (max_peer_sessions 0).
-    if (selected.empty() && !candidates.empty() &&
-        options_.max_peer_sessions > 0) {
-      const auto best = std::max_element(
-          candidates.begin(), candidates.end(),
-          [](const CandidateSender& a, const CandidateSender& b) {
-            return a.working_set_size < b.working_set_size;
-          });
-      selected.push_back(best->id);
-    }
-
-    const std::size_t target = static_cast<std::size_t>(
-        1.07 * static_cast<double>(parameters().block_count));
-    const std::size_t have = entry.peer->symbol_count();
-    const std::size_t needed = target > have ? target - have : 1;
-    for (const std::size_t j : selected) {
-      SessionOptions session_options;
-      session_options.strategy = options_.strategy;
-      session_options.requested_symbols = std::max<std::size_t>(
-          1, (needed * 5 / 4) / std::max<std::size_t>(1, selected.size()));
-      session_options.seed = next_session_seed_ =
-          util::mix64(next_session_seed_);
-      const wire::ChannelConfig link_config = wire::resolve_edge_config(
-          options_.link_config, options_.link, j, me,
-          util::mix64(next_session_seed_ ^ 0x11aacULL));
-      auto download = std::make_unique<DownloadLink>(
-          *peers_[j].peer, *entry.peer, session_options, link_config);
-      // The handshake itself flows over the (possibly lossy) link and
-      // completes across subsequent ticks.
-      download->receiver.start();
-      entry.downloads.emplace(j, std::move(download));
-    }
-  }
+  // to max_peer_sessions downloads from admission-ranked senders. The loop
+  // shape, ranking, fallback and seed chain live in session_plan, shared
+  // with ShardedDelivery so the two engines form identical sessions.
+  const std::size_t target = static_cast<std::size_t>(
+      1.07 * static_cast<double>(parameters().block_count));
+  run_refresh_loop(
+      peers_.size(), options_, target, next_session_seed_,
+      /*teardown=*/
+      [this](std::size_t me) {
+        // Graceful teardown (mirrors the simulator's reconfigure): flush
+        // and deliver frames still in flight (nothing further will be sent
+        // on the link, so the channel's one-hop clock would never release
+        // them), then bank the wire costs of the links about to be retired
+        // so cumulative accounting (link_totals) survives.
+        for (auto& [sender_id, download] : peers_[me].downloads) {
+          download->link.flush();
+          download->receiver.tick();
+          accumulate_link(*download, retired_link_totals_);
+        }
+        peers_[me].downloads.clear();
+      },
+      /*is_complete=*/
+      [this](std::size_t me) { return peers_[me].peer->has_content(); },
+      /*snapshot=*/
+      [this](std::size_t j) {
+        return PlanPeer{&peers_[j].peer->sketch(),
+                        peers_[j].peer->symbol_count()};
+      },
+      /*create=*/
+      [this](std::size_t me, PlannedDownload& planned) {
+        auto download = std::make_unique<DownloadLink>(
+            *peers_[planned.sender_id].peer, *peers_[me].peer,
+            planned.session, planned.link);
+        // The handshake itself flows over the (possibly lossy) link and
+        // completes across subsequent ticks.
+        download->receiver.start();
+        peers_[me].downloads.emplace(planned.sender_id, std::move(download));
+      });
 }
 
 std::size_t ContentDeliveryService::tick() {
@@ -161,15 +125,8 @@ std::vector<std::uint8_t> ContentDeliveryService::peer_content(
 
 void ContentDeliveryService::accumulate_link(const DownloadLink& download,
                                              LinkTotals& totals) {
-  for (const wire::Transport* transport :
-       {&download.sender.transport(), &download.receiver.transport()}) {
-    const auto& stats = transport->stats();
-    totals.control_bytes += stats.control_bytes_sent;
-    totals.control_frames += stats.control_frames_sent;
-    totals.data_bytes += stats.data_bytes_sent;
-    totals.data_frames += stats.data_frames_sent;
-    totals.frames_refused += stats.frames_refused;
-  }
+  totals.add(download.sender.transport().stats())
+      .add(download.receiver.transport().stats());
 }
 
 ContentDeliveryService::LinkTotals

@@ -102,6 +102,19 @@ class ContentDeliveryService {
       frames_refused += other.frames_refused;
       return *this;
     }
+
+    /// Banks one transport's send-side counters. The single place the
+    /// TransportStats -> LinkTotals field mapping lives: both delivery
+    /// engines accumulate through this, so a new counter can't land in
+    /// one engine and silently skew the other's accounting.
+    LinkTotals& add(const wire::TransportStats& stats) {
+      control_bytes += stats.control_bytes_sent;
+      control_frames += stats.control_frames_sent;
+      data_bytes += stats.data_bytes_sent;
+      data_frames += stats.data_frames_sent;
+      frames_refused += stats.frames_refused;
+      return *this;
+    }
   };
   /// Stats over currently active links only; resets to near zero after
   /// every refresh_interval teardown. Use link_totals() for cumulative

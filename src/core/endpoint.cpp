@@ -30,11 +30,28 @@ void ReceiverEndpoint::start() {
   send_bundle();
 }
 
+namespace {
+
+/// (Re)fills a cached SketchMessage with the peer's current sketch —
+/// copy-assignment into the cached minima vector reuses its capacity, so
+/// only the very first bundle of a session allocates for the sketch.
+const wire::Message& refresh_sketch_scratch(
+    std::optional<wire::Message>& scratch, const Peer& peer) {
+  if (!scratch) {
+    scratch.emplace(wire::SketchMessage{peer.sketch()});
+  } else {
+    std::get<wire::SketchMessage>(*scratch).sketch = peer.sketch();
+  }
+  return *scratch;
+}
+
+}  // namespace
+
 void ReceiverEndpoint::send_bundle() {
   const auto& params = peer_.parameters();
   transport_.send(wire::Hello{params.block_count, params.session_seed,
                               peer_.symbol_count()});
-  transport_.send(wire::SketchMessage{peer_.sketch()});
+  transport_.send(refresh_sketch_scratch(sketch_scratch_, peer_));
   if (strategy_uses_bloom(options_.strategy)) {
     if (!summary_cache_) {
       if (options_.summary == SummaryKind::kBloomFilter) {
@@ -229,7 +246,7 @@ void SenderEndpoint::send_reply() {
   const auto& params = peer_.parameters();
   transport_.send(wire::Hello{params.block_count, params.session_seed,
                               peer_.symbol_count()});
-  transport_.send(wire::SketchMessage{peer_.sketch()});
+  transport_.send(refresh_sketch_scratch(sketch_scratch_, peer_));
 }
 
 bool SenderEndpoint::send_symbol() {

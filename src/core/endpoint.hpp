@@ -127,6 +127,11 @@ class ReceiverEndpoint {
   /// be slightly stale — accepted: the sender only over-sends symbols the
   /// receiver since acquired, exactly as with a loss-delayed summary.
   std::optional<wire::Message> summary_cache_;
+  /// Sketch message scratch: each (re)send copy-assigns the current sketch
+  /// into it, reusing the minima vector's capacity, so retries allocate
+  /// nothing (the remaining handshake-allocation item; frame bytes already
+  /// come from the link's BufferPool).
+  std::optional<wire::Message> sketch_scratch_;
   bool containment_estimated_ = false;
   double estimated_containment_ = 0.0;
   std::size_t quiet_ticks_ = 0;
@@ -191,6 +196,8 @@ class SenderEndpoint {
   /// Reused by send_symbol so a warm transfer builds every recoded symbol
   /// in place (no per-symbol vectors); serialized from a view.
   codec::RecodedSymbol recode_scratch_;
+  /// Sketch message scratch for handshake replies (see ReceiverEndpoint).
+  std::optional<wire::Message> sketch_scratch_;
 };
 
 }  // namespace icd::core

@@ -1,0 +1,90 @@
+#include "core/session_plan.hpp"
+
+#include <algorithm>
+
+#include "core/delivery.hpp"
+#include "util/hash.hpp"
+
+namespace icd::core {
+
+std::vector<PlannedDownload> plan_peer_downloads(
+    std::size_t me, const std::vector<PlanPeer>& peers,
+    const DeliveryOptions& options, std::size_t target_symbols,
+    std::uint64_t& session_seed_chain) {
+  std::vector<CandidateSender> candidates;
+  for (std::size_t j = 0; j < peers.size(); ++j) {
+    if (j == me || peers[j].symbol_count == 0) continue;
+    candidates.push_back(
+        CandidateSender{j, peers[j].sketch, peers[j].symbol_count});
+  }
+  auto selected = select_senders(*peers[me].sketch, peers[me].symbol_count,
+                                 candidates, options.admission,
+                                 options.max_peer_sessions);
+  // Starvation fallback: admission exists to skip identical-content
+  // senders, but near the end of a download every candidate looks
+  // near-identical (resemblance above the cutoff) while still holding
+  // the few novel symbols the peer needs to finish. An incomplete peer
+  // connects to the largest candidate rather than stalling forever —
+  // unless peer sessions are disabled outright (max_peer_sessions 0).
+  if (selected.empty() && !candidates.empty() &&
+      options.max_peer_sessions > 0) {
+    const auto best = std::max_element(
+        candidates.begin(), candidates.end(),
+        [](const CandidateSender& a, const CandidateSender& b) {
+          return a.working_set_size < b.working_set_size;
+        });
+    selected.push_back(best->id);
+  }
+
+  const std::size_t have = peers[me].symbol_count;
+  const std::size_t needed =
+      target_symbols > have ? target_symbols - have : 1;
+  std::vector<PlannedDownload> plan;
+  plan.reserve(selected.size());
+  for (const std::size_t j : selected) {
+    PlannedDownload download;
+    download.sender_id = j;
+    download.session.strategy = options.strategy;
+    download.session.requested_symbols = std::max<std::size_t>(
+        1, (needed * 5 / 4) / std::max<std::size_t>(1, selected.size()));
+    download.session.seed = session_seed_chain =
+        util::mix64(session_seed_chain);
+    download.link = wire::resolve_edge_config(
+        options.link_config, options.link, j, me,
+        util::mix64(session_seed_chain ^ 0x11aacULL));
+    plan.push_back(std::move(download));
+  }
+  return plan;
+}
+
+void run_refresh_loop(
+    std::size_t peer_count, const DeliveryOptions& options,
+    std::size_t target_symbols, std::uint64_t& session_seed_chain,
+    const std::function<void(std::size_t)>& teardown,
+    const std::function<bool(std::size_t)>& is_complete,
+    const std::function<PlanPeer(std::size_t)>& snapshot,
+    const std::function<void(std::size_t, PlannedDownload&)>& create) {
+  for (std::size_t me = 0; me < peer_count; ++me) {
+    teardown(me);
+    if (is_complete(me)) continue;
+    std::vector<PlanPeer> plan_peers;
+    plan_peers.reserve(peer_count);
+    for (std::size_t j = 0; j < peer_count; ++j) {
+      plan_peers.push_back(snapshot(j));
+    }
+    for (PlannedDownload& planned : plan_peer_downloads(
+             me, plan_peers, options, target_symbols, session_seed_chain)) {
+      create(me, planned);
+    }
+  }
+}
+
+codec::DegreeDistribution delivery_distribution(std::size_t content_size,
+                                                std::size_t block_size) {
+  const std::size_t blocks = std::max<std::size_t>(
+      1, (content_size + block_size - 1) / block_size);
+  return codec::DegreeDistribution::robust_soliton(
+      std::max<std::size_t>(blocks, 2));
+}
+
+}  // namespace icd::core

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/endpoint.hpp"
+#include "wire/channel.hpp"
+
+/// Session planning shared by the delivery engines.
+///
+/// ContentDeliveryService (single-threaded) and ShardedDelivery (worker
+/// shards) must form *identical* sessions from identical peer state — the
+/// sharded engine's shards=1 mode is contractually bit-for-bit equal to the
+/// legacy service — so the admission ranking, starvation fallback, request
+/// sizing and the seed-chain evolution live here, in one function both call
+/// in the same per-peer order.
+namespace icd::core {
+
+struct DeliveryOptions;
+
+/// One peer's view for planning: its sketch and working-set size.
+struct PlanPeer {
+  const sketch::MinwiseSketch* sketch = nullptr;
+  std::size_t symbol_count = 0;
+};
+
+/// One download the plan tells the engine to create.
+struct PlannedDownload {
+  std::size_t sender_id = 0;
+  SessionOptions session;
+  wire::ChannelConfig link;
+};
+
+/// Plans receiver `me`'s downloads: admission-ranked senders (with the
+/// largest-candidate starvation fallback), per-sender requested-symbol
+/// shares toward `target_symbols`, and one session seed plus link config
+/// per download drawn from `session_seed_chain` — which this call advances
+/// exactly as ContentDeliveryService::refresh_sessions always has, so
+/// callers iterating peers in ascending order reproduce the historical
+/// seed sequence.
+std::vector<PlannedDownload> plan_peer_downloads(
+    std::size_t me, const std::vector<PlanPeer>& peers,
+    const DeliveryOptions& options, std::size_t target_symbols,
+    std::uint64_t& session_seed_chain);
+
+/// The degree distribution both delivery engines give their origins and
+/// peers for a piece of content.
+codec::DegreeDistribution delivery_distribution(std::size_t content_size,
+                                                std::size_t block_size);
+
+/// The full refresh loop both engines must execute in the same shape for
+/// the bit-for-bit contract to hold: per peer in ascending order —
+/// teardown, skip if complete, snapshot *all* peers (an earlier peer's
+/// teardown tick may have grown its working set this refresh), plan,
+/// create. Only teardown and create are engine-specific (they own the
+/// link/endpoint types); everything that orders the seed chain lives
+/// here. Not a hot path: runs once per refresh_interval ticks.
+void run_refresh_loop(
+    std::size_t peer_count, const DeliveryOptions& options,
+    std::size_t target_symbols, std::uint64_t& session_seed_chain,
+    const std::function<void(std::size_t)>& teardown,
+    const std::function<bool(std::size_t)>& is_complete,
+    const std::function<PlanPeer(std::size_t)>& snapshot,
+    const std::function<void(std::size_t, PlannedDownload&)>& create);
+
+}  // namespace icd::core

@@ -1,0 +1,273 @@
+#include "core/sharded_delivery.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/session_plan.hpp"
+#include "util/hash.hpp"
+
+namespace icd::core {
+
+ShardedDelivery::ShardedDelivery(std::vector<std::uint8_t> content,
+                                 DeliveryOptions options,
+                                 ShardOptions shard_options)
+    : content_(std::move(content)), options_(options),
+      shards_(std::max<std::size_t>(1, shard_options.shards)),
+      batch_budget_(shard_options.batch_budget),
+      shard_work_(shards_),
+      next_session_seed_(util::mix64(options.session_seed ^ 0x5e551075ULL)) {
+  origins_.push_back(std::make_unique<OriginServer>(
+      content_, options_.block_size,
+      delivery_distribution(content_.size(), options_.block_size),
+      options_.session_seed, /*stream_index=*/0));
+  if (shards_ > 1) {
+    pool_.emplace(shards_);
+    send_fn_ = [this](std::size_t shard) { phase_send(shard); };
+    receive_fn_ = [this](std::size_t shard) { phase_receive(shard); };
+  }
+}
+
+void ShardedDelivery::add_mirror() {
+  origins_.push_back(std::make_unique<OriginServer>(
+      content_, options_.block_size,
+      delivery_distribution(content_.size(), options_.block_size),
+      options_.session_seed, /*stream_index=*/origins_.size()));
+}
+
+std::size_t ShardedDelivery::add_peer(const std::string& name,
+                                      bool subscribe_origin) {
+  PeerEntry entry;
+  entry.peer = std::make_unique<Peer>(
+      name, origins_.front()->parameters(),
+      delivery_distribution(content_.size(), options_.block_size));
+  entry.origin_fed = subscribe_origin;
+  entry.origin_index = peers_.size() % origins_.size();
+  peers_.push_back(std::move(entry));
+  const std::size_t id = peers_.size() - 1;
+  shard_work_[shard_of(id)].peers.push_back(id);
+  return id;
+}
+
+void ShardedDelivery::flush_batches(Download& download) {
+  if (batch_budget_ == 0) return;
+  download.sender_transport().flush_batch();
+  download.receiver_transport().flush_batch();
+}
+
+void ShardedDelivery::release_pool_owners() {
+  // The coordinator is about to stand in for the shard threads (teardown
+  // ticks, handshake starts) or has just done so: unbind every link pool
+  // so the next user — worker or coordinator — rebinds. Workers are parked
+  // at a barrier, which orders the handoff.
+  for (PeerEntry& entry : peers_) {
+    for (auto& [sender_id, download] : entry.downloads) {
+      download->sender_transport().pool_mutable().debug_release_owner();
+      download->receiver_transport().pool_mutable().debug_release_owner();
+    }
+  }
+}
+
+void ShardedDelivery::refresh_sessions() {
+  release_pool_owners();
+  // The loop shape (and the planner's seed chain) is the shared
+  // session_plan code, so with shards = 1 the sessions formed are
+  // bit-for-bit identical to ContentDeliveryService's.
+  const std::size_t target = static_cast<std::size_t>(
+      1.07 * static_cast<double>(parameters().block_count));
+  run_refresh_loop(
+      peers_.size(), options_, target, next_session_seed_,
+      /*teardown=*/
+      [this](std::size_t me) {
+        for (auto& [sender_id, download] : peers_[me].downloads) {
+          // Ship pending control trains first so their bytes are
+          // accounted, then deliver frames still in flight and bank the
+          // link's costs.
+          flush_batches(*download);
+          download->flush_link();
+          download->receiver->tick();
+          // The teardown tick may have batched a retry bundle; ship it so
+          // the retiring link's accounting matches the unbatched engine.
+          flush_batches(*download);
+          accumulate_link(*download, retired_link_totals_);
+        }
+        peers_[me].downloads.clear();
+      },
+      /*is_complete=*/
+      [this](std::size_t me) { return peers_[me].peer->has_content(); },
+      /*snapshot=*/
+      [this](std::size_t j) {
+        return PlanPeer{&peers_[j].peer->sketch(),
+                        peers_[j].peer->symbol_count()};
+      },
+      /*create=*/
+      [this](std::size_t me, PlannedDownload& planned) {
+        auto download = std::make_unique<Download>();
+        download->sender_id = planned.sender_id;
+        download->receiver_id = me;
+        if (shard_of(planned.sender_id) == shard_of(me)) {
+          download->local = std::make_unique<wire::ChannelLink>(planned.link);
+        } else {
+          download->cross = std::make_unique<wire::ShardLink>(planned.link);
+        }
+        if (batch_budget_ > 0) {
+          download->sender_transport().set_batch_budget(batch_budget_);
+          download->receiver_transport().set_batch_budget(batch_budget_);
+        }
+        download->sender.emplace(*peers_[planned.sender_id].peer,
+                                 planned.session,
+                                 download->sender_transport());
+        download->receiver.emplace(*peers_[me].peer, planned.session,
+                                   download->receiver_transport());
+        // The handshake itself flows over the link and completes across
+        // subsequent ticks.
+        download->receiver->start();
+        if (batch_budget_ > 0) {
+          download->receiver_transport().flush_batch();
+        }
+        peers_[me].downloads.emplace(planned.sender_id,
+                                     std::move(download));
+      });
+
+  // Rebuild the cross-sender worklists in (receiver, sender) order and
+  // hand the pools back to whichever thread uses them next.
+  for (ShardWork& work : shard_work_) work.cross_senders.clear();
+  for (PeerEntry& entry : peers_) {
+    for (auto& [sender_id, download] : entry.downloads) {
+      if (download->cross) {
+        shard_work_[shard_of(sender_id)].cross_senders.push_back(
+            download.get());
+      }
+    }
+  }
+  release_pool_owners();
+}
+
+void ShardedDelivery::phase_send(std::size_t shard) {
+  ShardWork& work = shard_work_[shard];
+  for (const std::size_t id : work.peers) {
+    PeerEntry& entry = peers_[id];
+    if (entry.peer->has_content()) {
+      entry.pending_origin.reset();
+      continue;
+    }
+    // Origin feed: the symbol the coordinator drew for this tick.
+    if (entry.pending_origin) {
+      entry.peer->receive_encoded(*entry.pending_origin);
+      entry.pending_origin.reset();
+    }
+    // Fully-local downloads run end to end, exactly the legacy loop.
+    for (auto& [sender_id, download] : entry.downloads) {
+      if (entry.peer->has_content()) break;
+      if (!download->local) continue;  // cross: receiver phase handles it
+      download->sender->tick();
+      download->sender->send_symbol();
+      download->receiver->tick();
+      flush_batches(*download);
+    }
+  }
+  // Sender halves of outgoing cross-shard downloads: answer handshakes and
+  // put this tick's symbol on the ring.
+  for (Download* download : work.cross_senders) {
+    if (peers_[download->receiver_id].complete_at_tick_start) continue;
+    download->sender->tick();
+    download->sender->send_symbol();
+    if (batch_budget_ > 0) download->sender_transport().flush_batch();
+  }
+}
+
+void ShardedDelivery::phase_receive(std::size_t shard) {
+  for (const std::size_t id : shard_work_[shard].peers) {
+    PeerEntry& entry = peers_[id];
+    if (entry.complete_at_tick_start) continue;
+    for (auto& [sender_id, download] : entry.downloads) {
+      if (!download->cross) continue;
+      if (entry.peer->has_content()) break;
+      download->receiver->tick();
+      if (batch_budget_ > 0) download->receiver_transport().flush_batch();
+    }
+  }
+}
+
+std::size_t ShardedDelivery::tick() {
+  if (ticks_ % std::max<std::size_t>(1, options_.refresh_interval) == 0) {
+    refresh_sessions();
+  }
+  ++ticks_;
+
+  // Coordinator prologue: completion snapshots (the phases read these
+  // instead of cross-shard peer state) and origin draws in peer order —
+  // the same symbol-to-peer assignment as the legacy engine, which drew
+  // at each incomplete subscriber's turn.
+  for (PeerEntry& entry : peers_) {
+    entry.complete_at_tick_start = entry.peer->has_content();
+    if (!entry.complete_at_tick_start && entry.origin_fed) {
+      entry.pending_origin = origins_[entry.origin_index]->next();
+    }
+  }
+
+  if (!pool_) {
+    phase_send(0);
+    phase_receive(0);
+  } else {
+    const auto start = std::chrono::steady_clock::now();
+    pool_->run(send_fn_);
+    pool_->run(receive_fn_);
+    parallel_wall_ns_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  std::size_t completed_now = 0;
+  for (const PeerEntry& entry : peers_) {
+    if (!entry.complete_at_tick_start && entry.peer->has_content()) {
+      ++completed_now;
+    }
+  }
+  return completed_now;
+}
+
+bool ShardedDelivery::run(std::size_t max_ticks) {
+  for (std::size_t t = 0; t < max_ticks; ++t) {
+    tick();
+    const bool all = std::all_of(
+        peers_.begin(), peers_.end(),
+        [](const PeerEntry& e) { return e.peer->has_content(); });
+    if (all) return true;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> ShardedDelivery::peer_content(
+    std::size_t id) const {
+  return peers_.at(id).peer->content(content_.size());
+}
+
+void ShardedDelivery::accumulate_link(Download& download,
+                                      LinkTotals& totals) {
+  totals.add(download.sender_transport().stats())
+      .add(download.receiver_transport().stats());
+}
+
+ShardedDelivery::LinkTotals ShardedDelivery::active_link_totals() const {
+  LinkTotals totals;
+  for (const PeerEntry& entry : peers_) {
+    for (const auto& [sender_id, download] : entry.downloads) {
+      accumulate_link(*download, totals);
+    }
+  }
+  return totals;
+}
+
+ShardedDelivery::LinkTotals ShardedDelivery::link_totals() const {
+  LinkTotals totals = retired_link_totals_;
+  totals += active_link_totals();
+  return totals;
+}
+
+std::vector<std::uint64_t> ShardedDelivery::shard_busy_ns() const {
+  if (!pool_) return {};
+  return pool_->busy_ns();
+}
+
+}  // namespace icd::core

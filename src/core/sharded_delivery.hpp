@@ -1,0 +1,177 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/delivery.hpp"
+#include "core/endpoint.hpp"
+#include "core/origin.hpp"
+#include "core/peer.hpp"
+#include "util/shard_pool.hpp"
+#include "wire/shard_link.hpp"
+#include "wire/transport.hpp"
+
+/// ShardedDelivery: ContentDeliveryService partitioned across worker
+/// shards.
+///
+/// Peers are assigned to shards by id (round-robin); each shard owns its
+/// peers' decoders, endpoints and the links whose two peers it both owns,
+/// so the per-tick hot work — recoding, XOR-heavy decoding, frame
+/// encode/decode — runs on all shards concurrently. Downloads whose sender
+/// and receiver live on different shards ride a wire::ShardLink: the only
+/// state two shards ever share is SPSC rings of encoded frames (and
+/// recycled buffers), exactly the "shards only exchange frames" property
+/// the endpoint layering was built for.
+///
+/// A tick is two phases with barriers between them (see DESIGN.md,
+/// "Threading model"):
+///   send phase     — each shard feeds its peers' pending origin symbols,
+///                    runs fully-local downloads end to end, and ticks the
+///                    sender half of its outgoing cross-shard downloads;
+///   receive phase  — each shard ticks the receiver half of its incoming
+///                    cross-shard downloads.
+/// Admission/refresh and origin symbol draws stay single-threaded on the
+/// coordinator between phases, where they may touch any shard's state.
+///
+/// Determinism: every shard processes its own peers in ascending id order
+/// with no shared RNG, so a run is reproducible for a given shard count;
+/// and with shards = 1 (which runs inline, no worker threads) the engine
+/// executes the legacy ContentDeliveryService loop order exactly —
+/// per-peer results, completion ticks and wire byte accounting are
+/// bit-for-bit identical (enforced by sharded_test).
+///
+/// `batch_budget` > 0 turns on per-tick control-frame batching on every
+/// link (wire::Transport::set_batch_budget), with the engine flushing each
+/// endpoint's train at its tick boundary.
+namespace icd::core {
+
+struct ShardOptions {
+  /// Worker shards. 1 = run inline on the caller's thread (legacy
+  /// semantics, bit-for-bit).
+  std::size_t shards = 1;
+  /// Control-frame batching budget in bytes per train (0 = off). Applied
+  /// to every download link's two transports.
+  std::size_t batch_budget = 0;
+};
+
+class ShardedDelivery {
+ public:
+  using LinkTotals = ContentDeliveryService::LinkTotals;
+
+  ShardedDelivery(std::vector<std::uint8_t> content, DeliveryOptions options,
+                  ShardOptions shard_options = {});
+
+  void add_mirror();
+  std::size_t add_peer(const std::string& name, bool subscribe_origin);
+
+  /// Advances the whole service by one round (send phase, barrier, receive
+  /// phase). Returns the number of peers that completed during this tick.
+  std::size_t tick();
+  bool run(std::size_t max_ticks);
+
+  std::size_t peer_count() const { return peers_.size(); }
+  const Peer& peer(std::size_t id) const { return *peers_.at(id).peer; }
+  bool peer_complete(std::size_t id) const {
+    return peers_.at(id).peer->has_content();
+  }
+  std::vector<std::uint8_t> peer_content(std::size_t id) const;
+
+  std::size_t ticks() const { return ticks_; }
+  const codec::CodeParameters& parameters() const {
+    return origins_.front()->parameters();
+  }
+  std::size_t shards() const { return shards_; }
+  std::size_t shard_of(std::size_t peer_id) const {
+    return peer_id % shards_;
+  }
+
+  /// May be called between ticks only (the coordinator thread owns all
+  /// state while the workers are parked).
+  LinkTotals active_link_totals() const;
+  LinkTotals link_totals() const;
+
+  /// Cumulative per-shard worker thread-CPU nanoseconds (empty when
+  /// shards = 1 runs inline) and wall time spent inside the parallel
+  /// phases — bench_delivery's critical-path scaling model.
+  std::vector<std::uint64_t> shard_busy_ns() const;
+  std::uint64_t parallel_wall_ns() const { return parallel_wall_ns_; }
+
+ private:
+  /// One admitted download. Exactly one of `local` (both peers on the same
+  /// shard: a ChannelLink, identical to the legacy engine) and `cross` (a
+  /// thread-crossing ShardLink) is set; the sender endpoint always drives
+  /// the link's `a()` end.
+  struct Download {
+    std::size_t sender_id = 0;
+    std::size_t receiver_id = 0;
+    std::unique_ptr<wire::ChannelLink> local;
+    std::unique_ptr<wire::ShardLink> cross;
+    std::optional<SenderEndpoint> sender;
+    std::optional<ReceiverEndpoint> receiver;
+
+    wire::Transport& sender_transport() {
+      return local ? local->a() : cross->a();
+    }
+    wire::Transport& receiver_transport() {
+      return local ? local->b() : cross->b();
+    }
+    void flush_link() {
+      if (local) {
+        local->flush();
+      } else {
+        cross->flush();
+      }
+    }
+  };
+
+  struct PeerEntry {
+    std::unique_ptr<Peer> peer;
+    bool origin_fed = false;
+    std::size_t origin_index = 0;
+    /// Active downloads, keyed by the serving peer id.
+    std::map<std::size_t, std::unique_ptr<Download>> downloads;
+    /// Origin symbol drawn by the coordinator this tick, applied by the
+    /// owning shard in the send phase.
+    std::optional<codec::EncodedSymbol> pending_origin;
+    /// Snapshot the phases read instead of cross-shard peer state.
+    bool complete_at_tick_start = false;
+  };
+
+  struct ShardWork {
+    /// Owned peer ids, ascending.
+    std::vector<std::size_t> peers;
+    /// Cross-shard downloads whose *sender* this shard owns, in
+    /// (receiver_id, sender_id) order. Rebuilt each refresh.
+    std::vector<Download*> cross_senders;
+  };
+
+  void refresh_sessions();
+  void release_pool_owners();
+  void phase_send(std::size_t shard);
+  void phase_receive(std::size_t shard);
+  void flush_batches(Download& download);
+  static void accumulate_link(Download& download, LinkTotals& totals);
+
+  std::vector<std::uint8_t> content_;
+  DeliveryOptions options_;
+  std::size_t shards_;
+  std::size_t batch_budget_;
+  std::vector<std::unique_ptr<OriginServer>> origins_;
+  std::vector<PeerEntry> peers_;
+  std::vector<ShardWork> shard_work_;
+  std::size_t ticks_ = 0;
+  std::uint64_t next_session_seed_;
+  LinkTotals retired_link_totals_;
+  /// Present only when shards > 1.
+  std::optional<util::ShardPool> pool_;
+  std::function<void(std::size_t)> send_fn_;
+  std::function<void(std::size_t)> receive_fn_;
+  std::uint64_t parallel_wall_ns_ = 0;
+};
+
+}  // namespace icd::core

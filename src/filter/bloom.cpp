@@ -81,13 +81,23 @@ BloomFilter& BloomFilter::merge_intersect(const BloomFilter& other) {
 
 std::vector<std::uint8_t> BloomFilter::serialize() const {
   util::ByteWriter writer;
-  writer.varint(bits_.size());
-  writer.varint(hashes_);
-  writer.u64(seed_);
-  writer.varint(inserted_);
-  const auto raw = bits_.to_bytes();
-  writer.raw(raw);
+  serialize_into(writer);
   return writer.take();
+}
+
+std::size_t BloomFilter::serialized_size() const {
+  return util::varint_size(bits_.size()) + util::varint_size(hashes_) + 8 +
+         util::varint_size(inserted_) + bits_.words().size() * 8;
+}
+
+void BloomFilter::serialize_into(util::ByteWriter& out) const {
+  out.varint(bits_.size());
+  out.varint(hashes_);
+  out.u64(seed_);
+  out.varint(inserted_);
+  // Byte-identical to raw(bits_.to_bytes()): u64 and to_bytes both emit
+  // each word little-endian.
+  for (const std::uint64_t word : bits_.words()) out.u64(word);
 }
 
 BloomFilter BloomFilter::deserialize(const std::vector<std::uint8_t>& bytes) {

@@ -7,6 +7,10 @@
 #include "util/bitvector.hpp"
 #include "util/hash.hpp"
 
+namespace icd::util {
+class ByteWriter;
+}
+
 /// Bloom filters (Section 5.2 of the paper).
 ///
 /// Peer A sends a Bloom filter of its working set S_A; peer B checks each of
@@ -70,8 +74,13 @@ class BloomFilter {
   BloomFilter& merge_intersect(const BloomFilter& other);
 
   /// Wire form: header (bits, hashes, seed, inserted) + bit array. Sized to
-  /// be charged against 1 KB packets by the simulator.
+  /// be charged against 1 KB packets by the simulator. serialize_into
+  /// appends the same bytes to an existing writer (e.g. over a pooled
+  /// frame buffer) without a scratch vector; serialized_size is the exact
+  /// byte count it will append.
   std::vector<std::uint8_t> serialize() const;
+  std::size_t serialized_size() const;
+  void serialize_into(util::ByteWriter& out) const;
   static BloomFilter deserialize(const std::vector<std::uint8_t>& bytes);
 
   static constexpr std::uint64_t kDefaultSeed = 0x1cdb10f11e500d5eULL;

@@ -8,8 +8,10 @@
 #include "filter/bloom.hpp"
 #include "overlay/node.hpp"
 #include "sketch/minwise.hpp"
+#include "util/hash.hpp"
 #include "util/packet.hpp"
 #include "util/random.hpp"
+#include "util/shard_pool.hpp"
 #include "wire/message.hpp"
 
 namespace icd::overlay {
@@ -34,6 +36,19 @@ struct Connection {
   /// Per-edge wire: the connection's symbols travel through this channel,
   /// which owns the edge's loss, reordering and MTU.
   wire::LossyChannel channel;
+  /// Shard-local symbol-selection RNG, used instead of the simulation's
+  /// shared RNG when the p2p round runs on worker shards (shards > 1).
+  /// Seeded without consuming the shared RNG so the shards = 1 path stays
+  /// bit-for-bit identical to the historical sequence.
+  util::Xoshiro256 rng{0};
+};
+
+/// Data-plane counters one shard accumulates during a round; merged into
+/// the AdaptiveOverlayResult by the coordinator.
+struct WireTotals {
+  std::size_t transmissions = 0;
+  std::size_t data_bytes = 0;
+  std::size_t oversized_frames = 0;
 };
 
 /// Count-only symbols still cross the wire as real frames (empty payloads),
@@ -151,6 +166,20 @@ AdaptiveOverlayResult run_adaptive_overlay(
   FullSender origin(/*stream_index=*/0);
   const std::size_t target = config.base.target();
 
+  // Worker shards for the p2p round (peers partitioned by index). The
+  // connections of a peer are exclusively that shard's: the sender view is
+  // a snapshot, the channel per-edge, and the selection RNG per-connection,
+  // so rounds are deterministic for a fixed shard count.
+  std::optional<util::ShardPool> pool;
+  std::vector<WireTotals> shard_totals;
+  if (config.base.shards > 1) {
+    pool.emplace(config.base.shards);
+    shard_totals.resize(config.base.shards);
+  }
+  WireTotals serial_totals;
+  std::size_t connection_serial = 0;
+
+
   // Reconnects `peer` to up to connections_per_peer senders, charging the
   // control traffic of the handshakes.
   const auto reconfigure_peer = [&](std::size_t me) {
@@ -216,25 +245,60 @@ AdaptiveOverlayResult run_adaptive_overlay(
           std::max(1.0, (1.0 + config.base.recode_domain_allowance) *
                             static_cast<double>(needed) /
                             static_cast<double>(want)));
+      // Per-connection setup blobs. Receiver -> sender: the fine-grained
+      // summary (BF strategies) and, for minwise strategies, the
+      // receiver's sketch; sender -> receiver: the sender's sketch.
+      std::size_t receiver_blob_bytes = 0;
+      std::size_t receiver_packets = 0;
+      std::size_t sender_packets = 0;
       if (strategy_uses_bloom(config.strategy)) {
         const auto bloom = build_bloom(peer.symbols(), config.base);
-        result.control_packets += util::packets_for(bloom.serialize().size());
+        receiver_blob_bytes += bloom.serialized_size();
+        receiver_packets += util::packets_for(bloom.serialized_size());
         view.install_bloom(bloom, requested, rng);
       }
       if (strategy_uses_minwise(config.strategy)) {
         peer.sync_sketch();
         peers[j].sync_sketch();
+        receiver_blob_bytes += peer.sketch.serialized_size();
+        receiver_packets += util::packets_for(peer.sketch.serialized_size());
+        sender_packets += util::packets_for(peers[j].sketch.serialized_size());
+      }
+      if (config.base.batch_budget == 0) {
+        result.control_packets += receiver_packets + sender_packets;
+      } else {
+        // Batched (SimConfig::batch_budget): the receiver's setup blobs
+        // ride one train stream on this link — appended behind the
+        // admission sketch it already shipped there when sketch admission
+        // is on — so they pay the *marginal* packets of extending that
+        // stream instead of packetizing each blob alone. This is the
+        // count-only analogue of wire::Transport's control-frame trains.
+        const std::size_t mtu =
+            std::min(config.base.batch_budget, util::kPacketPayloadBytes);
+        std::size_t prefix = 0;
+        if (config.sketch_admission) {
+          peer.sync_sketch();
+          prefix = peer.sketch.serialized_size();
+        }
         result.control_packets +=
-            util::packets_for(peer.sketch.serialize().size()) +
-            util::packets_for(peers[j].sketch.serialize().size());
+            util::packets_for(prefix + receiver_blob_bytes, mtu) -
+            util::packets_for(prefix, mtu) + sender_packets;
+      }
+      if (strategy_uses_minwise(config.strategy)) {
         const double r =
             sketch::MinwiseSketch::resemblance(peer.sketch, peers[j].sketch);
         view.install_containment_estimate(
             sketch::containment_from_resemblance(r, peer.count(),
                                                  peers[j].count()));
       }
-      peer.connections.push_back(
-          Connection{j, std::move(view), wire::LossyChannel(edge_config(j, me))});
+      Connection conn{j, std::move(view),
+                      wire::LossyChannel(edge_config(j, me))};
+      // Derived, not drawn from `rng`: the shards = 1 trajectory must not
+      // depend on whether the parallel path exists.
+      conn.rng = util::Xoshiro256(util::mix64(
+          config.base.seed ^ (0x9e3779b97f4a7c15ULL * ++connection_serial) ^
+          (j << 20) ^ me));
+      peer.connections.push_back(std::move(conn));
     }
   };
 
@@ -250,18 +314,37 @@ AdaptiveOverlayResult run_adaptive_overlay(
   // drain. The channel's own one-hop residency pairs adjacent frames for
   // its swap reordering (latency <= 1 round), so draining every round is
   // correct — no alternate-round rule needed.
-  const auto send_through = [&](wire::LossyChannel& channel, PeerState& peer,
-                                const Transmission& t) {
+  const auto send_through = [](wire::LossyChannel& channel, PeerState& peer,
+                               const Transmission& t, WireTotals& totals) {
     auto frame = encode_transmission(t);
     const std::size_t frame_bytes = frame.size();
     if (channel.send(std::move(frame))) {
-      ++result.transmissions;
-      result.data_bytes += frame_bytes;
+      ++totals.transmissions;
+      totals.data_bytes += frame_bytes;
     } else {
-      ++result.oversized_frames;  // exceeded the edge MTU; never sent
+      ++totals.oversized_frames;  // exceeded the edge MTU; never sent
     }
     drain_into(channel, peer);
   };
+
+  // Sharded p2p round: each worker advances the peers it owns using the
+  // connections' own RNGs; everything else (joins, churn, origin feed,
+  // completion checks, reconfiguration) stays on the coordinator between
+  // pool runs. Hoisted out of the round loop so the std::function is
+  // built once, not once per round.
+  const std::function<void(std::size_t)> sharded_round =
+      [&](std::size_t shard) {
+        WireTotals& totals = shard_totals[shard];
+        for (std::size_t i = shard; i < config.peer_count;
+             i += config.base.shards) {
+          PeerState& peer = peers[i];
+          if (!peer.joined || peer.completion_round != 0) continue;
+          for (Connection& conn : peer.connections) {
+            send_through(conn.channel, peer, conn.view.produce(conn.rng),
+                         totals);
+          }
+        }
+      };
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
     // Joins (staggered arrivals: the paper's asynchrony requirement).
@@ -292,17 +375,23 @@ AdaptiveOverlayResult run_adaptive_overlay(
       if (!peer.origin_channel) {
         peer.origin_channel.emplace(edge_config(kOriginSenderId, i));
       }
-      send_through(*peer.origin_channel, peer, origin.produce());
+      send_through(*peer.origin_channel, peer, origin.produce(),
+                   serial_totals);
     }
 
     // Peer-to-peer transfers: one symbol per connection per round, each
     // crossing its edge's channel (loss, reordering, MTU apply there).
-    for (std::size_t i = 0; i < config.peer_count; ++i) {
-      PeerState& peer = peers[i];
-      if (!peer.joined || peer.completion_round != 0) continue;
-      for (Connection& conn : peer.connections) {
-        send_through(conn.channel, peer, conn.view.produce(rng));
+    if (!pool) {
+      for (std::size_t i = 0; i < config.peer_count; ++i) {
+        PeerState& peer = peers[i];
+        if (!peer.joined || peer.completion_round != 0) continue;
+        for (Connection& conn : peer.connections) {
+          send_through(conn.channel, peer, conn.view.produce(rng),
+                       serial_totals);
+        }
       }
+    } else {
+      pool->run(sharded_round);
     }
 
     // Completions.
@@ -323,6 +412,15 @@ AdaptiveOverlayResult run_adaptive_overlay(
         reconfigure_peer(i);
       }
     }
+  }
+
+  result.transmissions += serial_totals.transmissions;
+  result.data_bytes += serial_totals.data_bytes;
+  result.oversized_frames += serial_totals.oversized_frames;
+  for (const WireTotals& totals : shard_totals) {
+    result.transmissions += totals.transmissions;
+    result.data_bytes += totals.data_bytes;
+    result.oversized_frames += totals.oversized_frames;
   }
 
   double total = 0;

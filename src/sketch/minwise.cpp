@@ -64,11 +64,19 @@ MinwiseSketch MinwiseSketch::combine_union(const MinwiseSketch& a,
 
 std::vector<std::uint8_t> MinwiseSketch::serialize() const {
   util::ByteWriter writer;
-  writer.u64(universe_size_);
-  writer.u64(seed_);
-  writer.varint(minima_.size());
-  for (const std::uint64_t m : minima_) writer.u64(m);
+  serialize_into(writer);
   return writer.take();
+}
+
+std::size_t MinwiseSketch::serialized_size() const {
+  return 16 + util::varint_size(minima_.size()) + 8 * minima_.size();
+}
+
+void MinwiseSketch::serialize_into(util::ByteWriter& out) const {
+  out.u64(universe_size_);
+  out.u64(seed_);
+  out.varint(minima_.size());
+  for (const std::uint64_t m : minima_) out.u64(m);
 }
 
 MinwiseSketch MinwiseSketch::deserialize(

@@ -6,6 +6,10 @@
 
 #include "util/permutation.hpp"
 
+namespace icd::util {
+class ByteWriter;
+}
+
 /// Min-wise sketches (Broder; Section 4 of the paper) — the preferred
 /// coarse reconciliation mechanism.
 ///
@@ -58,8 +62,13 @@ class MinwiseSketch {
   static MinwiseSketch combine_union(const MinwiseSketch& a,
                                      const MinwiseSketch& b);
 
-  /// Wire form; 16 bytes of header + 8 bytes per minimum.
+  /// Wire form; 16 bytes of header + 8 bytes per minimum. serialize_into
+  /// appends the same bytes to an existing writer (e.g. over a pooled
+  /// frame buffer) so the handshake path serializes without a scratch
+  /// vector; serialized_size is the exact byte count it will append.
   std::vector<std::uint8_t> serialize() const;
+  std::size_t serialized_size() const;
+  void serialize_into(util::ByteWriter& out) const;
   static MinwiseSketch deserialize(const std::vector<std::uint8_t>& bytes);
 
  private:

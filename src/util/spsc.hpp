@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+/// A bounded single-producer / single-consumer ring.
+///
+/// This is the cross-shard seam of the sharded delivery engine: frames (and
+/// spent buffers travelling back for recycling) cross between worker threads
+/// only through these queues. The slot array is the same grow-nothing
+/// circular layout as util::RingBuffer, but head and tail become atomics so
+/// exactly one producer thread and one consumer thread may touch the ring
+/// concurrently — push publishes with a release store the consumer's acquire
+/// load observes, and vice versa. Values move through the slots, so a popped
+/// std::vector carries its heap storage with it (nothing is copied).
+///
+/// The capacity is fixed at construction (rounded up to a power of two): a
+/// full ring rejects the push rather than reallocating, because growth would
+/// require synchronizing both sides. Callers treat a rejected frame push as
+/// channel loss — the protocol's retry/fountain paths absorb it.
+namespace icd::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  /// May be called only by the producer thread. Returns false on a full
+  /// ring (the value is left untouched for the caller to dispose of).
+  bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// May be called only by the consumer thread.
+  std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return std::nullopt;
+    std::optional<T> value(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Consumer-side emptiness check (exact for the consumer; a producer may
+  /// have pushed since).
+  bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  /// Producer and consumer cursors on separate cache lines so the two
+  /// threads don't false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace icd::util

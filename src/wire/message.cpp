@@ -30,26 +30,11 @@ Request read_request(util::ByteReader& reader) {
   return Request{reader.varint()};
 }
 
-void write_payload(util::ByteWriter& writer,
-                   const EncodedSymbolMessage& message) {
-  writer.u64(message.symbol.id);
-  writer.varint(message.symbol.payload.size());
-  writer.raw(message.symbol.payload);
-}
-
 EncodedSymbolMessage read_encoded(util::ByteReader& reader) {
   EncodedSymbolMessage message;
   message.symbol.id = reader.u64();
   message.symbol.payload = reader.raw(reader.varint());
   return message;
-}
-
-void write_payload(util::ByteWriter& writer,
-                   const RecodedSymbolMessage& message) {
-  writer.varint(message.symbol.constituents.size());
-  for (const std::uint64_t id : message.symbol.constituents) writer.u64(id);
-  writer.varint(message.symbol.payload.size());
-  writer.raw(message.symbol.payload);
 }
 
 RecodedSymbolMessage read_recoded(util::ByteReader& reader) {
@@ -84,11 +69,6 @@ Fragment read_fragment(util::ByteReader& reader) {
   fragment.total = reader.u16();
   fragment.data = reader.raw(reader.varint());
   return fragment;
-}
-
-void write_blob(util::ByteWriter& writer, const std::vector<std::uint8_t>& b) {
-  writer.varint(b.size());
-  writer.raw(b);
 }
 
 std::vector<std::uint8_t> read_blob(util::ByteReader& reader) {
@@ -134,10 +114,18 @@ void write_frame_header(util::ByteWriter& out, MessageType type,
 }  // namespace
 
 void encode_frame_into(util::ByteWriter& out, const Message& message) {
+  util::ByteWriter payload;
+  encode_frame_into(out, message, payload);
+}
+
+void encode_frame_into(util::ByteWriter& out, const Message& message,
+                       util::ByteWriter& payload_scratch) {
   // The symbol types have computable payload sizes and serialize straight
-  // into `out`; everything else (control plane) stages its payload in a
-  // local writer because the length prefix precedes bytes whose size only
-  // serialization reveals.
+  // into `out`; everything else (control plane) stages its payload in the
+  // scratch writer because the length prefix precedes bytes whose size only
+  // serialization reveals. The summaries serialize_into the scratch
+  // directly (size-prefixed like any blob), so nothing here allocates
+  // beyond the two writers' storage.
   if (const auto* encoded = std::get_if<EncodedSymbolMessage>(&message)) {
     encode_frame_into(out, codec::EncodedSymbolView(encoded->symbol));
     return;
@@ -147,18 +135,21 @@ void encode_frame_into(util::ByteWriter& out, const Message& message) {
     return;
   }
 
-  util::ByteWriter payload;
+  util::ByteWriter payload(payload_scratch.take());
   struct Visitor {
     util::ByteWriter& writer;
     void operator()(const Hello& m) { write_payload(writer, m); }
     void operator()(const SketchMessage& m) {
-      write_blob(writer, m.sketch.serialize());
+      writer.varint(m.sketch.serialized_size());
+      m.sketch.serialize_into(writer);
     }
     void operator()(const BloomSummaryMessage& m) {
-      write_blob(writer, m.filter.serialize());
+      writer.varint(m.filter.serialized_size());
+      m.filter.serialize_into(writer);
     }
     void operator()(const ArtSummaryMessage& m) {
-      write_blob(writer, m.summary.serialize());
+      writer.varint(m.summary.serialized_size());
+      m.summary.serialize_into(writer);
     }
     void operator()(const Request& m) { write_payload(writer, m); }
     void operator()(const EncodedSymbolMessage&) {}  // handled above
@@ -169,6 +160,7 @@ void encode_frame_into(util::ByteWriter& out, const Message& message) {
 
   write_frame_header(out, message_type(message), payload.size());
   out.raw(payload.bytes());
+  payload_scratch = util::ByteWriter(payload.take());
 }
 
 void encode_frame_into(util::ByteWriter& out,
@@ -245,6 +237,26 @@ Message decode_from_reader(util::ByteReader& reader) {
 }
 
 }  // namespace
+
+std::size_t frame_size(std::span<const std::uint8_t> bytes) {
+  try {
+    util::ByteReader reader(bytes);
+    if (reader.u16() != kMagic) {
+      throw std::invalid_argument("wire: bad magic");
+    }
+    if (reader.u8() != kVersion) {
+      throw std::invalid_argument("wire: unsupported version");
+    }
+    reader.u8();  // type; validated when the frame is decoded
+    const std::uint64_t length = reader.varint();
+    if (length > reader.remaining()) {
+      throw std::invalid_argument("wire: truncated frame");
+    }
+    return bytes.size() - reader.remaining() + static_cast<std::size_t>(length);
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("wire: truncated frame");
+  }
+}
 
 Message decode_frame(std::span<const std::uint8_t> frame) {
   try {

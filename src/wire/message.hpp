@@ -103,7 +103,13 @@ MessageType message_type(const Message& message);
 /// Appends one self-describing frame for `message` to `out`. This is the
 /// in-place API behind encode_frame: hand it a writer over a recycled
 /// buffer (wire::BufferPool) and nothing on the frame path allocates.
+/// Control payloads whose length prefix precedes bytes of unknown size are
+/// staged in `payload_scratch` when given (cleared first; hand it a writer
+/// over a second pooled buffer and control sends stop allocating too);
+/// without one, a frame-local writer is used.
 void encode_frame_into(util::ByteWriter& out, const Message& message);
+void encode_frame_into(util::ByteWriter& out, const Message& message,
+                       util::ByteWriter& payload_scratch);
 
 /// Symbol fast path: serializes a frame straight from non-owning views, so
 /// a sender can put a held payload on the wire without materializing an
@@ -120,6 +126,13 @@ std::vector<std::uint8_t> encode_frame(const Message& message);
 /// Parses one frame. Throws std::invalid_argument on malformed input
 /// (bad magic, unknown version/type, truncation, trailing bytes).
 Message decode_frame(std::span<const std::uint8_t> frame);
+
+/// Size in bytes of the first frame in `bytes` (header + declared payload
+/// length), without decoding the payload. Lets a receiver slice a batched
+/// train — several frames concatenated in one datagram — into individual
+/// frames for decode_frame/decode_symbol_frame. Throws std::invalid_argument
+/// on bad magic/version or when the declared frame extends past `bytes`.
+std::size_t frame_size(std::span<const std::uint8_t> bytes);
 
 /// In-place decode of a symbol frame. Exactly one of the views is engaged;
 /// its payload span borrows `frame` (valid only while the frame bytes

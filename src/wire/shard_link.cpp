@@ -1,0 +1,94 @@
+#include "wire/shard_link.hpp"
+
+#include "util/hash.hpp"
+
+namespace icd::wire {
+
+namespace {
+
+ChannelConfig decorrelated(ChannelConfig config) {
+  config.seed = util::mix64(config.seed.value_or(kDefaultChannelSeed) ^
+                            0x9e3779b97f4a7c15ULL);
+  return config;
+}
+
+}  // namespace
+
+ShardLink::ShardLink(ChannelConfig both_ways)
+    : ShardLink(both_ways, decorrelated(both_ways)) {}
+
+ShardLink::ShardLink(ChannelConfig a_to_b, ChannelConfig b_to_a)
+    : a_to_b_(kRingFrames), b_to_a_(kRingFrames),
+      a_(a_to_b, a_to_b_, b_to_a_), b_(b_to_a, b_to_a_, a_to_b_) {}
+
+void ShardLink::flush() {
+  a_.flush_held();
+  b_.flush_held();
+}
+
+ShardLink::End::End(ChannelConfig config, Direction& out, Direction& in)
+    : Transport(config.mtu, /*pool=*/nullptr), out_(out), in_(in),
+      config_(config),
+      rng_(config.seed.value_or(kDefaultChannelSeed)) {}
+
+void ShardLink::End::enqueue(std::vector<std::uint8_t> frame) {
+  if (!out_.frames_ring.try_push(frame)) {
+    ++overflow_drops_;
+    release_buffer(std::move(frame));
+  }
+}
+
+bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
+  if (frame.size() > config_.mtu) return false;
+  // Loss and reordering are drawn sender-side (single-threaded per
+  // direction); a dropped frame still counted as sent by the base class,
+  // matching LossyChannel's "handed to the link" semantics.
+  if (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate)) {
+    release_buffer(std::move(frame));
+    return true;
+  }
+  if (held_) {
+    // The held frame departs behind its successor: one adjacent swap.
+    std::vector<std::uint8_t> delayed = std::move(*held_);
+    held_.reset();
+    enqueue(std::move(frame));
+    enqueue(std::move(delayed));
+    return true;
+  }
+  if (config_.reorder_rate > 0.0 && rng_.next_bool(config_.reorder_rate)) {
+    held_ = std::move(frame);
+    return true;
+  }
+  enqueue(std::move(frame));
+  return true;
+}
+
+void ShardLink::End::flush_held() {
+  if (!held_) return;
+  std::vector<std::uint8_t> delayed = std::move(*held_);
+  held_.reset();
+  enqueue(std::move(delayed));
+}
+
+std::optional<std::vector<std::uint8_t>> ShardLink::End::next_datagram() {
+  return in_.frames_ring.try_pop();
+}
+
+std::vector<std::uint8_t> ShardLink::End::acquire_buffer() {
+  // Prefer a buffer the peer shard recycled from our earlier frames; the
+  // shard-local pool is the cold-start (and overflow) fallback.
+  if (auto buffer = out_.recycle.try_pop()) {
+    buffer->clear();
+    return std::move(*buffer);
+  }
+  return Transport::acquire_buffer();
+}
+
+void ShardLink::End::release_buffer(std::vector<std::uint8_t> buffer) {
+  // Spent buffers travel back toward the shard that allocated the frames
+  // we consume; a full recycle ring falls back to the local pool.
+  if (in_.recycle.try_push(buffer)) return;
+  Transport::release_buffer(std::move(buffer));
+}
+
+}  // namespace icd::wire

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/random.hpp"
+#include "util/spsc.hpp"
+#include "wire/transport.hpp"
+
+/// A bidirectional link whose two ends live on different shard threads.
+///
+/// Same role as ChannelLink, but thread-crossing: each direction is a pair
+/// of SPSC rings — a frame ring carrying datagrams toward the peer shard,
+/// and a recycle ring carrying spent buffers back so the steady-state send
+/// path stays allocation-free even though the two ends own separate
+/// BufferPools (pools are shard-local; see DESIGN.md, "Threading model").
+/// The concurrency contract is exactly SPSC per ring: end A's owning thread
+/// is the only producer of the A->B frame ring and the only consumer of the
+/// B->A one; a coordinator may stand in for either thread while the workers
+/// are parked at a barrier (session refresh, teardown).
+///
+/// Channel shaping is applied on the sending side, single-threaded per
+/// direction: Bernoulli loss and an adjacent-swap reorder (one frame held
+/// back, with probability reorder_rate it departs behind its successor)
+/// from the direction's own ChannelConfig-seeded RNG. Unlike LossyChannel
+/// there is no one-hop residency clock — the tick barrier between the
+/// sending and receiving phases already guarantees a frame is never
+/// received in the phase that sent it. A full frame ring drops the frame
+/// (counted; the protocol absorbs it as loss).
+namespace icd::wire {
+
+class ShardLink {
+ public:
+  /// Same shaping in both directions; the reverse direction gets a
+  /// decorrelated seed (mirroring ChannelLink).
+  explicit ShardLink(ChannelConfig both_ways);
+  ShardLink(ChannelConfig a_to_b, ChannelConfig b_to_a);
+
+  /// The ends hold references into this object's rings: copying or moving
+  /// would silently alias (then dangle) them.
+  ShardLink(const ShardLink&) = delete;
+  ShardLink& operator=(const ShardLink&) = delete;
+
+  Transport& a() { return a_; }
+  Transport& b() { return b_; }
+
+  /// Makes both directions' held-back (reorder) frames deliverable — the
+  /// teardown analogue of ChannelLink::flush(). Caller must hold both
+  /// sides' SPSC roles (i.e. run while the workers are parked).
+  void flush();
+
+  /// Frames dropped because a frame ring was full (distinct from the
+  /// configured Bernoulli loss).
+  std::size_t overflow_drops() const {
+    return a_.overflow_drops() + b_.overflow_drops();
+  }
+
+  /// Frames per direction a burst can queue before overflow; handshake
+  /// fragment trains (multi-KB ART summaries) set the floor.
+  static constexpr std::size_t kRingFrames = 1024;
+
+ private:
+  using Ring = util::SpscRing<std::vector<std::uint8_t>>;
+
+  struct Direction {
+    explicit Direction(std::size_t frames)
+        : frames_ring(frames), recycle(frames) {}
+    Ring frames_ring;
+    Ring recycle;
+  };
+
+  class End : public Transport {
+   public:
+    End(ChannelConfig config, Direction& out, Direction& in);
+
+    std::size_t overflow_drops() const { return overflow_drops_; }
+    void flush_held();
+
+   protected:
+    bool send_datagram(std::vector<std::uint8_t> frame) override;
+    std::optional<std::vector<std::uint8_t>> next_datagram() override;
+    std::vector<std::uint8_t> acquire_buffer() override;
+    void release_buffer(std::vector<std::uint8_t> buffer) override;
+
+   private:
+    void enqueue(std::vector<std::uint8_t> frame);
+
+    Direction& out_;
+    Direction& in_;
+    ChannelConfig config_;
+    util::Xoshiro256 rng_;
+    /// Reorder holdback: the frame that may be overtaken by its successor.
+    std::optional<std::vector<std::uint8_t>> held_;
+    std::size_t overflow_drops_ = 0;
+  };
+
+  Direction a_to_b_;
+  Direction b_to_a_;
+  End a_;
+  End b_;
+};
+
+}  // namespace icd::wire

@@ -10,20 +10,37 @@
 namespace icd::wire {
 
 bool Transport::send(const Message& message) {
-  util::ByteWriter writer(pool_->acquire());
-  encode_frame_into(writer, message);
+  // Symbol messages take the view fast path (byte-identical frames, same
+  // accounting) — it needs no payload scratch.
+  if (const auto* encoded = std::get_if<EncodedSymbolMessage>(&message)) {
+    return send(codec::EncodedSymbolView(encoded->symbol));
+  }
+  if (const auto* recoded = std::get_if<RecodedSymbolMessage>(&message)) {
+    return send(codec::RecodedSymbolView(recoded->symbol));
+  }
+  util::ByteWriter writer(acquire_buffer());
+  util::ByteWriter payload_scratch(acquire_buffer());
+  encode_frame_into(writer, message, payload_scratch);
+  release_buffer(payload_scratch.take());
   auto frame = writer.take();
   const bool control = !is_data_type(message_type(message));
-  if (frame.size() <= mtu_) {
-    if (!send_frame(std::move(frame), control)) return false;
+  if (frame.size() > mtu_) return send_oversized(std::move(frame), control);
+  if (control && batch_budget_ > 0 &&
+      frame.size() <= std::min(batch_budget_, mtu_)) {
+    append_to_train(std::move(frame));
     ++stats_.messages_sent;
     return true;
   }
-  return send_oversized(std::move(frame), control);
+  // Unbatched frames overtake nothing: ship the pending train first.
+  flush_batch();
+  if (!send_frame(std::move(frame), control)) return false;
+  ++stats_.messages_sent;
+  return true;
 }
 
 bool Transport::send(const codec::EncodedSymbolView& symbol) {
-  util::ByteWriter writer(pool_->acquire());
+  flush_batch();
+  util::ByteWriter writer(acquire_buffer());
   encode_frame_into(writer, symbol);
   auto frame = writer.take();
   if (frame.size() > mtu_) return send_oversized(std::move(frame), false);
@@ -33,7 +50,8 @@ bool Transport::send(const codec::EncodedSymbolView& symbol) {
 }
 
 bool Transport::send(const codec::RecodedSymbolView& symbol) {
-  util::ByteWriter writer(pool_->acquire());
+  flush_batch();
+  util::ByteWriter writer(acquire_buffer());
   encode_frame_into(writer, symbol);
   auto frame = writer.take();
   if (frame.size() > mtu_) return send_oversized(std::move(frame), false);
@@ -42,19 +60,42 @@ bool Transport::send(const codec::RecodedSymbolView& symbol) {
   return true;
 }
 
+void Transport::append_to_train(std::vector<std::uint8_t> frame) {
+  const std::size_t limit = std::min(batch_budget_, mtu_);
+  if (train_live_ && train_.size() + frame.size() > limit) flush_batch();
+  if (!train_live_) {
+    train_ = acquire_buffer();
+    train_.clear();
+    train_live_ = true;
+  }
+  train_.insert(train_.end(), frame.begin(), frame.end());
+  release_buffer(std::move(frame));
+}
+
+bool Transport::flush_batch() {
+  if (!train_live_) return true;
+  train_live_ = false;
+  std::vector<std::uint8_t> train = std::move(train_);
+  train_ = {};
+  return send_frame(std::move(train), /*control=*/true);
+}
+
 bool Transport::send_oversized(std::vector<std::uint8_t> frame, bool control) {
+  // Fragments are MTU-sized already, so they travel unbatched — but the
+  // pending train must depart first to preserve frame order.
+  flush_batch();
   // Packetize: slice the oversized frame into Fragment messages, each of
   // which fits the MTU with room for its own header.
   if (mtu_ <= kFragmentOverhead) {
     ++stats_.frames_refused;
-    pool_->release(std::move(frame));
+    release_buffer(std::move(frame));
     return false;
   }
   const std::size_t chunk = mtu_ - kFragmentOverhead;
   const std::size_t count = (frame.size() + chunk - 1) / chunk;
   if (count > std::numeric_limits<std::uint16_t>::max()) {
     ++stats_.frames_refused;
-    pool_->release(std::move(frame));
+    release_buffer(std::move(frame));
     return false;
   }
   const std::uint32_t sequence = next_sequence_++;
@@ -67,14 +108,14 @@ bool Transport::send_oversized(std::vector<std::uint8_t> frame, bool control) {
     const std::size_t end = std::min(frame.size(), begin + chunk);
     fragment.data.assign(frame.begin() + static_cast<std::ptrdiff_t>(begin),
                          frame.begin() + static_cast<std::ptrdiff_t>(end));
-    util::ByteWriter writer(pool_->acquire());
+    util::ByteWriter writer(acquire_buffer());
     encode_frame_into(writer, Message{std::move(fragment)});
     if (!send_frame(writer.take(), control)) {
-      pool_->release(std::move(frame));
+      release_buffer(std::move(frame));
       return false;
     }
   }
-  pool_->release(std::move(frame));
+  release_buffer(std::move(frame));
   ++stats_.messages_sent;
   return true;
 }
@@ -102,7 +143,7 @@ bool Transport::take_datagram() {
   // Views handed out by the previous receive die here: the frame they
   // borrow goes back to the pool for the sender to recycle.
   if (rx_frame_live_) {
-    pool_->release(std::move(rx_frame_));
+    release_buffer(std::move(rx_frame_));
     rx_frame_ = {};
     rx_frame_live_ = false;
   }
@@ -110,17 +151,35 @@ bool Transport::take_datagram() {
   if (!datagram) return false;
   rx_frame_ = std::move(*datagram);
   rx_frame_live_ = true;
+  rx_offset_ = 0;
+  ++stats_.frames_received;
+  stats_.bytes_received += rx_frame_.size();
   return true;
 }
 
 std::optional<Transport::ReceivedFrame> Transport::receive_frame() {
-  while (take_datagram()) {
-    ++stats_.frames_received;
-    stats_.bytes_received += rx_frame_.size();
+  while (true) {
+    // A datagram may be a batched train of several frames: slice the next
+    // frame off it, taking a fresh datagram once this one is consumed.
+    if (!rx_frame_live_ || rx_offset_ >= rx_frame_.size()) {
+      if (!take_datagram()) return std::nullopt;
+    }
+    const std::span<const std::uint8_t> rest(
+        rx_frame_.data() + rx_offset_, rx_frame_.size() - rx_offset_);
+    std::span<const std::uint8_t> frame;
+    try {
+      frame = rest.first(frame_size(rest));
+    } catch (const std::invalid_argument&) {
+      // Can't even delimit the next frame: drop the rest of the datagram.
+      ++stats_.malformed_frames;
+      rx_offset_ = rx_frame_.size();
+      continue;
+    }
+    rx_offset_ += frame.size();
     // Symbol frames (the overwhelming majority in transfer) decode in
     // place; only control frames take the owning decode_frame path.
     try {
-      if (auto symbol = decode_symbol_frame(rx_frame_, rx_constituents_)) {
+      if (auto symbol = decode_symbol_frame(frame, rx_constituents_)) {
         ++stats_.messages_received;
         if (symbol->encoded) return ReceivedFrame{*symbol->encoded};
         return ReceivedFrame{*symbol->recoded};
@@ -131,7 +190,7 @@ std::optional<Transport::ReceivedFrame> Transport::receive_frame() {
     }
     Message message;
     try {
-      message = decode_frame(rx_frame_);
+      message = decode_frame(frame);
     } catch (const std::invalid_argument&) {
       ++stats_.malformed_frames;
       continue;
@@ -146,7 +205,6 @@ std::optional<Transport::ReceivedFrame> Transport::receive_frame() {
     ++stats_.messages_received;
     return ReceivedFrame{std::move(message)};
   }
-  return std::nullopt;
 }
 
 std::optional<Message> Transport::receive() {

@@ -120,9 +120,33 @@ class Transport {
   /// EncodedSymbolMessage/RecodedSymbolMessage. Control paths and tests.
   std::optional<Message> receive();
 
+  /// Per-tick control-frame batching. With a nonzero budget, control
+  /// frames no longer depart one datagram each: they accumulate in a
+  /// pooled train buffer (self-describing frames concatenated back to
+  /// back, exactly the encode_stream layout) that is handed to the link as
+  /// one datagram when appending the next frame would exceed
+  /// min(budget, mtu), when a data or oversized frame must depart (frame
+  /// order is preserved), or at flush_batch() — the per-tick boundary the
+  /// driving engine calls. Wire *bytes* are unchanged (each frame keeps
+  /// its header); what drops is the per-datagram cost: a handshake bundle
+  /// that took 4 frames travels as 1, and control_frames_sent counts
+  /// datagrams, so the control-packet accounting reflects the saving. A
+  /// train lost by the channel loses all its frames, which the endpoints'
+  /// retry path absorbs — same failure mode as a lost fragment. Budget 0
+  /// (the default) disables batching and reproduces the historical
+  /// one-frame-per-datagram behavior bit for bit.
+  void set_batch_budget(std::size_t bytes) { batch_budget_ = bytes; }
+  std::size_t batch_budget() const { return batch_budget_; }
+  /// Sends the pending control train, if any. Returns false only when the
+  /// backend refused the train datagram (counted in frames_refused).
+  bool flush_batch();
+
   std::size_t mtu() const { return mtu_; }
   const TransportStats& stats() const { return stats_; }
   const BufferPool& pool() const { return *pool_; }
+  /// Mutable pool access for engines that re-home a pool across tick
+  /// phases (BufferPool::debug_release_owner).
+  BufferPool& pool_mutable() { return *pool_; }
   void set_frame_observer(FrameObserver observer) {
     observer_ = std::move(observer);
   }
@@ -139,9 +163,21 @@ class Transport {
   virtual bool send_datagram(std::vector<std::uint8_t> frame) = 0;
   virtual std::optional<std::vector<std::uint8_t>> next_datagram() = 0;
 
+  /// Buffer recycling seam. The defaults go through the link-shared pool;
+  /// cross-shard transports (wire::ShardLink) override them to route spent
+  /// receive buffers back to the sending shard through an SPSC ring, since
+  /// a BufferPool itself is shard-local (see buffer_pool.hpp).
+  virtual std::vector<std::uint8_t> acquire_buffer() {
+    return pool_->acquire();
+  }
+  virtual void release_buffer(std::vector<std::uint8_t> buffer) {
+    pool_->release(std::move(buffer));
+  }
+
  private:
   bool send_frame(std::vector<std::uint8_t> frame, bool control);
   bool send_oversized(std::vector<std::uint8_t> frame, bool control);
+  void append_to_train(std::vector<std::uint8_t> frame);
   bool take_datagram();
   std::optional<Message> absorb_fragment(Fragment fragment);
 
@@ -158,8 +194,15 @@ class Transport {
   std::map<std::uint32_t, Partial> partials_;
   /// The last datagram taken from the link: views handed out by
   /// receive_frame() borrow it; released to the pool on the next take.
+  /// A batched train datagram carries several frames; rx_offset_ tracks
+  /// how far it has been sliced.
   std::vector<std::uint8_t> rx_frame_;
   bool rx_frame_live_ = false;
+  std::size_t rx_offset_ = 0;
+  /// Control-frame batching state (see set_batch_budget).
+  std::size_t batch_budget_ = 0;
+  std::vector<std::uint8_t> train_;
+  bool train_live_ = false;
   /// Decoded recoded-symbol ids; RecodedSymbolView borrows this.
   std::vector<std::uint64_t> rx_constituents_;
 };

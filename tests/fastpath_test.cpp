@@ -82,7 +82,12 @@ TEST(XorKernel, MatchesScalarReferenceIncludingOddTails) {
     codec::xor_bytes(a.data(), b.data(), n);
     EXPECT_EQ(a, expected) << "length " << n;
   }
-  for (const std::size_t n : {1400u, 4097u}) {  // odd tail at scale
+  // The widened kernel consumes 32-byte blocks before the word and byte
+  // tails: hit every boundary (block edge, block+word, block+word+bytes)
+  // and odd tails at scale.
+  for (const std::size_t n :
+       {31u, 32u, 33u, 39u, 40u, 41u, 63u, 64u, 65u, 95u, 96u, 97u, 127u,
+        128u, 129u, 255u, 256u, 257u, 1400u, 4097u}) {
     std::vector<std::uint8_t> a(n), b(n);
     for (auto& v : a) v = static_cast<std::uint8_t>(rng());
     for (auto& v : b) v = static_cast<std::uint8_t>(rng());
