@@ -1,0 +1,387 @@
+// Time-to-completion for the Figure 6-8 scenario family under *realistic*
+// link behavior: per-link virtual clocks with heterogeneous RTT, jitter,
+// token-bucket rate limits, and 5-20% edge loss — the dimension the
+// paper's round-based Figures 6-8 abstract away. One receiver downloads
+// concurrently from a set of senders (Figure 6: one full + one partial;
+// Figure 7: two partials; Figure 8: four partials) over asymmetric
+// ChannelLinks driven by the core::LinkScheduler, with closed-loop flow
+// control on: the receiver re-issues its request as symbols land and every
+// sender provably stops at satisfaction (gated in BENCH_latency.json,
+// which CI validates).
+//
+// The metric is virtual ticks until the receiver holds the decoding
+// target of distinct symbols. Lanes are asymmetric by construction: lane
+// k's forward path doubles the base RTT and halves the base rate of lane
+// k-1, so the scheduler genuinely services links at different cadences.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/endpoint.hpp"
+#include "core/link_scheduler.hpp"
+#include "core/origin.hpp"
+#include "core/peer.hpp"
+#include "overlay/scenario.hpp"
+#include "util/random.hpp"
+#include "wire/channel.hpp"
+#include "wire/transport.hpp"
+
+namespace {
+
+using namespace icd;
+
+struct BenchParams {
+  std::size_t n = 400;               // blocks to recover
+  std::size_t block_size = 64;       // bytes per block
+  double stretch = 1.5;              // distinct symbols = stretch * n
+  std::vector<double> loss_rates{0.05, 0.10, 0.20};
+  std::vector<double> correlations{0.0, 0.2, 0.4};
+  std::size_t max_ticks = 60000;
+};
+
+/// The asymmetric link profile of lane k: RTT doubles and the forward
+/// rate halves with each lane; the reverse (control) path is narrower
+/// still, so request updates are themselves paced.
+struct LaneProfile {
+  std::uint64_t delay = 0;
+  double forward_rate = 0.0;
+  double reverse_rate = 0.0;
+};
+
+LaneProfile lane_profile(std::size_t k) {
+  LaneProfile profile;
+  profile.delay = 2ull << k;                              // 4, 8, 16... RTT
+  profile.forward_rate = 1200.0 / static_cast<double>(1ull << k);
+  profile.reverse_rate = profile.forward_rate / 4.0;
+  return profile;
+}
+
+/// One download lane: an asymmetric timed ChannelLink plus its endpoints.
+struct Lane {
+  Lane(core::Peer& sender_peer, core::Peer& receiver_peer,
+       const core::SessionOptions& options, wire::ChannelConfig forward,
+       wire::ChannelConfig reverse)
+      : link(forward, reverse), sender(sender_peer, options, link.a()),
+        receiver(receiver_peer, options, link.b()) {}
+
+  wire::ChannelLink link;
+  core::SenderEndpoint sender;
+  core::ReceiverEndpoint receiver;
+};
+
+struct RunResult {
+  std::size_t ticks = 0;
+  bool completed = false;
+  /// No sender sent a data frame after it acknowledged its stop.
+  bool no_stop_violations = false;
+  /// Lanes whose sender had acknowledged the stop at the freeze snapshot.
+  std::size_t stopped_lanes = 0;
+  std::size_t flow_updates = 0;
+  std::size_t throttled = 0;
+};
+
+/// Builds `count` distinct encoded symbols from one origin stream.
+std::vector<codec::EncodedSymbol> build_universe(core::OriginServer& origin,
+                                                 std::size_t count) {
+  std::vector<codec::EncodedSymbol> universe;
+  std::map<std::uint64_t, bool> seen;
+  while (universe.size() < count) {
+    auto symbol = origin.next();
+    if (seen.emplace(symbol.id, true).second) {
+      universe.push_back(std::move(symbol));
+    }
+  }
+  return universe;
+}
+
+void preload(core::Peer& peer, const std::vector<std::uint64_t>& ids,
+             const std::vector<codec::EncodedSymbol>& universe) {
+  for (const std::uint64_t id : ids) {
+    peer.receive_encoded(universe[static_cast<std::size_t>(id)]);
+  }
+}
+
+/// Services every lane at virtual tick `now` in LinkScheduler order —
+/// the same service rule the delivery engines use.
+void service_lanes(std::vector<std::unique_ptr<Lane>>& lanes,
+                   core::LinkScheduler& scheduler, std::uint64_t now,
+                   std::size_t hint) {
+  scheduler.clear();
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    Lane& lane = *lanes[k];
+    lane.link.advance_to(now);
+    core::LinkTimes times;
+    times.timed = lane.link.timed();
+    if (times.timed) {
+      times.next_arrival = lane.link.next_arrival_at();
+      times.send_credit_at = lane.link.a_send_ready_at(hint);
+    }
+    if (auto at = core::next_service_time(lane.sender, lane.receiver, times,
+                                          now)) {
+      scheduler.schedule(*at, k);
+    }
+  }
+  while (auto k = scheduler.pop_due(now)) {
+    Lane& lane = *lanes[*k];
+    lane.sender.tick();
+    if (!lane.link.timed() || lane.link.a_send_ready_at(hint) <= now) {
+      lane.sender.send_symbol();
+    }
+    lane.receiver.tick();
+  }
+}
+
+/// Runs one scenario: `sender_sets` partial senders (plus a full sender
+/// when `with_full_sender`), asymmetric timed lanes, a given loss rate.
+RunResult run_scenario(const BenchParams& params,
+                       const std::vector<std::uint64_t>& receiver_ids,
+                       const std::vector<std::vector<std::uint64_t>>&
+                           sender_sets,
+                       bool with_full_sender, overlay::Strategy strategy,
+                       double loss, std::uint64_t seed) {
+  const auto distinct =
+      static_cast<std::size_t>(params.stretch * double(params.n));
+  std::vector<std::uint8_t> content(params.n * params.block_size, 0);
+  util::Xoshiro256 content_rng(seed);
+  for (auto& byte : content) byte = static_cast<std::uint8_t>(content_rng());
+  core::OriginServer origin(
+      content, params.block_size,
+      codec::DegreeDistribution::robust_soliton(params.n), seed ^ 0x0815);
+  const auto universe = build_universe(origin, distinct);
+  const auto distribution = codec::DegreeDistribution::robust_soliton(params.n);
+
+  core::Peer receiver_peer("receiver", origin.parameters(), distribution);
+  preload(receiver_peer, receiver_ids, universe);
+
+  const std::size_t target =
+      static_cast<std::size_t>(1.07 * static_cast<double>(params.n) + 0.999);
+  const std::size_t needed = target > receiver_peer.symbol_count()
+                                 ? target - receiver_peer.symbol_count()
+                                 : 1;
+  const std::size_t lane_count =
+      sender_sets.size() + (with_full_sender ? 1 : 0);
+
+  std::vector<std::unique_ptr<core::Peer>> sender_peers;
+  std::vector<std::unique_ptr<Lane>> lanes;
+  std::uint64_t max_rtt = 0;
+  for (std::size_t k = 0; k < lane_count; ++k) {
+    const bool full = with_full_sender && k == 0;
+    auto peer = std::make_unique<core::Peer>(
+        "sender" + std::to_string(k), origin.parameters(), distribution);
+    if (full) {
+      for (const auto& symbol : universe) peer->receive_encoded(symbol);
+    } else {
+      preload(*peer, sender_sets[k - (with_full_sender ? 1 : 0)], universe);
+    }
+
+    const LaneProfile profile = lane_profile(k);
+    max_rtt = std::max(max_rtt, 2 * profile.delay);
+    wire::ChannelConfig forward;
+    forward.mtu = 1024;
+    forward.loss_rate = loss;
+    forward.delay_ticks = profile.delay;
+    forward.jitter_ticks = 2;
+    forward.rate_bytes_per_tick = profile.forward_rate;
+    forward.seed = seed ^ (0xf0 + k);
+    wire::ChannelConfig reverse = forward;
+    reverse.rate_bytes_per_tick = profile.reverse_rate;
+    reverse.seed = seed ^ (0x0f + 31 * k);
+
+    core::SessionOptions options;
+    // Full senders serve fresh-equivalent symbols (kRandom over the whole
+    // universe); partial senders use the strategy under test.
+    options.strategy = full ? overlay::Strategy::kRandom : strategy;
+    options.flow_control = true;
+    options.flow_update_symbols = 8;
+    // Partial lanes get a bounded share of the need; the full sender (the
+    // Figure 6 baseline) streams for the whole transfer — request 0 =
+    // full domain — and stops via the decode-complete zero update. A
+    // bounded full sender could satisfy its share and stop while the
+    // partial has no novel symbols left, stalling the run: per-lane
+    // shares don't re-plan here (the delivery engines' refresh does that).
+    options.requested_symbols =
+        full ? 0
+             : std::max<std::size_t>(1, (needed * 5 / 4) / lane_count);
+    options.handshake_retry_ticks = std::max<std::size_t>(8, 2 * max_rtt);
+    options.seed = seed ^ (0xab5 + 7 * k);
+
+    lanes.push_back(std::make_unique<Lane>(*peer, receiver_peer, options,
+                                           forward, reverse));
+    sender_peers.push_back(std::move(peer));
+    lanes.back()->receiver.start();
+  }
+
+  core::LinkScheduler scheduler;
+  const std::size_t hint = core::data_frame_bytes_hint(params.block_size);
+  RunResult result;
+  std::uint64_t now = 0;
+  for (; now < params.max_ticks; ++now) {
+    service_lanes(lanes, scheduler, now, hint);
+    // Complete on real decode, or on the figures' distinct-symbol target —
+    // decoding can finish a few symbols early, at which point flow control
+    // rightly stops every sender, so symbol count alone would never trip.
+    if (receiver_peer.has_content() ||
+        receiver_peer.symbol_count() >= target) {
+      result.completed = true;
+      break;
+    }
+  }
+  result.ticks = static_cast<std::size_t>(now);
+
+  // Satisfaction gate, per lane: once a *sender* has heard the
+  // zero-remaining stop (sender.satisfied()), its data plane must be
+  // frozen — not one further data frame across a second multi-RTT grace
+  // window. Lanes whose request is not met (the receiver hit the global
+  // target through other lanes first) legitimately keep streaming until a
+  // driver-level teardown, which this harness deliberately does not
+  // perform, and a stop still crossing the (paced, lossy) reverse path at
+  // snapshot time is not a violation: the gate proves the protocol-level
+  // stop, not its propagation latency.
+  const std::uint64_t grace = 4 * max_rtt + 16;
+  for (std::uint64_t g = 0; g < grace; ++g) {
+    service_lanes(lanes, scheduler, now + g, hint);
+  }
+  std::vector<bool> sender_satisfied_at_snapshot(lanes.size(), false);
+  std::vector<std::size_t> frames_at_snapshot(lanes.size(), 0);
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    sender_satisfied_at_snapshot[k] = lanes[k]->sender.satisfied();
+    frames_at_snapshot[k] =
+        lanes[k]->sender.transport().stats().data_frames_sent;
+  }
+  for (std::uint64_t g = 0; g < grace; ++g) {
+    service_lanes(lanes, scheduler, now + grace + g, hint);
+  }
+  result.no_stop_violations = true;
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    const Lane& lane = *lanes[k];
+    result.flow_updates += lane.receiver.flow_updates_sent();
+    result.throttled += lane.link.a_to_b().throttled();
+    if (!sender_satisfied_at_snapshot[k]) continue;
+    ++result.stopped_lanes;
+    const std::size_t frames_now =
+        lane.sender.transport().stats().data_frames_sent;
+    if (frames_now != frames_at_snapshot[k]) {
+      result.no_stop_violations = false;
+      std::fprintf(stderr,
+                   "  lane %zu sent past its stop: data frames %zu -> %zu\n",
+                   k, frames_at_snapshot[k], frames_now);
+    }
+  }
+  return result;
+}
+
+const char* strategy_key(overlay::Strategy strategy) {
+  switch (strategy) {
+    case overlay::Strategy::kRandom: return "random";
+    case overlay::Strategy::kRandomBloom: return "randombf";
+    case overlay::Strategy::kRecode: return "recode";
+    case overlay::Strategy::kRecodeBloom: return "recodebf";
+    case overlay::Strategy::kRecodeMinwise: return "recodemw";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace icd;
+  const bool smoke = bench::smoke_mode(argc, argv);
+
+  BenchParams params;
+  if (smoke) {
+    params.n = 150;
+    params.loss_rates = {0.10};
+    params.correlations = {0.2};
+  }
+  const std::vector<overlay::Strategy> strategies{
+      overlay::Strategy::kRecodeBloom, overlay::Strategy::kRandom};
+
+  bench::JsonReport report;
+  report.add("n", params.n);
+  report.add("block_size", params.block_size);
+  report.add_string("mode", smoke ? "smoke" : "full");
+  report.add_string(
+      "metric",
+      "virtual ticks to the decoding target over asymmetric rate-limited "
+      "links (lane k: RTT 2^k*4 ticks, forward rate 1200/2^k B/tick)");
+
+  bool all_completed = true;
+  bool no_violations = true;
+  std::size_t stopped_lanes_total = 0;
+  std::size_t flow_updates_total = 0;
+  std::size_t throttled_total = 0;
+
+  struct Fig {
+    const char* name;
+    std::size_t partial_senders;
+    bool full_sender;
+  };
+  const std::vector<Fig> figs{{"fig6", 1, true},
+                              {"fig7", 2, false},
+                              {"fig8", 4, false}};
+
+  for (const Fig& fig : figs) {
+    bench::print_header(std::string("Latency ") + fig.name +
+                        ": ticks to completion (asymmetric timed links)");
+    for (const double corr : params.correlations) {
+      for (const double loss : params.loss_rates) {
+        for (const auto strategy : strategies) {
+          const std::uint64_t seed =
+              0x1a7e9c1ULL ^ (static_cast<std::uint64_t>(corr * 100) << 20) ^
+              (static_cast<std::uint64_t>(loss * 100) << 8);
+          util::Xoshiro256 scenario_rng(seed);
+          std::vector<std::uint64_t> receiver_ids;
+          std::vector<std::vector<std::uint64_t>> sender_sets;
+          if (fig.full_sender) {
+            const auto scenario = overlay::make_pair_scenario(
+                params.n, params.stretch, corr, scenario_rng);
+            receiver_ids = scenario.receiver;
+            sender_sets.push_back(scenario.sender);
+          } else {
+            const auto scenario = overlay::make_multi_scenario(
+                params.n, params.stretch, corr, fig.partial_senders,
+                scenario_rng);
+            receiver_ids = scenario.receiver;
+            sender_sets = scenario.senders;
+          }
+
+          const RunResult run =
+              run_scenario(params, receiver_ids, sender_sets,
+                           fig.full_sender, strategy, loss, seed ^ 0xbead);
+          all_completed = all_completed && run.completed;
+          no_violations = no_violations && run.no_stop_violations;
+          stopped_lanes_total += run.stopped_lanes;
+          flow_updates_total += run.flow_updates;
+          throttled_total += run.throttled;
+
+          const std::string key =
+              std::string(fig.name) + "_corr" +
+              std::to_string(static_cast<int>(corr * 100)) + "_loss" +
+              std::to_string(static_cast<int>(loss * 100)) + "_" +
+              strategy_key(strategy);
+          report.add(key + "_ticks", run.ticks);
+          report.add(key + "_completed", std::size_t{run.completed ? 1u : 0u});
+          std::printf("  %-32s %8zu ticks  %s\n", key.c_str(), run.ticks,
+                      run.completed ? "done" : "INCOMPLETE");
+        }
+      }
+    }
+  }
+
+  // The stop gate aggregates across the sweep: zero violations (a sender
+  // that acknowledged its stop never sent again) AND the mechanism
+  // demonstrably engaged (some lanes actually stopped — runs that
+  // complete with no per-lane request met have nothing to stop).
+  const bool stop_gate = no_violations && stopped_lanes_total > 0;
+  report.add("all_completed", std::size_t{all_completed ? 1u : 0u});
+  report.add("senders_stop_at_satisfaction", std::size_t{stop_gate ? 1u : 0u});
+  report.add("stopped_lanes_total", stopped_lanes_total);
+  report.add("flow_updates_total", flow_updates_total);
+  report.add("throttled_frames_total", throttled_total);
+  report.write("BENCH_latency.json");
+  return (all_completed && stop_gate) ? 0 : 1;
+}

@@ -83,6 +83,8 @@ std::size_t ContentDeliveryService::tick() {
   if (ticks_ % std::max<std::size_t>(1, options_.refresh_interval) == 0) {
     refresh_sessions();
   }
+  // The tick index is the virtual time every timed link advances to.
+  const std::uint64_t now = ticks_;
   ++ticks_;
 
   std::size_t completed_now = 0;
@@ -92,6 +94,26 @@ std::size_t ContentDeliveryService::tick() {
     if (entry.origin_fed) {
       entry.peer->receive_encoded(origins_[entry.origin_index]->next());
     }
+    service_downloads(entry, now);
+    if (entry.peer->has_content()) ++completed_now;
+  }
+  return completed_now;
+}
+
+void ContentDeliveryService::service_downloads(PeerEntry& entry,
+                                               std::uint64_t now) {
+  // All-untimed peers (the default) keep the historical lockstep loop
+  // with zero scheduling overhead — the scheduler path below reproduces
+  // it bit for bit (ties at `now` pop in ascending sender order), but
+  // there is no reason to pay the heap on the legacy hot path.
+  bool any_timed = false;
+  for (auto& [sender_id, download] : entry.downloads) {
+    if (download->link.timed()) {
+      any_timed = true;
+      break;
+    }
+  }
+  if (!any_timed) {
     // One symbol from each active download link: the serving endpoint
     // answers handshakes and streams, the receiving endpoint absorbs.
     // The channel's one-hop residency keeps adjacent data frames paired
@@ -102,9 +124,41 @@ std::size_t ContentDeliveryService::tick() {
       download->sender.send_symbol();
       download->receiver.tick();
     }
-    if (entry.peer->has_content()) ++completed_now;
+    return;
   }
-  return completed_now;
+
+  // Schedule each download's next service event; untimed links (mixed
+  // configs) are due now with sender-ascending ties, reproducing the
+  // historical lockstep order exactly. A timed link's delay/jitter
+  // schedule keeps adjacent data frames paired for reorder even though
+  // due links drain every service.
+  const std::size_t hint = data_frame_bytes_hint(options_.block_size);
+  scheduler_.clear();
+  for (auto& [sender_id, download] : entry.downloads) {
+    download->link.advance_to(now);
+    LinkTimes times;
+    times.timed = download->link.timed();
+    if (times.timed) {
+      times.next_arrival = download->link.next_arrival_at();
+      times.send_credit_at = download->link.a_send_ready_at(hint);
+    }
+    if (auto at = next_service_time(download->sender, download->receiver,
+                                    times, now)) {
+      scheduler_.schedule(*at, sender_id);
+    }
+  }
+  // One symbol from each due download link: the serving endpoint answers
+  // handshakes and streams (token bucket permitting), the receiving
+  // endpoint absorbs.
+  while (auto sender_id = scheduler_.pop_due(now)) {
+    if (entry.peer->has_content()) break;
+    DownloadLink& download = *entry.downloads.at(*sender_id);
+    download.sender.tick();
+    if (!download.link.timed() || download.link.a_send_ready_at(hint) <= now) {
+      download.sender.send_symbol();
+    }
+    download.receiver.tick();
+  }
 }
 
 bool ContentDeliveryService::run(std::size_t max_ticks) {

@@ -10,6 +10,7 @@
 
 #include "core/admission.hpp"
 #include "core/endpoint.hpp"
+#include "core/link_scheduler.hpp"
 #include "core/origin.hpp"
 #include "core/peer.hpp"
 #include "wire/transport.hpp"
@@ -45,8 +46,21 @@ struct DeliveryOptions {
   wire::ChannelConfig link;
   /// Optional per-edge override: (sender_id, receiver_id) -> config. When
   /// set it replaces `link` for that edge; the unset-seed rule above
-  /// applies to the returned config too.
+  /// applies to the returned config too. Timing knobs (delay_ticks,
+  /// jitter_ticks, hops, rate_bytes_per_tick) switch the edge to the
+  /// virtual clock and the engines to scheduler-driven servicing.
   std::function<wire::ChannelConfig(std::size_t, std::size_t)> link_config;
+  /// Closed-loop flow control (SessionOptions::flow_control) on every
+  /// download session: receivers re-issue their request with decremented
+  /// counts as symbols land, and senders stop at satisfaction instead of
+  /// streaming until the next refresh. Off by default (extra control
+  /// frames; historical byte accounting stays bit-for-bit).
+  bool flow_control = false;
+  /// Handshake retry cadence for every download session
+  /// (SessionOptions::handshake_retry_ticks). On timed links set this
+  /// above the worst round-trip delay, or every in-flight reply triggers
+  /// a redundant bundle re-send.
+  std::size_t handshake_retry_ticks = 8;
 };
 
 class ContentDeliveryService {
@@ -148,6 +162,11 @@ class ContentDeliveryService {
   };
 
   void refresh_sessions();
+  /// Services one peer's downloads in LinkScheduler order at virtual time
+  /// `now` (= the tick index): untimed links every tick in sender order
+  /// (the historical lockstep), timed links only when a frame has arrived
+  /// or the token bucket grants send credit.
+  void service_downloads(PeerEntry& entry, std::uint64_t now);
   static void accumulate_link(const DownloadLink& download,
                               LinkTotals& totals);
 
@@ -159,6 +178,8 @@ class ContentDeliveryService {
   std::uint64_t next_session_seed_;
   /// Wire stats of links already torn down by refresh_sessions().
   LinkTotals retired_link_totals_;
+  /// Per-tick service ordering; rebuilt for each peer (capacity reused).
+  LinkScheduler scheduler_;
 };
 
 }  // namespace icd::core

@@ -142,7 +142,37 @@ std::size_t ReceiverEndpoint::tick() {
     ++handshake_retries_;
     send_bundle();
   }
+  if (options_.flow_control && phase_ == EndpointPhase::kTransfer) {
+    maybe_send_flow_update();
+  }
   return gained;
+}
+
+void ReceiverEndpoint::maybe_send_flow_update() {
+  // The closing update (zero remaining) stops the sender. It can be lost;
+  // the retry signal is the data plane itself — while symbols keep
+  // arriving the sender evidently has not heard, so the stop is re-issued
+  // every flow_update_symbols further arrivals. Symbols already in flight
+  // over the link's RTT cost at most a handful of redundant updates.
+  if (satisfied()) {
+    if (!satisfied_sent_ ||
+        symbols_received_ - received_at_stop_ >= options_.flow_update_symbols) {
+      transport_.send(wire::RequestUpdate{0});
+      satisfied_sent_ = true;
+      received_at_stop_ = symbols_received_;
+      ++flow_updates_sent_;
+    }
+    return;
+  }
+  // Decrement-count re-issues only make sense against a bounded request.
+  if (options_.requested_symbols == 0) return;
+  if (new_encoded_symbols_ - acked_symbols_ < options_.flow_update_symbols) {
+    return;
+  }
+  acked_symbols_ = new_encoded_symbols_;
+  transport_.send(wire::RequestUpdate{options_.requested_symbols -
+                                      new_encoded_symbols_});
+  ++flow_updates_sent_;
 }
 
 // --- SenderEndpoint --------------------------------------------------------
@@ -185,6 +215,9 @@ void SenderEndpoint::tick() {
       symbols_desired_ = request->symbols_desired;
       request_seen_ = true;
       reply_due_ = true;  // each (re)sent bundle earns a reply
+    } else if (auto* update = std::get_if<wire::RequestUpdate>(&*message)) {
+      receiver_remaining_ = update->symbols_remaining;
+      if (update->symbols_remaining == 0) satisfied_ = true;
     }
   }
 
@@ -252,6 +285,8 @@ void SenderEndpoint::send_reply() {
 bool SenderEndpoint::send_symbol() {
   using overlay::Strategy;
   if (phase_ != EndpointPhase::kTransfer) return false;
+  // Flow control: a satisfied receiver has said stop; serve nothing more.
+  if (satisfied_) return false;
   // An empty working set has nothing to serve — every strategy below
   // would otherwise throw from sampling/recoding over zero held symbols.
   if (peer_.symbol_count() == 0) return false;

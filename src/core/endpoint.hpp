@@ -50,8 +50,20 @@ struct SessionOptions {
   /// the Recode/BF recoding domain is restricted to this size.
   std::size_t requested_symbols = 0;
   /// Receiver re-sends its handshake bundle after this many quiet ticks
-  /// until the sender's reply lands (loss tolerance).
+  /// until the sender's reply lands (loss tolerance). On high-RTT timed
+  /// links, set this above the round-trip delay or every in-flight reply
+  /// triggers a redundant retry (harmless but wasteful).
   std::size_t handshake_retry_ticks = 8;
+  /// Flow control: when true the receiver re-issues its request as
+  /// wire::RequestUpdate frames with the decremented remaining count every
+  /// `flow_update_symbols` new encoded symbols, plus a final
+  /// zero-remaining update at satisfaction — so the sender stops at
+  /// satisfaction instead of relying on the driver loop. Off by default:
+  /// the updates are extra control frames, and the historical byte
+  /// accounting must stay bit-for-bit reproducible.
+  bool flow_control = false;
+  /// New encoded symbols between flow-control updates.
+  std::size_t flow_update_symbols = 8;
   std::uint64_t seed = 0x5e5510a5eedULL;
 };
 
@@ -111,8 +123,20 @@ class ReceiverEndpoint {
   /// Handshake bundle (re)transmissions after the first.
   std::size_t handshake_retries() const { return handshake_retries_; }
 
+  /// Flow control: the request is satisfied — the content decoded, or
+  /// (with a nonzero requested_symbols) the requested count of new
+  /// encoded symbols has landed.
+  bool satisfied() const {
+    return complete() ||
+           (options_.requested_symbols > 0 &&
+            new_encoded_symbols_ >= options_.requested_symbols);
+  }
+  /// RequestUpdate frames issued (flow_control sessions only).
+  std::size_t flow_updates_sent() const { return flow_updates_sent_; }
+
  private:
   void send_bundle();
+  void maybe_send_flow_update();
 
   Peer& peer_;
   SessionOptions options_;
@@ -139,6 +163,13 @@ class ReceiverEndpoint {
   std::size_t symbols_received_ = 0;
   std::size_t symbols_useful_ = 0;
   std::size_t new_encoded_symbols_ = 0;
+  /// Flow-control state: symbols acknowledged by the last update, whether
+  /// the zero-remaining stop has been sent, and the arrival count at the
+  /// last stop (arrivals past it mean the stop was lost — re-issue).
+  std::size_t acked_symbols_ = 0;
+  bool satisfied_sent_ = false;
+  std::size_t received_at_stop_ = 0;
+  std::size_t flow_updates_sent_ = 0;
 };
 
 /// The uploading half. Waits for the receiver's bundle, digests sketch and
@@ -160,6 +191,14 @@ class SenderEndpoint {
 
   EndpointPhase phase() const { return phase_; }
   bool transfer_active() const { return phase_ == EndpointPhase::kTransfer; }
+
+  /// Flow control: the receiver declared itself satisfied (RequestUpdate
+  /// with zero remaining) — send_symbol() serves nothing further.
+  bool satisfied() const { return satisfied_; }
+  /// Remaining count from the receiver's latest RequestUpdate, if any.
+  std::optional<std::uint64_t> receiver_remaining() const {
+    return receiver_remaining_;
+  }
 
   double estimated_containment() const { return estimated_containment_; }
   std::size_t symbols_sent() const { return symbols_sent_; }
@@ -188,6 +227,8 @@ class SenderEndpoint {
   std::optional<art::ArtSummary> receiver_art_;
   bool request_seen_ = false;
   bool reply_due_ = false;
+  bool satisfied_ = false;
+  std::optional<std::uint64_t> receiver_remaining_;
   std::size_t symbols_desired_ = 0;
   double estimated_containment_ = 0.0;
   std::vector<std::uint64_t> domain_;

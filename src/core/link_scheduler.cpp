@@ -1,0 +1,49 @@
+#include "core/link_scheduler.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "core/endpoint.hpp"
+
+namespace icd::core {
+
+void LinkScheduler::schedule(std::uint64_t at, std::uint64_t key) {
+  heap_.emplace_back(at, key);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>> LinkScheduler::peek()
+    const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front();
+}
+
+std::optional<std::uint64_t> LinkScheduler::pop_due(std::uint64_t now) {
+  if (heap_.empty() || heap_.front().first > now) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  const std::uint64_t key = heap_.back().second;
+  heap_.pop_back();
+  return key;
+}
+
+std::size_t data_frame_bytes_hint(std::size_t block_size) {
+  // Frame header + symbol id/constituents prefix on top of one payload.
+  return block_size + 64;
+}
+
+std::optional<std::uint64_t> next_service_time(const SenderEndpoint& sender,
+                                               const ReceiverEndpoint& receiver,
+                                               const LinkTimes& times,
+                                               std::uint64_t now) {
+  if (!times.timed) return now;
+  // The handshake needs every tick: retry clocks count quiet ticks, and
+  // bundle pieces may still be crossing the (delayed) link.
+  if (!receiver.transfer_started() || !sender.transfer_active()) return now;
+  std::optional<std::uint64_t> at = times.next_arrival;
+  if (!sender.satisfied() && times.send_credit_at) {
+    at = at ? std::min(*at, *times.send_credit_at) : *times.send_credit_at;
+  }
+  return at;
+}
+
+}  // namespace icd::core

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+/// Simulated-time link scheduling.
+///
+/// With timed links (wire::ChannelConfig delay/jitter/rate knobs), a
+/// delivery engine no longer services every download every round: each
+/// active download has a *next service time* — the earliest virtual tick at
+/// which anything can happen on its link (a frame arrives, or the token
+/// bucket grants send credit) — and the engine pops downloads from a
+/// LinkScheduler in (time, key) order, skipping links that are provably
+/// idle this tick. Untimed links report "now" and reproduce the historical
+/// lockstep order exactly (keys tie-break in ascending order, matching the
+/// legacy per-sender map iteration), which is what keeps the shards=1
+/// bit-for-bit determinism gate intact under the new scheduler. See
+/// DESIGN.md, "Time and scheduling model".
+namespace icd::core {
+
+class SenderEndpoint;
+class ReceiverEndpoint;
+
+/// A deterministic min-queue of (time, key) service events. Rebuilt cheaply
+/// per scheduling round (clear + schedule), popped in strict (time, key)
+/// order — no two equal (time, key) pairs behave nondeterministically.
+class LinkScheduler {
+ public:
+  void clear() { heap_.clear(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Registers one service event. Duplicate keys are allowed; callers that
+  /// reschedule simply clear() and rebuild (events are per-tick).
+  void schedule(std::uint64_t at, std::uint64_t key);
+
+  /// The earliest (time, key) event, if any.
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> peek() const;
+
+  /// Pops and returns the earliest event's key if its time is <= now;
+  /// nullopt when the queue is empty or everything lies in the future.
+  std::optional<std::uint64_t> pop_due(std::uint64_t now);
+
+ private:
+  /// std::push_heap/pop_heap min-heap ordered by (at, key).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> heap_;
+};
+
+/// Link-derived inputs to the service decision, gathered by the engine
+/// from whichever link type carries the download (ChannelLink locally,
+/// ShardLink across shards).
+struct LinkTimes {
+  /// False = legacy event-clock link: service every tick.
+  bool timed = false;
+  /// Earliest arrival of a queued frame in either direction.
+  std::optional<std::uint64_t> next_arrival;
+  /// Earliest departure credit for one data frame (token bucket).
+  std::optional<std::uint64_t> send_credit_at;
+};
+
+/// Estimated wire size of one data-plane frame, used for the send-credit
+/// probe (the exact size depends on strategy and degree; pacing itself is
+/// enforced by the channel's token bucket, so the hint only shapes attempt
+/// cadence).
+std::size_t data_frame_bytes_hint(std::size_t block_size);
+
+/// When the download next needs service: now for untimed links and during
+/// the handshake (retry clocks must keep counting), the earliest of frame
+/// arrival / send credit during transfer, and nullopt — skip entirely —
+/// for a drained link whose sender is satisfied.
+std::optional<std::uint64_t> next_service_time(const SenderEndpoint& sender,
+                                               const ReceiverEndpoint& receiver,
+                                               const LinkTimes& times,
+                                               std::uint64_t now);
+
+}  // namespace icd::core

@@ -45,6 +45,8 @@ std::vector<PlannedDownload> plan_peer_downloads(
     PlannedDownload download;
     download.sender_id = j;
     download.session.strategy = options.strategy;
+    download.session.flow_control = options.flow_control;
+    download.session.handshake_retry_ticks = options.handshake_retry_ticks;
     download.session.requested_symbols = std::max<std::size_t>(
         1, (needed * 5 / 4) / std::max<std::size_t>(1, selected.size()));
     download.session.seed = session_seed_chain =

@@ -142,8 +142,65 @@ void ShardedDelivery::refresh_sessions() {
   release_pool_owners();
 }
 
+void ShardedDelivery::service_local_downloads(PeerEntry& entry,
+                                              LinkScheduler& scheduler) {
+  // Mirrors ContentDeliveryService::service_downloads (the shards=1
+  // bit-for-bit contract): all-untimed peers keep the historical
+  // lockstep loop with zero scheduling overhead; otherwise untimed links
+  // are due every tick in sender order, timed links only when a frame
+  // has arrived or the token bucket grants send credit.
+  bool any_timed = false;
+  for (auto& [sender_id, download] : entry.downloads) {
+    if (download->local && download->local->timed()) {
+      any_timed = true;
+      break;
+    }
+  }
+  if (!any_timed) {
+    for (auto& [sender_id, download] : entry.downloads) {
+      if (entry.peer->has_content()) break;
+      if (!download->local) continue;  // cross: receiver phase handles it
+      download->sender->tick();
+      download->sender->send_symbol();
+      download->receiver->tick();
+      flush_batches(*download);
+    }
+    return;
+  }
+
+  const std::uint64_t now = tick_now_;
+  const std::size_t hint = data_frame_bytes_hint(options_.block_size);
+  scheduler.clear();
+  for (auto& [sender_id, download] : entry.downloads) {
+    if (!download->local) continue;  // cross: receiver phase handles it
+    download->local->advance_to(now);
+    LinkTimes times;
+    times.timed = download->local->timed();
+    if (times.timed) {
+      times.next_arrival = download->local->next_arrival_at();
+      times.send_credit_at = download->local->a_send_ready_at(hint);
+    }
+    if (auto at = next_service_time(*download->sender, *download->receiver,
+                                    times, now)) {
+      scheduler.schedule(*at, sender_id);
+    }
+  }
+  while (auto sender_id = scheduler.pop_due(now)) {
+    if (entry.peer->has_content()) break;
+    Download& download = *entry.downloads.at(*sender_id);
+    download.sender->tick();
+    if (!download.local->timed() ||
+        download.local->a_send_ready_at(hint) <= now) {
+      download.sender->send_symbol();
+    }
+    download.receiver->tick();
+    flush_batches(download);
+  }
+}
+
 void ShardedDelivery::phase_send(std::size_t shard) {
   ShardWork& work = shard_work_[shard];
+  const std::size_t hint = data_frame_bytes_hint(options_.block_size);
   for (const std::size_t id : work.peers) {
     PeerEntry& entry = peers_[id];
     if (entry.peer->has_content()) {
@@ -156,21 +213,21 @@ void ShardedDelivery::phase_send(std::size_t shard) {
       entry.pending_origin.reset();
     }
     // Fully-local downloads run end to end, exactly the legacy loop.
-    for (auto& [sender_id, download] : entry.downloads) {
-      if (entry.peer->has_content()) break;
-      if (!download->local) continue;  // cross: receiver phase handles it
-      download->sender->tick();
-      download->sender->send_symbol();
-      download->receiver->tick();
-      flush_batches(*download);
-    }
+    service_local_downloads(entry, work.scheduler);
   }
-  // Sender halves of outgoing cross-shard downloads: answer handshakes and
-  // put this tick's symbol on the ring.
+  // Sender halves of outgoing cross-shard downloads: answer handshakes
+  // and, credit permitting, put this tick's symbol on the ring (the
+  // barrier after this phase is the cross-shard commit point; a timed
+  // link's advance pushes newly arrived frames onto it too).
   for (Download* download : work.cross_senders) {
     if (peers_[download->receiver_id].complete_at_tick_start) continue;
+    download->cross->advance_a_to(tick_now_);
     download->sender->tick();
-    download->sender->send_symbol();
+    if (!download->cross->timed() ||
+        (!download->sender->satisfied() &&
+         download->cross->a_send_ready_at(hint) <= tick_now_)) {
+      download->sender->send_symbol();
+    }
     if (batch_budget_ > 0) download->sender_transport().flush_batch();
   }
 }
@@ -182,6 +239,7 @@ void ShardedDelivery::phase_receive(std::size_t shard) {
     for (auto& [sender_id, download] : entry.downloads) {
       if (!download->cross) continue;
       if (entry.peer->has_content()) break;
+      download->cross->advance_b_to(tick_now_);
       download->receiver->tick();
       if (batch_budget_ > 0) download->receiver_transport().flush_batch();
     }
@@ -192,6 +250,8 @@ std::size_t ShardedDelivery::tick() {
   if (ticks_ % std::max<std::size_t>(1, options_.refresh_interval) == 0) {
     refresh_sessions();
   }
+  // Virtual time of this tick (= its index), as in the legacy engine.
+  tick_now_ = ticks_;
   ++ticks_;
 
   // Coordinator prologue: completion snapshots (the phases read these

@@ -148,12 +148,18 @@ class ShardedDelivery {
     /// Cross-shard downloads whose *sender* this shard owns, in
     /// (receiver_id, sender_id) order. Rebuilt each refresh.
     std::vector<Download*> cross_senders;
+    /// Per-shard service ordering for local downloads (shard-local: each
+    /// worker thread touches only its own).
+    LinkScheduler scheduler;
   };
 
   void refresh_sessions();
   void release_pool_owners();
   void phase_send(std::size_t shard);
   void phase_receive(std::size_t shard);
+  /// Mirrors ContentDeliveryService::service_downloads for the fully-local
+  /// downloads of one peer (the shards=1 bit-for-bit contract).
+  void service_local_downloads(PeerEntry& entry, LinkScheduler& scheduler);
   void flush_batches(Download& download);
   static void accumulate_link(Download& download, LinkTotals& totals);
 
@@ -165,6 +171,9 @@ class ShardedDelivery {
   std::vector<PeerEntry> peers_;
   std::vector<ShardWork> shard_work_;
   std::size_t ticks_ = 0;
+  /// Virtual time of the tick in progress (= its tick index), read by the
+  /// phases on every shard; written only between pool runs.
+  std::uint64_t tick_now_ = 0;
   std::uint64_t next_session_seed_;
   LinkTotals retired_link_totals_;
   /// Present only when shards > 1.

@@ -5,6 +5,13 @@
 #include "codec/recoder.hpp"
 
 /// Shared knobs for the Section 6 simulations.
+///
+/// Per-edge wire behavior (loss, reordering, MTU, and the simulated-time
+/// delay/jitter/rate knobs) is not configured here but on the
+/// wire::ChannelConfig each harness takes alongside this struct —
+/// AdaptiveOverlayConfig::link / link_config for the overlay simulator,
+/// DeliveryOptions::link / link_config for the delivery engines; see
+/// DESIGN.md, "Time and scheduling model".
 namespace icd::overlay {
 
 struct SimConfig {

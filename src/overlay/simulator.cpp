@@ -178,6 +178,10 @@ AdaptiveOverlayResult run_adaptive_overlay(
   }
   WireTotals serial_totals;
   std::size_t connection_serial = 0;
+  // Virtual time for timed edges (ChannelConfig delay/jitter/rate): every
+  // channel is advanced to the current round before it is used, so delays
+  // are measured in rounds. Untimed edges ignore it.
+  std::uint64_t current_round = 0;
 
 
   // Reconnects `peer` to up to connections_per_peer senders, charging the
@@ -313,9 +317,12 @@ AdaptiveOverlayResult run_adaptive_overlay(
   // account (a refused oversized frame is never a transmission), and
   // drain. The channel's own one-hop residency pairs adjacent frames for
   // its swap reordering (latency <= 1 round), so draining every round is
-  // correct — no alternate-round rule needed.
-  const auto send_through = [](wire::LossyChannel& channel, PeerState& peer,
-                               const Transmission& t, WireTotals& totals) {
+  // correct — no alternate-round rule needed. Timed edges instead deliver
+  // by their delay/jitter/rate schedule against the round clock.
+  const auto send_through = [&current_round](
+                                wire::LossyChannel& channel, PeerState& peer,
+                                const Transmission& t, WireTotals& totals) {
+    channel.advance_to(current_round);
     auto frame = encode_transmission(t);
     const std::size_t frame_bytes = frame.size();
     if (channel.send(std::move(frame))) {
@@ -347,6 +354,7 @@ AdaptiveOverlayResult run_adaptive_overlay(
       };
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
+    current_round = round;
     // Joins (staggered arrivals: the paper's asynchrony requirement).
     for (std::size_t i = 0; i < config.peer_count; ++i) {
       if (!peers[i].joined && round > i * config.join_stagger) {

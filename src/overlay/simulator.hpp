@@ -48,9 +48,12 @@ struct AdaptiveOverlayConfig {
   /// Wire shaping for every connection: each edge (including the origin
   /// feeds) carries its symbols through a LossyChannel built from this
   /// config, so loss, reordering and the MTU are per-edge properties.
-  /// An unset seed is replaced with a fresh per-edge draw to decorrelate
-  /// edges; an explicit seed is honored verbatim (so every edge sharing
-  /// it sees the same loss realization).
+  /// Timing knobs (delay_ticks, jitter_ticks, hops, rate_bytes_per_tick)
+  /// switch an edge to its virtual clock, advanced to the round number
+  /// before every use — delays are measured in rounds, rate limits in
+  /// bytes per round. An unset seed is replaced with a fresh per-edge
+  /// draw to decorrelate edges; an explicit seed is honored verbatim (so
+  /// every edge sharing it sees the same loss realization).
   wire::ChannelConfig link;
   /// Optional per-edge override: (sender, receiver) -> config, where the
   /// sender index kOriginSenderId denotes the origin fountain. It replaces

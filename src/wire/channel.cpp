@@ -1,12 +1,120 @@
 #include "wire/channel.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace icd::wire {
 
+// --- TimedFrameQueue --------------------------------------------------------
+
+void TimedFrameQueue::place(TimedFrame frame) {
+  auto at = queue_.end();
+  while (at != queue_.begin()) {
+    auto prev = std::prev(at);
+    if (prev->arrival < frame.arrival ||
+        (prev->arrival == frame.arrival && prev->seq < frame.seq)) {
+      break;
+    }
+    at = prev;
+  }
+  queue_.insert(at, std::move(frame));
+}
+
+void TimedFrameQueue::insert(TimedFrame frame, bool swap_with_last) {
+  if (swap_with_last && !queue_.empty()) {
+    // Adjacent reorder: the new frame and the latest-scheduled queued one
+    // exchange arrival times; both are re-placed so the (arrival, seq)
+    // sort — and next_arrival() — stay correct.
+    TimedFrame last = std::move(queue_.back());
+    queue_.pop_back();
+    std::swap(last.arrival, frame.arrival);
+    place(std::move(last));
+  }
+  place(std::move(frame));
+}
+
+std::optional<std::vector<std::uint8_t>> TimedFrameQueue::pop_due(
+    std::uint64_t now) {
+  if (queue_.empty() || queue_.front().arrival > now) return std::nullopt;
+  return pop_any();
+}
+
+std::optional<std::vector<std::uint8_t>> TimedFrameQueue::pop_any() {
+  if (queue_.empty()) return std::nullopt;
+  auto frame = std::move(queue_.front().frame);
+  queue_.pop_front();
+  return frame;
+}
+
+void TimedFrameQueue::collapse_to(std::uint64_t now) {
+  for (TimedFrame& timed_frame : queue_) {
+    timed_frame.arrival = std::min(timed_frame.arrival, now);
+  }
+}
+
+// --- LinkShaper ------------------------------------------------------------
+
+std::uint64_t LinkShaper::pace_departure(std::size_t size) {
+  if (config_.rate_bytes_per_tick <= 0.0) return now_;
+  const double rate = config_.rate_bytes_per_tick;
+  const double burst = config_.burst();
+  // A backlog leaves token_time_ in the future (the bucket's fill is known
+  // at the last scheduled departure); earlier frames must not refill from
+  // a wrapped "negative" elapsed time.
+  const std::uint64_t base = std::max(now_, token_time_);
+  tokens_ = std::min(
+      burst, tokens_ + rate * static_cast<double>(base - token_time_));
+  token_time_ = base;
+  const double need = static_cast<double>(size);
+  if (tokens_ >= need) {
+    tokens_ -= need;
+    if (base > now_) ++throttled_;
+    return base;
+  }
+  // Depart once the deficit has refilled; the wait's own refill is spent
+  // on this frame (leftover fractions stay in the bucket).
+  const auto wait = static_cast<std::uint64_t>(
+      std::ceil((need - tokens_) / rate));
+  tokens_ = std::min(burst, tokens_ + rate * static_cast<double>(wait)) - need;
+  token_time_ = base + wait;
+  ++throttled_;
+  return base + wait;
+}
+
+std::uint64_t LinkShaper::send_ready_at(std::size_t bytes) const {
+  if (config_.rate_bytes_per_tick <= 0.0) return now_;
+  const double rate = config_.rate_bytes_per_tick;
+  const std::uint64_t base = std::max(now_, token_time_);
+  const double available = std::min(
+      config_.burst(),
+      tokens_ + rate * static_cast<double>(base - token_time_));
+  // A frame larger than the bucket departs on a full bucket (the pacer
+  // lets the bucket go into debt for it); without this clamp the probe
+  // would name a time that never satisfies itself and starve the link.
+  const double need =
+      std::min(static_cast<double>(bytes), config_.burst());
+  if (available >= need) return base;
+  return base + static_cast<std::uint64_t>(
+                    std::ceil((need - available) / rate));
+}
+
+std::uint64_t LinkShaper::schedule_arrival(std::uint64_t depart,
+                                           util::Xoshiro256& rng) {
+  std::uint64_t arrival = depart + config_.hop_count() * config_.delay_ticks;
+  if (config_.jitter_ticks > 0) {
+    for (std::uint64_t hop = 0; hop < config_.hop_count(); ++hop) {
+      arrival += rng.next_below(config_.jitter_ticks + 1);
+    }
+  }
+  return arrival;
+}
+
+// --- LossyChannel ----------------------------------------------------------
+
 LossyChannel::LossyChannel(ChannelConfig config)
-    : config_(config), rng_(config.seed.value_or(kDefaultChannelSeed)) {}
+    : config_(config), rng_(config.seed.value_or(kDefaultChannelSeed)),
+      shaper_(config) {}
 
 bool LossyChannel::send(std::vector<std::uint8_t> frame) {
   if (frame.size() > config_.mtu) {
@@ -15,24 +123,52 @@ bool LossyChannel::send(std::vector<std::uint8_t> frame) {
   }
   ++sent_;
   sent_bytes_ += frame.size();
+  if (!timed()) {
+    if (rng_.next_bool(config_.loss_rate)) {
+      ++dropped_;
+      return true;  // sent, but the network ate it
+    }
+    // The arriving frame pushes its predecessor out of flight and into the
+    // deliverable queue; the two may swap (adjacent reordering).
+    if (in_flight_) {
+      queue_.push_back(std::move(*in_flight_));
+      in_flight_.reset();
+    }
+    in_flight_ = std::move(frame);
+    if (!queue_.empty() && rng_.next_bool(config_.reorder_rate)) {
+      std::swap(queue_.back(), *in_flight_);
+    }
+    return true;
+  }
+
+  // Virtual clock: pace the departure (lost frames consumed link capacity
+  // too — the network ate them downstream of the bottleneck), then
+  // schedule the arrival across the path's hops.
+  const std::uint64_t depart = shaper_.pace_departure(frame.size());
   if (rng_.next_bool(config_.loss_rate)) {
     ++dropped_;
-    return true;  // sent, but the network ate it
+    return true;
   }
-  // The arriving frame pushes its predecessor out of flight and into the
-  // deliverable queue; the two may swap (adjacent reordering).
-  if (in_flight_) {
-    queue_.push_back(std::move(*in_flight_));
-    in_flight_.reset();
-  }
-  in_flight_ = std::move(frame);
-  if (!queue_.empty() && rng_.next_bool(config_.reorder_rate)) {
-    std::swap(queue_.back(), *in_flight_);
-  }
+  const bool reorder = config_.reorder_rate > 0.0 &&
+                       rng_.next_bool(config_.reorder_rate);
+  timed_queue_.insert(
+      TimedFrame{shaper_.schedule_arrival(depart, rng_), next_seq_++,
+                 std::move(frame)},
+      reorder);
   return true;
 }
 
+std::optional<std::uint64_t> LossyChannel::next_arrival_at() const {
+  return timed_queue_.next_arrival();
+}
+
 std::vector<std::uint8_t> LossyChannel::receive() {
+  if (timed()) {
+    auto frame = timed_queue_.pop_due(now());
+    if (!frame) return {};
+    delivered_bytes_ += frame->size();
+    return std::move(*frame);
+  }
   if (queue_.empty()) {
     // The empty observation is the channel's clock: the in-flight frame
     // completes its hop and is deliverable to the *next* receive().
@@ -48,6 +184,9 @@ Message LossyChannel::receive_message() {
   if (!pending()) {
     throw std::logic_error("LossyChannel::receive_message: queue empty");
   }
+  if (const auto arrival = timed_queue_.next_arrival()) {
+    advance_to(*arrival);  // wait out the path
+  }
   auto frame = receive();
   if (frame.empty()) frame = receive();  // first call released the hop
   return decode_frame(frame);
@@ -58,6 +197,8 @@ void LossyChannel::flush() {
     queue_.push_back(std::move(*in_flight_));
     in_flight_.reset();
   }
+  // Teardown of a timed link: arrivals collapse to now, preserving order.
+  timed_queue_.collapse_to(now());
 }
 
 }  // namespace icd::wire

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -17,12 +19,23 @@
 /// reordering and an MTU, preserving everything the evaluation measures
 /// (byte counts, packet counts, loss tolerance).
 ///
-/// The channel models a minimum queue residency of one hop: the most
-/// recently sent frame is "in flight" and becomes deliverable only once a
-/// later frame arrives behind it or a receive attempt finds the queue empty
-/// (which advances the channel's clock). This is what makes reorder_rate
-/// bite for *every* driver — adjacent frames genuinely coexist in the
-/// queue — without drivers hand-rolling alternate-drain rules.
+/// Two clocks, one channel:
+///
+///   * The **event clock** (default): the channel models a minimum queue
+///     residency of one hop — the most recently sent frame is "in flight"
+///     and becomes deliverable only once a later frame arrives behind it or
+///     a receive attempt finds the queue empty (which advances the
+///     channel's clock). This is what makes reorder_rate bite for *every*
+///     driver without alternate-drain rules, and it reproduces the
+///     historical behavior bit for bit.
+///   * The **virtual clock** (any timing knob set — delay_ticks,
+///     jitter_ticks, or rate_bytes_per_tick): the channel keeps
+///     its own simulated time, advanced by the driving engine
+///     (advance_to). Each frame's departure is paced by a token bucket
+///     (rate_bytes_per_tick / burst_bytes) and its arrival is scheduled at
+///     departure + hops * delay_ticks + one uniform jitter draw per hop;
+///     receive() delivers only frames whose arrival time has passed. See
+///     DESIGN.md, "Time and scheduling model".
 namespace icd::wire {
 
 /// Seed a LossyChannel falls back to when none is set.
@@ -31,10 +44,12 @@ inline constexpr std::uint64_t kDefaultChannelSeed = 0xc0de;
 struct ChannelConfig {
   /// Probability an enqueued datagram is silently dropped.
   double loss_rate = 0.0;
-  /// Probability a delivered datagram is swapped with its successor. The
-  /// swap happens when a new frame arrives behind one still in the queue;
-  /// the one-hop minimum residency guarantees such pairs form even under
-  /// drivers that drain after every send.
+  /// Probability a delivered datagram is swapped with its successor. Event
+  /// clock: the swap happens when a new frame arrives behind one still in
+  /// the queue; the one-hop minimum residency guarantees such pairs form
+  /// even under drivers that drain after every send. Virtual clock: the
+  /// frame's arrival time is swapped with the previously queued frame's
+  /// (jitter produces additional, organic reordering).
   double reorder_rate = 0.0;
   /// Frames larger than this are rejected (send() returns false) — symbols
   /// are sized to fit; control messages are packetized above this layer.
@@ -45,6 +60,42 @@ struct ChannelConfig {
   /// back to kDefaultChannelSeed. Any explicitly set value — including
   /// kDefaultChannelSeed itself — is honored verbatim.
   std::optional<std::uint64_t> seed;
+
+  // --- Simulated-time shaping (all zero = the legacy event clock) --------
+  /// Per-hop propagation delay in virtual ticks. A frame sent at tick t
+  /// (after pacing) becomes deliverable at t + hops * delay_ticks + jitter.
+  std::uint64_t delay_ticks = 0;
+  /// Per-hop jitter: each of the path's hops adds an independent uniform
+  /// draw from [0, jitter_ticks] to the frame's arrival time. Jitter can
+  /// invert adjacent arrivals, so it is also a reordering source.
+  std::uint64_t jitter_ticks = 0;
+  /// Store-and-forward hops the path crosses (multi-hop queue residency).
+  /// Each hop contributes delay_ticks plus one jitter draw. 0 and 1 both
+  /// mean a single hop; hops only scales delay/jitter, so on its own
+  /// (without delay/jitter/rate) it does not enable the virtual clock.
+  std::uint64_t hops = 1;
+  /// Token-bucket rate limit in bytes per virtual tick (0 = unlimited).
+  /// A frame departs when the bucket holds its size in tokens; departures
+  /// queue behind the bucket otherwise, so a saturating sender is paced to
+  /// the link rate. Lost frames still consume tokens (they were
+  /// transmitted; the network ate them downstream).
+  double rate_bytes_per_tick = 0.0;
+  /// Token-bucket capacity in bytes; 0 defaults to max(mtu, rate) so any
+  /// MTU-sized frame can always eventually depart (no starvation).
+  std::size_t burst_bytes = 0;
+
+  /// Whether any knob requests the virtual clock. `hops` alone does not:
+  /// it multiplies delay/jitter and is inert without them.
+  bool timed() const {
+    return delay_ticks > 0 || jitter_ticks > 0 || rate_bytes_per_tick > 0.0;
+  }
+  /// Effective bucket capacity.
+  double burst() const {
+    if (burst_bytes > 0) return static_cast<double>(burst_bytes);
+    return std::max(static_cast<double>(mtu), rate_bytes_per_tick);
+  }
+  /// Effective hop count (at least one).
+  std::uint64_t hop_count() const { return hops == 0 ? 1 : hops; }
 };
 
 /// The per-edge seed rule the services share: an unset seed is replaced
@@ -67,13 +118,93 @@ inline ChannelConfig resolve_edge_config(
       override_fn ? override_fn(sender, receiver) : fallback, draw);
 }
 
+/// A frame scheduled on a timed link direction.
+struct TimedFrame {
+  std::uint64_t arrival = 0;
+  std::uint64_t seq = 0;  // send order; arrival ties deliver in send order
+  std::vector<std::uint8_t> frame;
+};
+
+/// The (arrival, seq)-sorted delay line shared by LossyChannel and
+/// wire::ShardLink: earliest arrival at the front, near-sorted insertion
+/// scanned from the back (frames are scheduled in roughly increasing
+/// arrival order, so the scan is short).
+class TimedFrameQueue {
+ public:
+  bool empty() const { return queue_.empty(); }
+
+  /// Arrival time of the earliest queued frame, if any.
+  std::optional<std::uint64_t> next_arrival() const {
+    if (queue_.empty()) return std::nullopt;
+    return queue_.front().arrival;
+  }
+
+  /// Inserts preserving the sort. With `swap_with_last` (an adjacent
+  /// reorder draw), the new frame first exchanges arrival times with the
+  /// latest-scheduled queued frame and both are re-placed, so the
+  /// invariant — and next_arrival() — stay correct.
+  void insert(TimedFrame frame, bool swap_with_last);
+
+  /// Pops the earliest frame if its arrival is <= now.
+  std::optional<std::vector<std::uint8_t>> pop_due(std::uint64_t now);
+
+  /// Pops the earliest frame regardless of arrival (teardown drains).
+  std::optional<std::vector<std::uint8_t>> pop_any();
+
+  /// Teardown: clamps every arrival to `now`, preserving order.
+  void collapse_to(std::uint64_t now);
+
+ private:
+  void place(TimedFrame frame);
+
+  std::deque<TimedFrame> queue_;
+};
+
+/// Sender-side simulated-time shaping shared by LossyChannel and
+/// wire::ShardLink: a virtual clock, token-bucket departure pacing, and
+/// delay/jitter arrival scheduling. Loss/reorder draws stay with the
+/// owning link (they share its RNG stream).
+class LinkShaper {
+ public:
+  explicit LinkShaper(const ChannelConfig& config)
+      : config_(config), tokens_(config.burst()) {}
+
+  std::uint64_t now() const { return now_; }
+  void advance_to(std::uint64_t t) { now_ = std::max(now_, t); }
+
+  /// Token-bucket departure time for a frame of `size` bytes sent at
+  /// now(); consumes the tokens.
+  std::uint64_t pace_departure(std::size_t size);
+
+  /// Earliest virtual time a frame of `bytes` could depart given the
+  /// bucket's current fill, without consuming anything.
+  std::uint64_t send_ready_at(std::size_t bytes) const;
+
+  /// Arrival time for a frame departing at `depart`: one delay_ticks plus
+  /// one uniform [0, jitter_ticks] draw from `rng` per hop.
+  std::uint64_t schedule_arrival(std::uint64_t depart, util::Xoshiro256& rng);
+
+  /// Frames whose departure the token bucket pushed past their send tick.
+  std::size_t throttled() const { return throttled_; }
+
+ private:
+  ChannelConfig config_;
+  std::uint64_t now_ = 0;
+  /// Token bucket: fill level at token_time_.
+  double tokens_;
+  std::uint64_t token_time_ = 0;
+  std::size_t throttled_ = 0;
+};
+
 class LossyChannel {
  public:
   explicit LossyChannel(ChannelConfig config);
 
   /// Enqueues one frame. Returns false (and sends nothing) if the frame
-  /// exceeds the MTU. The frame is in flight (not yet deliverable) until
-  /// the next send or an empty receive advances the clock.
+  /// exceeds the MTU. Event clock: the frame is in flight (not yet
+  /// deliverable) until the next send or an empty receive advances the
+  /// clock. Virtual clock: the frame is paced through the token bucket and
+  /// scheduled for arrival delay + jitter ticks after departure.
   bool send(std::vector<std::uint8_t> frame);
 
   /// Convenience: encode + send a typed message.
@@ -81,21 +212,49 @@ class LossyChannel {
     return send(encode_frame(message));
   }
 
-  /// Whether any frame is queued or still in flight.
-  bool pending() const { return !queue_.empty() || in_flight_.has_value(); }
+  /// Whether any frame is queued or still in flight (deliverable or not).
+  bool pending() const {
+    return !queue_.empty() || in_flight_.has_value() || !timed_queue_.empty();
+  }
 
   /// Pops the next deliverable datagram. Empty when nothing is deliverable
-  /// *this hop* — an empty result with pending() still true means the
-  /// in-flight frame just completed its hop and the next receive() gets it.
+  /// right now. Event clock: an empty result with pending() still true
+  /// means the in-flight frame just completed its hop and the next
+  /// receive() gets it. Virtual clock: frames become deliverable when
+  /// now() reaches their arrival time (advance_to).
   std::vector<std::uint8_t> receive();
 
-  /// Receives the next pending datagram, waiting out the in-flight hop if
-  /// needed, and decodes it; throws if nothing is pending.
+  /// Receives the next pending datagram and decodes it; throws if nothing
+  /// is pending. Waits out the in-flight hop (event clock) or advances
+  /// now() to the next arrival (virtual clock) if needed.
   Message receive_message();
 
-  /// Teardown: makes the in-flight frame deliverable immediately (nothing
-  /// further will be sent, so the clock would never release it).
+  /// Teardown: makes every queued frame deliverable immediately (nothing
+  /// further will be sent, so neither clock would ever release them).
   void flush();
+
+  // --- Virtual clock (timed() configs; no-ops otherwise) ------------------
+
+  /// True when the config requests simulated-time shaping.
+  bool timed() const { return config_.timed(); }
+
+  /// Current virtual time. Starts at 0; never moves backwards.
+  std::uint64_t now() const { return shaper_.now(); }
+
+  /// Advances the virtual clock (monotonic; a smaller t is ignored).
+  void advance_to(std::uint64_t t) { shaper_.advance_to(t); }
+
+  /// Arrival time of the earliest queued frame, if any — the event the
+  /// scheduler orders link servicing by. Already-due frames report their
+  /// (past) arrival time, not now().
+  std::optional<std::uint64_t> next_arrival_at() const;
+
+  /// Earliest virtual time a frame of `bytes` could *depart* given the
+  /// token bucket's current fill — the scheduler's send-credit probe.
+  /// Returns now() when unpaced or when the bucket already holds enough.
+  std::uint64_t send_ready_at(std::size_t bytes) const {
+    return shaper_.send_ready_at(bytes);
+  }
 
   /// Statistics.
   std::size_t sent() const { return sent_; }
@@ -103,15 +262,21 @@ class LossyChannel {
   std::size_t oversized() const { return oversized_; }
   std::size_t sent_bytes() const { return sent_bytes_; }
   std::size_t delivered_bytes() const { return delivered_bytes_; }
+  /// Frames whose departure the token bucket pushed past their send tick.
+  std::size_t throttled() const { return shaper_.throttled(); }
 
   const ChannelConfig& config() const { return config_; }
 
  private:
   ChannelConfig config_;
   util::Xoshiro256 rng_;
+  LinkShaper shaper_;
   util::RingBuffer<std::vector<std::uint8_t>> queue_;
-  /// The most recently sent frame, one hop away from deliverable.
+  /// Event clock: the most recently sent frame, one hop from deliverable.
   std::optional<std::vector<std::uint8_t>> in_flight_;
+  /// Virtual clock: frames ordered by (arrival, seq).
+  TimedFrameQueue timed_queue_;
+  std::uint64_t next_seq_ = 0;
   std::size_t sent_ = 0;
   std::size_t dropped_ = 0;
   std::size_t oversized_ = 0;

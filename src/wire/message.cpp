@@ -30,6 +30,14 @@ Request read_request(util::ByteReader& reader) {
   return Request{reader.varint()};
 }
 
+void write_payload(util::ByteWriter& writer, const RequestUpdate& update) {
+  writer.varint(update.symbols_remaining);
+}
+
+RequestUpdate read_request_update(util::ByteReader& reader) {
+  return RequestUpdate{reader.varint()};
+}
+
 EncodedSymbolMessage read_encoded(util::ByteReader& reader) {
   EncodedSymbolMessage message;
   message.symbol.id = reader.u64();
@@ -97,6 +105,9 @@ MessageType message_type(const Message& message) {
       return MessageType::kRecodedSymbol;
     }
     MessageType operator()(const Fragment&) { return MessageType::kFragment; }
+    MessageType operator()(const RequestUpdate&) {
+      return MessageType::kRequestUpdate;
+    }
   };
   return std::visit(Visitor{}, message);
 }
@@ -155,6 +166,7 @@ void encode_frame_into(util::ByteWriter& out, const Message& message,
     void operator()(const EncodedSymbolMessage&) {}  // handled above
     void operator()(const RecodedSymbolMessage&) {}  // handled above
     void operator()(const Fragment& m) { write_payload(writer, m); }
+    void operator()(const RequestUpdate& m) { write_payload(writer, m); }
   };
   std::visit(Visitor{payload}, message);
 
@@ -227,6 +239,8 @@ Message decode_from_reader(util::ByteReader& reader) {
         return read_recoded(payload);
       case MessageType::kFragment:
         return read_fragment(payload);
+      case MessageType::kRequestUpdate:
+        return read_request_update(payload);
     }
     throw std::invalid_argument("wire: unknown message type");
   }();

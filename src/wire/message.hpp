@@ -35,6 +35,7 @@ enum class MessageType : std::uint8_t {
   kEncodedSymbol = 6,  // one regular encoded symbol
   kRecodedSymbol = 7,  // one recoded symbol (Section 5.4.2)
   kFragment = 8,       // one MTU-sized slice of a larger frame
+  kRequestUpdate = 9,  // flow control: symbols still wanted (0 = satisfied)
 };
 
 /// Session hello: advertises the code and the sender's working-set size
@@ -54,6 +55,16 @@ struct Request {
   std::uint64_t symbols_desired = 0;
 
   bool operator==(const Request&) const = default;
+};
+
+/// Flow-control update: the receiver re-issues its request as symbols
+/// land, carrying the decremented count still wanted from this sender.
+/// Zero means satisfied — the sender stops serving. Kept distinct from
+/// Request because there a zero count means "the sender's full domain".
+struct RequestUpdate {
+  std::uint64_t symbols_remaining = 0;
+
+  bool operator==(const RequestUpdate&) const = default;
 };
 
 struct SketchMessage {
@@ -95,7 +106,7 @@ struct Fragment {
 using Message =
     std::variant<Hello, SketchMessage, BloomSummaryMessage, ArtSummaryMessage,
                  Request, EncodedSymbolMessage, RecodedSymbolMessage,
-                 Fragment>;
+                 Fragment, RequestUpdate>;
 
 /// The wire type tag of a message.
 MessageType message_type(const Message& message);

@@ -29,7 +29,7 @@ void ShardLink::flush() {
 ShardLink::End::End(ChannelConfig config, Direction& out, Direction& in)
     : Transport(config.mtu, /*pool=*/nullptr), out_(out), in_(in),
       config_(config),
-      rng_(config.seed.value_or(kDefaultChannelSeed)) {}
+      rng_(config.seed.value_or(kDefaultChannelSeed)), shaper_(config) {}
 
 void ShardLink::End::enqueue(std::vector<std::uint8_t> frame) {
   if (!out_.frames_ring.try_push(frame)) {
@@ -40,6 +40,26 @@ void ShardLink::End::enqueue(std::vector<std::uint8_t> frame) {
 
 bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
   if (frame.size() > config_.mtu) return false;
+  if (config_.timed()) {
+    // Timed shaping mirrors LossyChannel's virtual clock: pace the
+    // departure (lost frames consumed link capacity too), schedule the
+    // arrival (reorder draws swap adjacent arrivals), and hold the frame
+    // in the sender-local delay line until its tick — advance_to() is
+    // what commits it to the ring.
+    const std::uint64_t depart = shaper_.pace_departure(frame.size());
+    if (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate)) {
+      release_buffer(std::move(frame));
+      return true;
+    }
+    const bool reorder = config_.reorder_rate > 0.0 &&
+                         rng_.next_bool(config_.reorder_rate);
+    delayed_.insert(
+        TimedFrame{shaper_.schedule_arrival(depart, rng_), next_seq_++,
+                   std::move(frame)},
+        reorder);
+    release_arrived();
+    return true;
+  }
   // Loss and reordering are drawn sender-side (single-threaded per
   // direction); a dropped frame still counted as sent by the base class,
   // matching LossyChannel's "handed to the link" semantics.
@@ -64,10 +84,27 @@ bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
 }
 
 void ShardLink::End::flush_held() {
-  if (!held_) return;
-  std::vector<std::uint8_t> delayed = std::move(*held_);
-  held_.reset();
-  enqueue(std::move(delayed));
+  if (held_) {
+    std::vector<std::uint8_t> delayed = std::move(*held_);
+    held_.reset();
+    enqueue(std::move(delayed));
+  }
+  // Teardown: the delay line empties regardless of arrival ticks (nothing
+  // will advance the clock again).
+  while (auto frame = delayed_.pop_any()) {
+    enqueue(std::move(*frame));
+  }
+}
+
+void ShardLink::End::release_arrived() {
+  while (auto frame = delayed_.pop_due(shaper_.now())) {
+    enqueue(std::move(*frame));
+  }
+}
+
+void ShardLink::End::advance_to(std::uint64_t t) {
+  shaper_.advance_to(t);
+  release_arrived();
 }
 
 std::optional<std::vector<std::uint8_t>> ShardLink::End::next_datagram() {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -29,6 +30,16 @@
 /// sending and receiving phases already guarantees a frame is never
 /// received in the phase that sent it. A full frame ring drops the frame
 /// (counted; the protocol absorbs it as loss).
+///
+/// Timed configs (ChannelConfig delay/jitter/rate) are shaped sender-side
+/// too: frames are paced through a wire::LinkShaper token bucket, held in
+/// a sender-local delay line until their arrival tick, and pushed onto the
+/// frame ring by the owning shard's advance_*_to() call — so the two-phase
+/// barrier remains the commit point for every cross-shard event, and the
+/// consuming shard only ever sees frames that have "arrived". In timed
+/// mode reorder_rate draws swap adjacent arrival times in the delay line
+/// (exactly LossyChannel's timed semantics; jitter reorders organically
+/// on top) instead of using the event-clock holdback.
 namespace icd::wire {
 
 class ShardLink {
@@ -46,10 +57,27 @@ class ShardLink {
   Transport& a() { return a_; }
   Transport& b() { return b_; }
 
-  /// Makes both directions' held-back (reorder) frames deliverable — the
-  /// teardown analogue of ChannelLink::flush(). Caller must hold both
-  /// sides' SPSC roles (i.e. run while the workers are parked).
+  /// Makes both directions' held-back (reorder) and delay-line frames
+  /// deliverable — the teardown analogue of ChannelLink::flush(). Caller
+  /// must hold both sides' SPSC roles (i.e. run while the workers are
+  /// parked).
   void flush();
+
+  // --- Virtual clock (timed configs; no-ops otherwise) --------------------
+
+  /// Either direction carries simulated-time shaping.
+  bool timed() const { return a_.timed() || b_.timed(); }
+
+  /// Advances one end's virtual clock, pushing frames whose arrival tick
+  /// has passed onto the ring. Each call belongs to that end's owning
+  /// shard thread (it produces onto the end's outgoing frame ring).
+  void advance_a_to(std::uint64_t t) { a_.advance_to(t); }
+  void advance_b_to(std::uint64_t t) { b_.advance_to(t); }
+
+  /// Send-credit probe for the serving (a -> b) direction.
+  std::uint64_t a_send_ready_at(std::size_t bytes) const {
+    return a_.send_ready_at(bytes);
+  }
 
   /// Frames dropped because a frame ring was full (distinct from the
   /// configured Bernoulli loss).
@@ -78,6 +106,12 @@ class ShardLink {
     std::size_t overflow_drops() const { return overflow_drops_; }
     void flush_held();
 
+    bool timed() const { return config_.timed(); }
+    void advance_to(std::uint64_t t);
+    std::uint64_t send_ready_at(std::size_t bytes) const {
+      return shaper_.send_ready_at(bytes);
+    }
+
    protected:
     bool send_datagram(std::vector<std::uint8_t> frame) override;
     std::optional<std::vector<std::uint8_t>> next_datagram() override;
@@ -86,13 +120,21 @@ class ShardLink {
 
    private:
     void enqueue(std::vector<std::uint8_t> frame);
+    /// Pushes delay-line frames whose arrival tick has passed to the ring.
+    void release_arrived();
 
     Direction& out_;
     Direction& in_;
     ChannelConfig config_;
     util::Xoshiro256 rng_;
-    /// Reorder holdback: the frame that may be overtaken by its successor.
+    LinkShaper shaper_;
+    /// Reorder holdback: the frame that may be overtaken by its successor
+    /// (event-clock configs only; timed configs draw reorder as arrival
+    /// swaps in the delay line, like LossyChannel).
     std::optional<std::vector<std::uint8_t>> held_;
+    /// Timed configs: sender-local delay line, sorted by (arrival, seq).
+    TimedFrameQueue delayed_;
+    std::uint64_t next_seq_ = 0;
     std::size_t overflow_drops_ = 0;
   };
 

@@ -288,11 +288,37 @@ class ChannelLink {
   const LossyChannel& b_to_a() const { return b_to_a_; }
 
   /// Makes both directions' in-flight frames deliverable immediately
-  /// (teardown: nothing further will be sent, so the one-hop clock would
-  /// never release them).
+  /// (teardown: nothing further will be sent, so neither the one-hop clock
+  /// nor the virtual clock would ever release them).
   void flush() {
     a_to_b_.flush();
     b_to_a_.flush();
+  }
+
+  // --- Virtual clock (timed configs; no-ops otherwise) --------------------
+
+  /// Either direction carries simulated-time shaping.
+  bool timed() const { return a_to_b_.timed() || b_to_a_.timed(); }
+
+  /// Advances both directions' virtual clocks (monotonic).
+  void advance_to(std::uint64_t t) {
+    a_to_b_.advance_to(t);
+    b_to_a_.advance_to(t);
+  }
+
+  /// Earliest queued frame arrival in either direction — the link's next
+  /// deliverable-frame event for the scheduler.
+  std::optional<std::uint64_t> next_arrival_at() const {
+    const auto forward = a_to_b_.next_arrival_at();
+    const auto reverse = b_to_a_.next_arrival_at();
+    if (!forward) return reverse;
+    if (!reverse) return forward;
+    return std::min(*forward, *reverse);
+  }
+
+  /// Send-credit probe for the serving (a -> b) direction.
+  std::uint64_t a_send_ready_at(std::size_t bytes) const {
+    return a_to_b_.send_ready_at(bytes);
   }
 
  private:

@@ -26,6 +26,16 @@ TEST(WireMessage, RequestRoundTrip) {
   EXPECT_EQ(std::get<Request>(decoded), request);
 }
 
+TEST(WireMessage, RequestUpdateRoundTrip) {
+  for (const std::uint64_t remaining : {std::uint64_t{0}, std::uint64_t{17},
+                                        std::uint64_t{1} << 40}) {
+    const RequestUpdate update{remaining};
+    const auto decoded = decode_frame(encode_frame(update));
+    ASSERT_TRUE(std::holds_alternative<RequestUpdate>(decoded));
+    EXPECT_EQ(std::get<RequestUpdate>(decoded), update);
+  }
+}
+
 TEST(WireMessage, EncodedSymbolRoundTrip) {
   EncodedSymbolMessage message;
   message.symbol.id = 42;
@@ -223,6 +233,7 @@ std::vector<Message> sample_messages() {
   messages.emplace_back(ArtSummaryMessage{
       art::ArtSummary::build(art::ReconciliationTree(keys), 4.0, 4.0)});
   messages.emplace_back(Fragment{7, 0, 2, {1, 2, 3}});
+  messages.emplace_back(RequestUpdate{12});
   return messages;
 }
 
