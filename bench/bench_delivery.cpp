@@ -111,6 +111,54 @@ SwarmRun run_swarm(const std::vector<std::uint8_t>& content,
   return run;
 }
 
+/// Timed-swarm run for the event-loop section: every link carries RTT,
+/// jitter and a token-bucket pace, so empty tick spans exist for run() to
+/// jump. `jump` off = the lockstep tick loop (the PR 4 behavior).
+struct TimedRun {
+  bool completed = false;
+  std::size_t ticks = 0;
+  double wall_ms = 0.0;
+  std::vector<std::size_t> completion_ticks;
+  std::uint64_t events_processed = 0;
+  std::uint64_t ticks_skipped = 0;
+  std::size_t control_bytes = 0;
+  std::size_t data_bytes = 0;
+};
+
+TimedRun run_timed_swarm(const std::vector<std::uint8_t>& content,
+                         std::size_t peers, std::size_t max_ticks,
+                         bool jump) {
+  core::DeliveryOptions options = delivery_options();
+  options.flow_control = true;
+  options.jump_empty_ticks = jump;
+  options.link.loss_rate = 0.05;
+  options.link.delay_ticks = 8;
+  options.link.jitter_ticks = 2;
+  options.link.rate_bytes_per_tick = 150.0;  // ~1 data frame per 4 ticks
+  core::ShardedDelivery service(content, options, core::ShardOptions{1});
+  service.add_mirror();
+  for (std::size_t p = 0; p < peers; ++p) {
+    service.add_peer("peer" + std::to_string(p), p < peers / 4);
+  }
+  TimedRun run;
+  const auto start = std::chrono::steady_clock::now();
+  run.completed = service.run(max_ticks);
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  run.ticks = service.ticks();
+  run.completion_ticks.resize(peers);
+  for (std::size_t p = 0; p < peers; ++p) {
+    run.completion_ticks[p] = service.peer_completion_tick(p);
+  }
+  run.events_processed = service.events_processed();
+  run.ticks_skipped = service.ticks_skipped();
+  const auto totals = service.link_totals();
+  run.control_bytes = totals.control_bytes;
+  run.data_bytes = totals.data_bytes;
+  return run;
+}
+
 /// shards = 1 must reproduce the legacy engine exactly.
 bool check_determinism(const std::vector<std::uint8_t>& content,
                        std::size_t peers, std::size_t max_ticks) {
@@ -191,6 +239,38 @@ int main(int argc, char** argv) {
         model_speedup_at_8 = model_speedup;
       }
     }
+  }
+
+  // Event loop on a timed swarm: run() jumps empty tick spans; the
+  // trajectory must equal the lockstep tick loop's exactly, and the jump
+  // accounting (events_processed / ticks_skipped) plus the wall ratio is
+  // tracked here.
+  {
+    const std::size_t timed_max = max_ticks * 4;
+    const TimedRun lockstep =
+        run_timed_swarm(content, peers, timed_max, /*jump=*/false);
+    const TimedRun jumped =
+        run_timed_swarm(content, peers, timed_max, /*jump=*/true);
+    const bool matches =
+        lockstep.completion_ticks == jumped.completion_ticks &&
+        lockstep.control_bytes == jumped.control_bytes &&
+        lockstep.data_bytes == jumped.data_bytes;
+    const double speedup =
+        jumped.wall_ms > 0.0 ? lockstep.wall_ms / jumped.wall_ms : 0.0;
+    report.add("timed_eventloop_matches_lockstep",
+               matches ? std::size_t{1} : std::size_t{0});
+    report.add("timed_completed",
+               jumped.completed ? std::size_t{1} : std::size_t{0});
+    report.add("timed_ticks", jumped.ticks);
+    report.add("timed_events_processed", jumped.events_processed);
+    report.add("timed_ticks_skipped", jumped.ticks_skipped);
+    report.add("timed_wall_speedup", speedup);
+    std::printf(
+        "timed swarm (event loop): %zu ticks, %zu events, %zu skipped, "
+        "%.2fx vs lockstep, trajectory %s\n",
+        jumped.ticks, static_cast<std::size_t>(jumped.events_processed),
+        static_cast<std::size_t>(jumped.ticks_skipped), speedup,
+        matches ? "EXACT" : "MISMATCH");
   }
 
   // Headline speedup: wall clock when the machine can actually run all

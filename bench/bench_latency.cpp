@@ -4,7 +4,7 @@
 // paper's round-based Figures 6-8 abstract away. One receiver downloads
 // concurrently from a set of senders (Figure 6: one full + one partial;
 // Figure 7: two partials; Figure 8: four partials) over asymmetric
-// ChannelLinks driven by the core::LinkScheduler, with closed-loop flow
+// ChannelLinks driven by the core::EventLoop, with closed-loop flow
 // control on: the receiver re-issues its request as symbols land and every
 // sender provably stops at satisfaction (gated in BENCH_latency.json,
 // which CI validates).
@@ -13,6 +13,15 @@
 // target of distinct symbols. Lanes are asymmetric by construction: lane
 // k's forward path doubles the base RTT and halves the base rate of lane
 // k-1, so the scheduler genuinely services links at different cadences.
+//
+// Every scenario runs twice: once with the historical lockstep loop
+// (every virtual tick iterated) and once on the core::EventLoop (the
+// clock jumps straight to the next frame arrival / send credit /
+// handshake retry). The two trajectories must be tick-for-tick identical
+// — gated in BENCH_latency.json — and the event loop's wall-time speedup,
+// events_processed and ticks_skipped are reported per scenario.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
@@ -22,7 +31,7 @@
 
 #include "bench_common.hpp"
 #include "core/endpoint.hpp"
-#include "core/link_scheduler.hpp"
+#include "core/event_loop.hpp"
 #include "core/origin.hpp"
 #include "core/peer.hpp"
 #include "overlay/scenario.hpp"
@@ -41,6 +50,9 @@ struct BenchParams {
   std::vector<double> loss_rates{0.05, 0.10, 0.20};
   std::vector<double> correlations{0.0, 0.2, 0.4};
   std::size_t max_ticks = 60000;
+  /// The hirtt lanes deliver one frame per ~4096 ticks by design; their
+  /// completion horizon is correspondingly longer.
+  std::size_t hirtt_max_ticks = 3200000;
 };
 
 /// The asymmetric link profile of lane k: RTT doubles and the forward
@@ -57,6 +69,19 @@ LaneProfile lane_profile(std::size_t k) {
   profile.delay = 2ull << k;                              // 4, 8, 16... RTT
   profile.forward_rate = 1200.0 / static_cast<double>(1ull << k);
   profile.reverse_rate = profile.forward_rate / 4.0;
+  return profile;
+}
+
+/// The high-RTT / low-rate regime the event loop exists for: propagation
+/// runs to hundreds of ticks and the token bucket grants roughly one data
+/// frame per ~4096 ticks, so almost every lockstep iteration is empty —
+/// the jumping driver executes only the ~1-in-500 ticks where a frame
+/// arrives, credit refills, or a retry fires.
+LaneProfile hirtt_profile(std::size_t k) {
+  LaneProfile profile;
+  profile.delay = 512ull << k;  // RTT 1024, 2048...
+  profile.forward_rate = 0.03125 / static_cast<double>(1ull << k);
+  profile.reverse_rate = 16.0;  // control path: slow but not strangled
   return profile;
 }
 
@@ -82,6 +107,16 @@ struct RunResult {
   std::size_t stopped_lanes = 0;
   std::size_t flow_updates = 0;
   std::size_t throttled = 0;
+  /// Receiver's distinct-symbol count at the end (trajectory fingerprint
+  /// for the lockstep-vs-event-loop equality gate).
+  std::size_t symbols = 0;
+  /// Event-loop accounting. Both modes pop services through the loop, so
+  /// events_processed is nonzero in lockstep runs too; only the jumping
+  /// run's numbers are reported (ticks_skipped is zero under lockstep).
+  std::uint64_t events_processed = 0;
+  std::uint64_t ticks_skipped = 0;
+  /// Wall time of the completion loop.
+  double wall_ms = 0.0;
 };
 
 /// Builds `count` distinct encoded symbols from one origin stream.
@@ -105,12 +140,12 @@ void preload(core::Peer& peer, const std::vector<std::uint64_t>& ids,
   }
 }
 
-/// Services every lane at virtual tick `now` in LinkScheduler order —
-/// the same service rule the delivery engines use.
+/// Services every lane at virtual tick `now` in event order — the same
+/// service rule the delivery engines use.
 void service_lanes(std::vector<std::unique_ptr<Lane>>& lanes,
-                   core::LinkScheduler& scheduler, std::uint64_t now,
+                   core::EventLoop& loop, std::uint64_t now,
                    std::size_t hint) {
-  scheduler.clear();
+  loop.clear();
   for (std::size_t k = 0; k < lanes.size(); ++k) {
     Lane& lane = *lanes[k];
     lane.link.advance_to(now);
@@ -122,17 +157,42 @@ void service_lanes(std::vector<std::unique_ptr<Lane>>& lanes,
     }
     if (auto at = core::next_service_time(lane.sender, lane.receiver, times,
                                           now)) {
-      scheduler.schedule(*at, k);
+      loop.schedule(*at, core::EventKind::kService, k);
     }
   }
-  while (auto k = scheduler.pop_due(now)) {
-    Lane& lane = *lanes[*k];
+  while (auto event = loop.pop_due(now)) {
+    Lane& lane = *lanes[event->key];
     lane.sender.tick();
     if (!lane.link.timed() || lane.link.a_send_ready_at(hint) <= now) {
       lane.sender.send_symbol();
     }
+    lane.receiver.advance_to(now);
     lane.receiver.tick();
   }
+}
+
+/// The earliest virtual tick > now at which any lane has an event (frame
+/// arrival, send credit, handshake retry) — where the jumping driver
+/// wakes next. nullopt = every lane is provably drained and satisfied.
+std::optional<std::uint64_t> next_lane_event(
+    std::vector<std::unique_ptr<Lane>>& lanes, core::EventLoop& loop,
+    std::uint64_t now, std::size_t hint) {
+  loop.clear();
+  const std::uint64_t next_tick = now + 1;
+  for (std::size_t k = 0; k < lanes.size(); ++k) {
+    Lane& lane = *lanes[k];
+    core::LinkTimes times;
+    times.timed = lane.link.timed();
+    if (times.timed) {
+      times.next_arrival = lane.link.next_event_time();
+      times.send_credit_at = lane.link.a_send_ready_at(hint);
+    }
+    core::schedule_download_events(loop, lane.sender, lane.receiver, times,
+                                   next_tick, k);
+  }
+  const auto next = loop.peek();
+  if (!next) return std::nullopt;
+  return std::max(next->at, next_tick);
 }
 
 /// Runs one scenario: `sender_sets` partial senders (plus a full sender
@@ -142,7 +202,8 @@ RunResult run_scenario(const BenchParams& params,
                        const std::vector<std::vector<std::uint64_t>>&
                            sender_sets,
                        bool with_full_sender, overlay::Strategy strategy,
-                       double loss, std::uint64_t seed) {
+                       double loss, std::uint64_t seed, bool jump,
+                       bool hirtt) {
   const auto distinct =
       static_cast<std::size_t>(params.stretch * double(params.n));
   std::vector<std::uint8_t> content(params.n * params.block_size, 0);
@@ -178,7 +239,7 @@ RunResult run_scenario(const BenchParams& params,
       preload(*peer, sender_sets[k - (with_full_sender ? 1 : 0)], universe);
     }
 
-    const LaneProfile profile = lane_profile(k);
+    const LaneProfile profile = hirtt ? hirtt_profile(k) : lane_profile(k);
     max_rtt = std::max(max_rtt, 2 * profile.delay);
     wire::ChannelConfig forward;
     forward.mtu = 1024;
@@ -206,7 +267,13 @@ RunResult run_scenario(const BenchParams& params,
     options.requested_symbols =
         full ? 0
              : std::max<std::size_t>(1, (needed * 5 / 4) / lane_count);
-    options.handshake_retry_ticks = std::max<std::size_t>(8, 2 * max_rtt);
+    // Above the worst RTT, or every in-flight reply triggers a redundant
+    // bundle re-send. On the hirtt lanes the reply's *serialization* time
+    // dominates propagation (a ~1 KB sketch at a fraction of a byte per
+    // tick), so the cadence must cover that too or each lane re-bundles
+    // dozens of times per reply in flight.
+    options.handshake_retry_ticks =
+        std::max<std::size_t>(8, (hirtt ? 16 : 2) * max_rtt);
     options.seed = seed ^ (0xab5 + 7 * k);
 
     lanes.push_back(std::make_unique<Lane>(*peer, receiver_peer, options,
@@ -215,12 +282,15 @@ RunResult run_scenario(const BenchParams& params,
     lanes.back()->receiver.start();
   }
 
-  core::LinkScheduler scheduler;
+  core::EventLoop loop;
   const std::size_t hint = core::data_frame_bytes_hint(params.block_size);
+  const std::uint64_t max_ticks =
+      hirtt ? params.hirtt_max_ticks : params.max_ticks;
   RunResult result;
   std::uint64_t now = 0;
-  for (; now < params.max_ticks; ++now) {
-    service_lanes(lanes, scheduler, now, hint);
+  const auto wall_start = std::chrono::steady_clock::now();
+  while (now < max_ticks) {
+    service_lanes(lanes, loop, now, hint);
     // Complete on real decode, or on the figures' distinct-symbol target —
     // decoding can finish a few symbols early, at which point flow control
     // rightly stops every sender, so symbol count alone would never trip.
@@ -229,8 +299,29 @@ RunResult run_scenario(const BenchParams& params,
       result.completed = true;
       break;
     }
+    if (!jump) {
+      ++now;
+      continue;
+    }
+    // Event-loop mode: wake only when some lane has something to do. The
+    // span in between is empty for every lane, so the trajectory — and
+    // the completion tick — is identical to the lockstep loop's.
+    const auto next = next_lane_event(lanes, loop, now, hint);
+    if (!next) {
+      now = max_ticks;  // drained forever: lockstep idles to the cap
+      break;
+    }
+    loop.advance_to(now + 1);
+    loop.skip_to(std::min<std::uint64_t>(*next, max_ticks));
+    now = loop.now();
   }
   result.ticks = static_cast<std::size_t>(now);
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+  result.symbols = receiver_peer.symbol_count();
+  result.events_processed = loop.events_processed();
+  result.ticks_skipped = loop.ticks_skipped();
 
   // Satisfaction gate, per lane: once a *sender* has heard the
   // zero-remaining stop (sender.satisfied()), its data plane must be
@@ -243,7 +334,7 @@ RunResult run_scenario(const BenchParams& params,
   // stop, not its propagation latency.
   const std::uint64_t grace = 4 * max_rtt + 16;
   for (std::uint64_t g = 0; g < grace; ++g) {
-    service_lanes(lanes, scheduler, now + g, hint);
+    service_lanes(lanes, loop, now + g, hint);
   }
   std::vector<bool> sender_satisfied_at_snapshot(lanes.size(), false);
   std::vector<std::size_t> frames_at_snapshot(lanes.size(), 0);
@@ -253,7 +344,7 @@ RunResult run_scenario(const BenchParams& params,
         lanes[k]->sender.transport().stats().data_frames_sent;
   }
   for (std::uint64_t g = 0; g < grace; ++g) {
-    service_lanes(lanes, scheduler, now + grace + g, hint);
+    service_lanes(lanes, loop, now + grace + g, hint);
   }
   result.no_stop_violations = true;
   for (std::size_t k = 0; k < lanes.size(); ++k) {
@@ -311,18 +402,29 @@ int main(int argc, char** argv) {
 
   bool all_completed = true;
   bool no_violations = true;
+  bool eventloop_matches = true;
   std::size_t stopped_lanes_total = 0;
   std::size_t flow_updates_total = 0;
   std::size_t throttled_total = 0;
+  std::uint64_t events_total = 0;
+  std::uint64_t skipped_total = 0;
+  double speedup_max = 0.0;
+  double speedup_fig8_max = 0.0;
+  double speedup_hirtt_max = 0.0;
 
   struct Fig {
     const char* name;
     std::size_t partial_senders;
     bool full_sender;
+    bool hirtt = false;
   };
+  // The Figure 6-8 families plus the high-RTT/low-rate lane pair (hirtt):
+  // the regime where lockstep iteration burns thousands of empty ticks
+  // between frame arrivals, and the event loop's jump pays off.
   const std::vector<Fig> figs{{"fig6", 1, true},
                               {"fig7", 2, false},
-                              {"fig8", 4, false}};
+                              {"fig8", 4, false},
+                              {"hirtt", 1, true, true}};
 
   for (const Fig& fig : figs) {
     bench::print_header(std::string("Latency ") + fig.name +
@@ -349,14 +451,38 @@ int main(int argc, char** argv) {
             sender_sets = scenario.senders;
           }
 
+          // Same scenario through both drivers: the historical lockstep
+          // loop, then the jumping event loop — equality is the gate,
+          // the wall-time ratio is the headline.
+          const RunResult lockstep =
+              run_scenario(params, receiver_ids, sender_sets,
+                           fig.full_sender, strategy, loss, seed ^ 0xbead,
+                           /*jump=*/false, fig.hirtt);
           const RunResult run =
               run_scenario(params, receiver_ids, sender_sets,
-                           fig.full_sender, strategy, loss, seed ^ 0xbead);
+                           fig.full_sender, strategy, loss, seed ^ 0xbead,
+                           /*jump=*/true, fig.hirtt);
+          const bool matches = run.ticks == lockstep.ticks &&
+                               run.symbols == lockstep.symbols &&
+                               run.completed == lockstep.completed &&
+                               run.flow_updates == lockstep.flow_updates;
+          eventloop_matches = eventloop_matches && matches;
           all_completed = all_completed && run.completed;
-          no_violations = no_violations && run.no_stop_violations;
+          no_violations = no_violations && run.no_stop_violations &&
+                          lockstep.no_stop_violations;
           stopped_lanes_total += run.stopped_lanes;
           flow_updates_total += run.flow_updates;
           throttled_total += run.throttled;
+          events_total += run.events_processed;
+          skipped_total += run.ticks_skipped;
+          const double speedup =
+              run.wall_ms > 0.0 ? lockstep.wall_ms / run.wall_ms : 0.0;
+          speedup_max = std::max(speedup_max, speedup);
+          if (fig.hirtt) {
+            speedup_hirtt_max = std::max(speedup_hirtt_max, speedup);
+          } else if (std::string(fig.name) == "fig8") {
+            speedup_fig8_max = std::max(speedup_fig8_max, speedup);
+          }
 
           const std::string key =
               std::string(fig.name) + "_corr" +
@@ -365,8 +491,17 @@ int main(int argc, char** argv) {
               strategy_key(strategy);
           report.add(key + "_ticks", run.ticks);
           report.add(key + "_completed", std::size_t{run.completed ? 1u : 0u});
-          std::printf("  %-32s %8zu ticks  %s\n", key.c_str(), run.ticks,
-                      run.completed ? "done" : "INCOMPLETE");
+          report.add(key + "_events", run.events_processed);
+          report.add(key + "_ticks_skipped", run.ticks_skipped);
+          report.add(key + "_wall_speedup", speedup);
+          report.add(key + "_lockstep_wall_ms", lockstep.wall_ms);
+          report.add(key + "_eventloop_wall_ms", run.wall_ms);
+          std::printf(
+              "  %-32s %8zu ticks  %s  %6zu events  %8zu skipped  %5.1fx%s\n",
+              key.c_str(), run.ticks, run.completed ? "done" : "INCOMPLETE",
+              static_cast<std::size_t>(run.events_processed),
+              static_cast<std::size_t>(run.ticks_skipped), speedup,
+              matches ? "" : "  TRAJECTORY MISMATCH");
         }
       }
     }
@@ -377,11 +512,28 @@ int main(int argc, char** argv) {
   // demonstrably engaged (some lanes actually stopped — runs that
   // complete with no per-lane request met have nothing to stop).
   const bool stop_gate = no_violations && stopped_lanes_total > 0;
+  // Event-loop gates: every jumped trajectory reproduced its lockstep
+  // twin tick for tick, and the jump mechanism demonstrably engaged.
+  const bool jump_gate = eventloop_matches && skipped_total > 0;
   report.add("all_completed", std::size_t{all_completed ? 1u : 0u});
   report.add("senders_stop_at_satisfaction", std::size_t{stop_gate ? 1u : 0u});
   report.add("stopped_lanes_total", stopped_lanes_total);
   report.add("flow_updates_total", flow_updates_total);
   report.add("throttled_frames_total", throttled_total);
+  report.add("eventloop_matches_lockstep",
+             std::size_t{eventloop_matches ? 1u : 0u});
+  report.add("events_processed_total", events_total);
+  report.add("ticks_skipped_total", skipped_total);
+  report.add("eventloop_speedup_max", speedup_max);
+  report.add("eventloop_speedup_fig8_max", speedup_fig8_max);
+  report.add("eventloop_speedup_hirtt_max", speedup_hirtt_max);
+  std::printf(
+      "event loop: %s lockstep, %zu events, %zu ticks skipped, "
+      "max speedup %.1fx (fig8 %.1fx, hirtt %.1fx)\n",
+      eventloop_matches ? "matches" : "DIVERGES FROM",
+      static_cast<std::size_t>(events_total),
+      static_cast<std::size_t>(skipped_total), speedup_max,
+      speedup_fig8_max, speedup_hirtt_max);
   report.write("BENCH_latency.json");
-  return (all_completed && stop_gate) ? 0 : 1;
+  return (all_completed && stop_gate && jump_gate) ? 0 : 1;
 }

@@ -23,6 +23,23 @@ AdmissionDecision evaluate_candidate(const sketch::MinwiseSketch& receiver,
   return decision;
 }
 
+AdmissionPolicy relax_policy_for_need(const AdmissionPolicy& policy,
+                                      std::size_t needed_symbols,
+                                      std::size_t target_symbols) {
+  double need = target_symbols > 0
+                    ? static_cast<double>(needed_symbols) /
+                          static_cast<double>(target_symbols)
+                    : 1.0;
+  need = std::clamp(need, 0.0, 1.0);
+  AdmissionPolicy relaxed = policy;
+  // need -> 0 (near complete): cutoff -> 1, novelty floor -> 0.
+  // need -> 1 (nothing yet):   the strict policy, unchanged.
+  relaxed.max_resemblance =
+      policy.max_resemblance + (1.0 - policy.max_resemblance) * (1.0 - need);
+  relaxed.min_novelty = policy.min_novelty * need;
+  return relaxed;
+}
+
 std::vector<std::size_t> select_senders(
     const sketch::MinwiseSketch& receiver, std::size_t receiver_size,
     const std::vector<CandidateSender>& candidates,

@@ -46,6 +46,19 @@ AdmissionDecision evaluate_candidate(const sketch::MinwiseSketch& receiver,
                                      const CandidateSender& candidate,
                                      const AdmissionPolicy& policy);
 
+/// Starvation relaxation: when strict admission rejects every candidate,
+/// the cutoffs relax in proportion to how *little* the receiver still
+/// needs. Near the end of a download every candidate resembles the
+/// receiver above max_resemblance while still holding the few novel
+/// symbols it lacks — so as the remaining need `needed / target` shrinks,
+/// max_resemblance relaxes toward 1 and min_novelty scales down with the
+/// need. A peer with most of the download ahead keeps (nearly) the strict
+/// policy: senders that look identical to it genuinely offer nothing, and
+/// relaxing for them would admit useless sessions.
+AdmissionPolicy relax_policy_for_need(const AdmissionPolicy& policy,
+                                      std::size_t needed_symbols,
+                                      std::size_t target_symbols);
+
 /// Ranks admitted candidates by descending estimated novelty; among
 /// near-identical candidates, position in `candidates` breaks ties, so a
 /// caller can rotate the input order to spread load ("distribute the load

@@ -97,6 +97,14 @@ std::size_t ContentDeliveryService::tick() {
     service_downloads(entry, now);
     if (entry.peer->has_content()) ++completed_now;
   }
+  // Completion stamps (covers peers finished by a refresh teardown too);
+  // the global clock follows the tick index.
+  for (PeerEntry& entry : peers_) {
+    if (entry.completed_tick == 0 && entry.peer->has_content()) {
+      entry.completed_tick = ticks_;
+    }
+  }
+  loop_.advance_to(ticks_);
   return completed_now;
 }
 
@@ -133,7 +141,7 @@ void ContentDeliveryService::service_downloads(PeerEntry& entry,
   // schedule keeps adjacent data frames paired for reorder even though
   // due links drain every service.
   const std::size_t hint = data_frame_bytes_hint(options_.block_size);
-  scheduler_.clear();
+  loop_.clear();
   for (auto& [sender_id, download] : entry.downloads) {
     download->link.advance_to(now);
     LinkTimes times;
@@ -144,32 +152,82 @@ void ContentDeliveryService::service_downloads(PeerEntry& entry,
     }
     if (auto at = next_service_time(download->sender, download->receiver,
                                     times, now)) {
-      scheduler_.schedule(*at, sender_id);
+      loop_.schedule(*at, EventKind::kService, sender_id);
     }
   }
   // One symbol from each due download link: the serving endpoint answers
   // handshakes and streams (token bucket permitting), the receiving
   // endpoint absorbs.
-  while (auto sender_id = scheduler_.pop_due(now)) {
+  while (auto event = loop_.pop_due(now)) {
     if (entry.peer->has_content()) break;
-    DownloadLink& download = *entry.downloads.at(*sender_id);
+    DownloadLink& download = *entry.downloads.at(event->key);
     download.sender.tick();
     if (!download.link.timed() || download.link.a_send_ready_at(hint) <= now) {
       download.sender.send_symbol();
     }
+    download.receiver.advance_to(now);
     download.receiver.tick();
   }
 }
 
+std::optional<std::uint64_t> ContentDeliveryService::next_event_time() {
+  loop_.clear();
+  const std::uint64_t now = ticks_;
+  const std::size_t hint = data_frame_bytes_hint(options_.block_size);
+  bool any_incomplete = false;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    PeerEntry& entry = peers_[i];
+    if (entry.peer->has_content()) continue;
+    any_incomplete = true;
+    // The origin fountain streams one symbol per tick to an incomplete
+    // subscriber: every tick is an event while one exists.
+    if (entry.origin_fed) {
+      loop_.schedule(now, EventKind::kOriginFeed, i);
+      continue;
+    }
+    for (auto& [sender_id, download] : entry.downloads) {
+      LinkTimes times;
+      times.timed = download->link.timed();
+      if (times.timed) {
+        times.next_arrival = download->link.next_event_time();
+        times.send_credit_at = download->link.a_send_ready_at(hint);
+      }
+      schedule_download_events(loop_, download->sender, download->receiver,
+                               times, now, sender_id);
+    }
+  }
+  return finish_event_planning(loop_, now, options_.refresh_interval,
+                               any_incomplete);
+}
+
 bool ContentDeliveryService::run(std::size_t max_ticks) {
-  for (std::size_t t = 0; t < max_ticks; ++t) {
+  return run_until(ticks_ + max_ticks);
+}
+
+bool ContentDeliveryService::run_until(std::uint64_t deadline) {
+  while (ticks_ < deadline) {
     tick();
     const bool all = std::all_of(
         peers_.begin(), peers_.end(),
         [](const PeerEntry& e) { return e.peer->has_content(); });
     if (all) return true;
+    if (!options_.jump_empty_ticks) continue;
+    // All-untimed swarms can never open a span (untimed downloads are
+    // due every tick), so skip the planning rebuild outright and keep
+    // the historical heap-free hot path. A link_config may hand out
+    // timed configs per edge, so its presence keeps planning on.
+    if (!options_.link.timed() && !options_.link_config) continue;
+    // Jump straight to the next tick at which anything can happen; every
+    // tick in between is a no-op by construction and is counted, not run.
+    if (const auto next = next_event_time()) {
+      const std::uint64_t target = std::min<std::uint64_t>(*next, deadline);
+      loop_.skip_to(target);
+      ticks_ = target;
+    }
   }
-  return false;
+  return std::all_of(peers_.begin(), peers_.end(), [](const PeerEntry& e) {
+    return e.peer->has_content();
+  });
 }
 
 std::vector<std::uint8_t> ContentDeliveryService::peer_content(

@@ -10,7 +10,7 @@
 
 #include "core/admission.hpp"
 #include "core/endpoint.hpp"
-#include "core/link_scheduler.hpp"
+#include "core/event_loop.hpp"
 #include "core/origin.hpp"
 #include "core/peer.hpp"
 #include "wire/transport.hpp"
@@ -61,6 +61,14 @@ struct DeliveryOptions {
   /// above the worst round-trip delay, or every in-flight reply triggers
   /// a redundant bundle re-send.
   std::size_t handshake_retry_ticks = 8;
+  /// run()/run_until() jump the virtual clock across tick spans in which
+  /// provably nothing can happen (no refresh due, no origin feed, no
+  /// frame arrival, send credit, or handshake retry on any active link).
+  /// The jumped trajectory is bit-for-bit identical to ticking through
+  /// the span — skipped ticks are no-ops by construction — so this is on
+  /// by default; turn it off to measure the lockstep loop (benches) or
+  /// when an external driver needs every tick surfaced.
+  bool jump_empty_ticks = true;
 };
 
 class ContentDeliveryService {
@@ -80,14 +88,27 @@ class ContentDeliveryService {
   /// that completed during this tick.
   std::size_t tick();
 
-  /// Drives tick() until all peers have the content or `max_ticks` pass.
-  /// Returns true if everyone finished.
+  /// Drives the service until all peers have the content or `max_ticks`
+  /// virtual ticks pass, jumping empty tick spans when
+  /// DeliveryOptions::jump_empty_ticks is set. Returns true if everyone
+  /// finished.
   bool run(std::size_t max_ticks);
+
+  /// Event-loop driver: advances until every peer holds the content or
+  /// the virtual clock reaches `deadline`, executing only ticks at which
+  /// an event (refresh, origin feed, frame arrival, send credit,
+  /// handshake retry) can occur. Returns true when everyone finished.
+  bool run_until(std::uint64_t deadline);
 
   std::size_t peer_count() const { return peers_.size(); }
   const Peer& peer(std::size_t id) const { return *peers_.at(id).peer; }
   bool peer_complete(std::size_t id) const {
     return peers_.at(id).peer->has_content();
+  }
+  /// Virtual tick at which the peer first held the content (the ticks()
+  /// value observed right after the completing tick); 0 = not yet.
+  std::size_t peer_completion_tick(std::size_t id) const {
+    return peers_.at(id).completed_tick;
   }
   /// Reconstructed content for a finished peer.
   std::vector<std::uint8_t> peer_content(std::size_t id) const;
@@ -96,6 +117,10 @@ class ContentDeliveryService {
   const codec::CodeParameters& parameters() const {
     return origins_.front()->parameters();
   }
+  /// Scheduler-ordered link services executed (timed service path pops).
+  std::uint64_t events_processed() const { return loop_.events_processed(); }
+  /// Virtual ticks run_until() jumped over without executing.
+  std::uint64_t ticks_skipped() const { return loop_.ticks_skipped(); }
 
   /// Aggregate wire-level stats over download links.
   struct LinkTotals {
@@ -159,10 +184,18 @@ class ContentDeliveryService {
     std::size_t origin_index = 0;
     /// Active downloads, keyed by the serving peer id.
     std::map<std::size_t, std::unique_ptr<DownloadLink>> downloads;
+    /// Virtual tick of first completion (0 = incomplete).
+    std::size_t completed_tick = 0;
   };
 
   void refresh_sessions();
-  /// Services one peer's downloads in LinkScheduler order at virtual time
+  /// The earliest virtual tick >= ticks_ at which a lockstep tick would
+  /// not be a no-op: the next refresh, an origin feed (every tick while a
+  /// fed peer is incomplete), or any active download's next frame
+  /// arrival / send credit / handshake retry. nullopt when every peer is
+  /// complete. Rebuilds the loop's (time, kind, key) queue and peeks it.
+  std::optional<std::uint64_t> next_event_time();
+  /// Services one peer's downloads in event order at virtual time
   /// `now` (= the tick index): untimed links every tick in sender order
   /// (the historical lockstep), timed links only when a frame has arrived
   /// or the token bucket grants send credit.
@@ -178,8 +211,11 @@ class ContentDeliveryService {
   std::uint64_t next_session_seed_;
   /// Wire stats of links already torn down by refresh_sessions().
   LinkTotals retired_link_totals_;
-  /// Per-tick service ordering; rebuilt for each peer (capacity reused).
-  LinkScheduler scheduler_;
+  /// The discrete-event core: global virtual clock + (time, kind, key)
+  /// queue, reused both for per-tick service ordering (rebuilt per peer)
+  /// and for the cross-tick planning that lets run_until jump empty
+  /// spans.
+  EventLoop loop_;
 };
 
 }  // namespace icd::core

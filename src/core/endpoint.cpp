@@ -136,11 +136,25 @@ std::size_t ReceiverEndpoint::tick() {
   // bundle periodically — any piece of it may have been lost. The clock
   // deliberately ignores arriving traffic: symbols can already be
   // streaming while the (lost) reply is what keeps us out of kTransfer.
-  if (phase_ != EndpointPhase::kTransfer &&
-      ++quiet_ticks_ >= options_.handshake_retry_ticks) {
-    quiet_ticks_ = 0;
-    ++handshake_retries_;
-    send_bundle();
+  // On the virtual clock (advance_to) the quiet count is the elapsed
+  // virtual span since the last service — identical to the call counter
+  // under a lockstep driver, and credited in one step by a jumping driver
+  // whose skipped ticks were all provably quiet. A service with a stale
+  // clock (teardown ticks) counts as one quiet tick, as it always has.
+  if (phase_ != EndpointPhase::kTransfer) {
+    std::size_t elapsed = 1;
+    if (clock_) {
+      if (serviced_at_ && *clock_ > *serviced_at_) {
+        elapsed = static_cast<std::size_t>(*clock_ - *serviced_at_);
+      }
+      serviced_at_ = *clock_;
+    }
+    quiet_ticks_ += elapsed;
+    if (quiet_ticks_ >= options_.handshake_retry_ticks) {
+      quiet_ticks_ = 0;
+      ++handshake_retries_;
+      send_bundle();
+    }
   }
   if (options_.flow_control && phase_ == EndpointPhase::kTransfer) {
     maybe_send_flow_update();

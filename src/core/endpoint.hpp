@@ -105,6 +105,31 @@ class ReceiverEndpoint {
   /// encoded symbols gained this tick.
   std::size_t tick();
 
+  /// Timer hook for event-driven drivers: tells the endpoint the virtual
+  /// time of the next tick() call (monotonic). Once called, the handshake
+  /// retry clock counts *virtual ticks between services* instead of
+  /// service calls — on a lockstep driver (one service per tick) the two
+  /// are identical, and on a jumping driver the skipped span is credited
+  /// in one step, so the retry fires at exactly the same virtual tick the
+  /// lockstep run would have fired it. Drivers that never call this (Pipe
+  /// rounds, untimed engines) keep the historical call-counting clock.
+  void advance_to(std::uint64_t now) {
+    clock_ = clock_ ? std::max(*clock_, now) : now;
+  }
+
+  /// The virtual tick at which the handshake retry will fire if nothing
+  /// arrives — the event a jumping driver must wake for. nullopt while
+  /// in transfer (no retries), before the first virtual-clock service
+  /// (no baseline yet — treat as due now), or on the call-counting clock.
+  std::optional<std::uint64_t> retry_due_at() const {
+    if (phase_ == EndpointPhase::kTransfer || !serviced_at_) {
+      return std::nullopt;
+    }
+    return *serviced_at_ + (options_.handshake_retry_ticks > quiet_ticks_
+                                ? options_.handshake_retry_ticks - quiet_ticks_
+                                : 1);
+  }
+
   EndpointPhase phase() const { return phase_; }
   bool transfer_started() const { return phase_ == EndpointPhase::kTransfer; }
   bool complete() const { return peer_.has_content(); }
@@ -159,6 +184,11 @@ class ReceiverEndpoint {
   bool containment_estimated_ = false;
   double estimated_containment_ = 0.0;
   std::size_t quiet_ticks_ = 0;
+  /// Virtual clock (advance_to): time of the upcoming tick(), and the time
+  /// of the last tick() that ran — their difference is how many lockstep
+  /// services a jumping driver skipped, all provably quiet.
+  std::optional<std::uint64_t> clock_;
+  std::optional<std::uint64_t> serviced_at_;
   std::size_t handshake_retries_ = 0;
   std::size_t symbols_received_ = 0;
   std::size_t symbols_useful_ = 0;

@@ -1,0 +1,111 @@
+#include "core/event_loop.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/endpoint.hpp"
+
+namespace icd::core {
+
+namespace {
+
+/// Strict (at, kind, key) order; `after` = the min-heap comparator.
+inline bool after(const Event& a, const Event& b) {
+  return std::tie(a.at, a.kind, a.key) > std::tie(b.at, b.kind, b.key);
+}
+
+}  // namespace
+
+void EventLoop::schedule(std::uint64_t at, EventKind kind, std::uint64_t key) {
+  heap_.push_back(Event{at, kind, key});
+  std::push_heap(heap_.begin(), heap_.end(), after);
+}
+
+std::optional<Event> EventLoop::peek() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front();
+}
+
+std::optional<Event> EventLoop::pop_due(std::uint64_t now) {
+  if (heap_.empty() || heap_.front().at > now) return std::nullopt;
+  std::pop_heap(heap_.begin(), heap_.end(), after);
+  const Event event = heap_.back();
+  heap_.pop_back();
+  ++events_processed_;
+  return event;
+}
+
+std::size_t data_frame_bytes_hint(std::size_t block_size) {
+  // Frame header + symbol id/constituents prefix on top of one payload.
+  return block_size + 64;
+}
+
+std::optional<std::uint64_t> next_service_time(const SenderEndpoint& sender,
+                                               const ReceiverEndpoint& receiver,
+                                               const LinkTimes& times,
+                                               std::uint64_t now) {
+  if (!times.timed) return now;
+  // The handshake needs every tick: retry clocks count quiet ticks, and
+  // bundle pieces may still be crossing the (delayed) link.
+  if (!receiver.transfer_started() || !sender.transfer_active()) return now;
+  std::optional<std::uint64_t> at = times.next_arrival;
+  if (!sender.satisfied() && times.send_credit_at) {
+    at = at ? std::min(*at, *times.send_credit_at) : *times.send_credit_at;
+  }
+  return at;
+}
+
+std::optional<std::uint64_t> finish_event_planning(
+    EventLoop& loop, std::uint64_t now, std::size_t refresh_interval,
+    bool any_incomplete) {
+  if (!any_incomplete) return std::nullopt;
+  const std::size_t interval = std::max<std::size_t>(1, refresh_interval);
+  loop.schedule(((now + interval - 1) / interval) * interval,
+                EventKind::kRefresh, 0);
+  const auto next = loop.peek();
+  if (!next) return std::nullopt;
+  return std::max(next->at, now);
+}
+
+void schedule_download_events(EventLoop& loop, const SenderEndpoint& sender,
+                              const ReceiverEndpoint& receiver,
+                              const LinkTimes& times, std::uint64_t now,
+                              std::uint64_t key) {
+  if (!times.timed) {
+    // Event-clock link: one hop of residency advances with every tick, so
+    // the download is genuinely due each tick — nothing to skip.
+    loop.schedule(now, EventKind::kService, key);
+    return;
+  }
+  if (times.next_arrival) {
+    loop.schedule(std::max(*times.next_arrival, now), EventKind::kFrameArrival,
+                  key);
+  }
+  if (!receiver.transfer_started() || !sender.transfer_active()) {
+    // Handshaking: between arrivals the observable work is the receiver's
+    // retry clock, which fires at a known virtual tick. A receiver that
+    // has not yet been serviced under the virtual clock reports no
+    // deadline and is conservatively due now.
+    const auto retry = receiver.retry_due_at();
+    loop.schedule(std::max(retry.value_or(now), now),
+                  EventKind::kHandshakeRetry, key);
+    // A sender already in transfer (its reply still crossing toward the
+    // receiver) streams on every credit tick of this window, exactly as
+    // the lockstep loop drives it.
+    if (sender.transfer_active() && !sender.satisfied() &&
+        times.send_credit_at) {
+      loop.schedule(std::max(*times.send_credit_at, now),
+                    EventKind::kSendCredit, key);
+    }
+    return;
+  }
+  if (!sender.satisfied() && times.send_credit_at) {
+    loop.schedule(std::max(*times.send_credit_at, now), EventKind::kSendCredit,
+                  key);
+  }
+  // A drained link whose sender is satisfied schedules nothing: the
+  // receiver's flow-control re-issues ride arrival services, so with no
+  // arrivals pending there is provably nothing left to do.
+}
+
+}  // namespace icd::core

@@ -1,0 +1,162 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+/// The discrete-event core of simulated time.
+///
+/// PR 4 gave every link a virtual clock but both delivery engines still
+/// iterated tick by tick, asking a per-tick scheduler who was due — a
+/// high-RTT rate-limited swarm burned thousands of empty iterations
+/// between frame arrivals. EventLoop promotes that per-tick LinkScheduler
+/// into a true event queue: a global virtual clock plus a deterministic
+/// (time, kind, key) min-queue holding *all* time-driven work — frame
+/// arrivals, token-bucket send-credit refills, handshake retry timers,
+/// flow-control re-issues, and the coordinator's admission/refresh
+/// cadence. Drivers that know every pending event can jump the clock
+/// straight to the next one (`skip_to`), executing only ticks where
+/// something happens; ticks proven empty are counted, never run.
+///
+/// Determinism: events pop in strict (time, kind, key) order. Kinds are
+/// ordered to match the execution order inside one tick (coordinator
+/// refresh before origin feeds before link servicing), and equal
+/// (time, kind) pairs tie-break by ascending key — for service events the
+/// key is the serving peer id, which reproduces the historical lockstep
+/// per-sender map iteration exactly. That tie-break is what keeps the
+/// shards=1 / legacy-engine bit-for-bit gates intact under both the
+/// per-tick scheduler and the jumping loop. See DESIGN.md, "Time and
+/// scheduling model".
+namespace icd::core {
+
+class SenderEndpoint;
+class ReceiverEndpoint;
+
+/// What a scheduled event means. The numeric order is the intra-tick
+/// execution order, so equal-time events pop in the order a lockstep tick
+/// would have performed them.
+enum class EventKind : std::uint8_t {
+  kRefresh = 0,         // admission/session refresh cadence (coordinator)
+  kOriginFeed = 1,      // origin fountain streams one symbol per tick
+  kHandshakeRetry = 2,  // receiver re-sends its handshake bundle
+  kFrameArrival = 3,    // a queued frame's arrival time passes
+  kSendCredit = 4,      // the token bucket grants one data frame
+  kFlowUpdate = 5,      // RequestUpdate re-issue (rides arrival services)
+  kService = 6,         // per-tick link service slot (engines' pop loop)
+};
+
+struct Event {
+  std::uint64_t at = 0;
+  EventKind kind = EventKind::kService;
+  std::uint64_t key = 0;
+};
+
+/// A deterministic min-queue of (time, kind, key) events plus the global
+/// virtual clock and the jump accounting. Engines reuse one instance both
+/// ways: rebuilt per scheduling round (clear + schedule + pop_due) for
+/// intra-tick service ordering, and rebuilt after each tick to find the
+/// next tick at which anything can happen.
+class EventLoop {
+ public:
+  // --- Event queue ---------------------------------------------------------
+  void clear() { heap_.clear(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Registers one event. Duplicate (time, kind, key) triples are allowed;
+  /// callers that reschedule simply clear() and rebuild.
+  void schedule(std::uint64_t at, EventKind kind, std::uint64_t key);
+
+  /// The earliest event, if any.
+  std::optional<Event> peek() const;
+
+  /// Pops and returns the earliest event if its time is <= now; nullopt
+  /// when the queue is empty or everything lies in the future. Counts the
+  /// pop in events_processed().
+  std::optional<Event> pop_due(std::uint64_t now);
+
+  // --- Global virtual clock ------------------------------------------------
+  std::uint64_t now() const { return now_; }
+
+  /// Advances the clock (monotonic; a smaller t is ignored).
+  void advance_to(std::uint64_t t) { now_ = std::max(now_, t); }
+
+  /// Jumps the clock across a span of provably empty ticks: every tick in
+  /// [now, t) is counted as skipped, never executed. Monotonic like
+  /// advance_to.
+  void skip_to(std::uint64_t t) {
+    if (t > now_) {
+      ticks_skipped_ += t - now_;
+      now_ = t;
+    }
+  }
+
+  // --- Accounting ----------------------------------------------------------
+  /// Events popped due (service slots executed).
+  std::uint64_t events_processed() const { return events_processed_; }
+  /// Virtual ticks jumped over without executing.
+  std::uint64_t ticks_skipped() const { return ticks_skipped_; }
+
+ private:
+  /// std::push_heap/pop_heap min-heap ordered by (at, kind, key).
+  std::vector<Event> heap_;
+  std::uint64_t now_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t ticks_skipped_ = 0;
+};
+
+/// Link-derived inputs to the service decision, gathered by the engine
+/// from whichever link type carries the download (ChannelLink locally,
+/// ShardLink across shards).
+struct LinkTimes {
+  /// False = legacy event-clock link: service every tick.
+  bool timed = false;
+  /// Earliest arrival of a queued frame in either direction.
+  std::optional<std::uint64_t> next_arrival;
+  /// Earliest departure credit for one data frame (token bucket).
+  std::optional<std::uint64_t> send_credit_at;
+};
+
+/// Estimated wire size of one data-plane frame, used for the send-credit
+/// probe (the exact size depends on strategy and degree; pacing itself is
+/// enforced by the channel's token bucket, so the hint only shapes attempt
+/// cadence).
+std::size_t data_frame_bytes_hint(std::size_t block_size);
+
+/// When the download next needs service *within the current tick's
+/// scheduling round*: now for untimed links and during the handshake
+/// (retry clocks must keep counting), the earliest of frame arrival /
+/// send credit during transfer, and nullopt — skip entirely — for a
+/// drained link whose sender is satisfied. Cross-tick planning uses
+/// next_download_event() instead, which replaces the handshake's "now"
+/// with the receiver's retry deadline.
+std::optional<std::uint64_t> next_service_time(const SenderEndpoint& sender,
+                                               const ReceiverEndpoint& receiver,
+                                               const LinkTimes& times,
+                                               std::uint64_t now);
+
+/// Finishes one cross-tick planning round shared by both delivery
+/// engines: schedules the coordinator's next refresh tick (the first
+/// multiple of `refresh_interval` at or after `now` — matching tick()'s
+/// pre-increment modulo check exactly) and returns the earliest planned
+/// event, clamped to `now`. nullopt when no peer is incomplete (the
+/// refresh would be dead work) — callers stop running instead of
+/// jumping.
+std::optional<std::uint64_t> finish_event_planning(EventLoop& loop,
+                                                   std::uint64_t now,
+                                                   std::size_t refresh_interval,
+                                                   bool any_incomplete);
+
+/// Cross-tick planning: schedules one download's future events (frame
+/// arrival, handshake retry, send credit) into `loop`, keyed by `key`.
+/// Mirrors next_service_time's decision tree exactly, except that a
+/// handshaking download is due at its retry deadline rather than every
+/// tick — empty handshake ticks are no-ops once the retry clock is
+/// virtual-time-based, which is precisely what makes the span skippable.
+/// Untimed links are due `now` (the event clock advances every tick).
+void schedule_download_events(EventLoop& loop, const SenderEndpoint& sender,
+                              const ReceiverEndpoint& receiver,
+                              const LinkTimes& times, std::uint64_t now,
+                              std::uint64_t key);
+
+}  // namespace icd::core

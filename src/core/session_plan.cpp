@@ -17,15 +17,31 @@ std::vector<PlannedDownload> plan_peer_downloads(
     candidates.push_back(
         CandidateSender{j, peers[j].sketch, peers[j].symbol_count});
   }
+  const std::size_t have = peers[me].symbol_count;
+  const std::size_t needed =
+      target_symbols > have ? target_symbols - have : 1;
   auto selected = select_senders(*peers[me].sketch, peers[me].symbol_count,
                                  candidates, options.admission,
                                  options.max_peer_sessions);
-  // Starvation fallback: admission exists to skip identical-content
+  // Starvation relaxation: admission exists to skip identical-content
   // senders, but near the end of a download every candidate looks
   // near-identical (resemblance above the cutoff) while still holding
-  // the few novel symbols the peer needs to finish. An incomplete peer
-  // connects to the largest candidate rather than stalling forever —
-  // unless peer sessions are disabled outright (max_peer_sessions 0).
+  // the few novel symbols the peer needs to finish. Instead of blindly
+  // connecting to the largest candidate, re-run admission under a policy
+  // whose resemblance cutoff relaxes in proportion to the shrinking
+  // remaining need — near-complete peers stay served, ranked by novelty,
+  // while a peer that still needs most of the content keeps the strict
+  // cutoff and admits no useless (genuinely identical) senders. The
+  // largest candidate survives only as the last-resort fallback when even
+  // the relaxed policy admits nobody (noisy sketch estimates), and never
+  // when peer sessions are disabled outright (max_peer_sessions 0).
+  if (selected.empty() && !candidates.empty() &&
+      options.max_peer_sessions > 0) {
+    selected = select_senders(
+        *peers[me].sketch, peers[me].symbol_count, candidates,
+        relax_policy_for_need(options.admission, needed, target_symbols),
+        options.max_peer_sessions);
+  }
   if (selected.empty() && !candidates.empty() &&
       options.max_peer_sessions > 0) {
     const auto best = std::max_element(
@@ -35,10 +51,6 @@ std::vector<PlannedDownload> plan_peer_downloads(
         });
     selected.push_back(best->id);
   }
-
-  const std::size_t have = peers[me].symbol_count;
-  const std::size_t needed =
-      target_symbols > have ? target_symbols - have : 1;
   std::vector<PlannedDownload> plan;
   plan.reserve(selected.size());
   for (const std::size_t j : selected) {

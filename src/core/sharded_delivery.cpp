@@ -143,7 +143,7 @@ void ShardedDelivery::refresh_sessions() {
 }
 
 void ShardedDelivery::service_local_downloads(PeerEntry& entry,
-                                              LinkScheduler& scheduler) {
+                                              EventLoop& scheduler) {
   // Mirrors ContentDeliveryService::service_downloads (the shards=1
   // bit-for-bit contract): all-untimed peers keep the historical
   // lockstep loop with zero scheduling overhead; otherwise untimed links
@@ -182,17 +182,18 @@ void ShardedDelivery::service_local_downloads(PeerEntry& entry,
     }
     if (auto at = next_service_time(*download->sender, *download->receiver,
                                     times, now)) {
-      scheduler.schedule(*at, sender_id);
+      scheduler.schedule(*at, EventKind::kService, sender_id);
     }
   }
-  while (auto sender_id = scheduler.pop_due(now)) {
+  while (auto event = scheduler.pop_due(now)) {
     if (entry.peer->has_content()) break;
-    Download& download = *entry.downloads.at(*sender_id);
+    Download& download = *entry.downloads.at(event->key);
     download.sender->tick();
     if (!download.local->timed() ||
         download.local->a_send_ready_at(hint) <= now) {
       download.sender->send_symbol();
     }
+    download.receiver->advance_to(now);
     download.receiver->tick();
     flush_batches(download);
   }
@@ -240,6 +241,7 @@ void ShardedDelivery::phase_receive(std::size_t shard) {
       if (!download->cross) continue;
       if (entry.peer->has_content()) break;
       download->cross->advance_b_to(tick_now_);
+      download->receiver->advance_to(tick_now_);
       download->receiver->tick();
       if (batch_budget_ > 0) download->receiver_transport().flush_batch();
     }
@@ -279,23 +281,90 @@ std::size_t ShardedDelivery::tick() {
   }
 
   std::size_t completed_now = 0;
-  for (const PeerEntry& entry : peers_) {
+  for (PeerEntry& entry : peers_) {
     if (!entry.complete_at_tick_start && entry.peer->has_content()) {
       ++completed_now;
     }
+    if (entry.completed_tick == 0 && entry.peer->has_content()) {
+      entry.completed_tick = ticks_;
+    }
   }
+  loop_.advance_to(ticks_);
   return completed_now;
 }
 
+std::optional<std::uint64_t> ShardedDelivery::next_event_time() {
+  // Coordinator-only, between pool runs: the workers are parked, so every
+  // shard's links and endpoints may be inspected (not mutated) here.
+  loop_.clear();
+  const std::uint64_t now = ticks_;
+  const std::size_t hint = data_frame_bytes_hint(options_.block_size);
+  bool any_incomplete = false;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    PeerEntry& entry = peers_[i];
+    if (entry.peer->has_content()) continue;
+    any_incomplete = true;
+    if (entry.origin_fed) {
+      loop_.schedule(now, EventKind::kOriginFeed, i);
+      continue;
+    }
+    for (auto& [sender_id, download] : entry.downloads) {
+      LinkTimes times;
+      times.timed = download->local ? download->local->timed()
+                                    : download->cross->timed();
+      if (times.timed) {
+        times.next_arrival = download->local
+                                 ? download->local->next_event_time()
+                                 : download->cross->next_event_time();
+        times.send_credit_at =
+            download->local ? download->local->a_send_ready_at(hint)
+                            : download->cross->a_send_ready_at(hint);
+      }
+      schedule_download_events(loop_, *download->sender, *download->receiver,
+                               times, now, sender_id);
+    }
+  }
+  return finish_event_planning(loop_, now, options_.refresh_interval,
+                               any_incomplete);
+}
+
 bool ShardedDelivery::run(std::size_t max_ticks) {
-  for (std::size_t t = 0; t < max_ticks; ++t) {
+  return run_until(ticks_ + max_ticks);
+}
+
+bool ShardedDelivery::run_until(std::uint64_t deadline) {
+  while (ticks_ < deadline) {
     tick();
     const bool all = std::all_of(
         peers_.begin(), peers_.end(),
         [](const PeerEntry& e) { return e.peer->has_content(); });
     if (all) return true;
+    if (!options_.jump_empty_ticks) continue;
+    // All-untimed swarms can never open a span (untimed downloads are
+    // due every tick), so skip the planning rebuild outright and keep
+    // the historical heap-free hot path. A link_config may hand out
+    // timed configs per edge, so its presence keeps planning on.
+    if (!options_.link.timed() && !options_.link_config) continue;
+    // Jump straight to the next tick at which anything can happen —
+    // sharded ticks barrier only at event times; the span in between
+    // would have been all-shard no-ops.
+    if (const auto next = next_event_time()) {
+      const std::uint64_t target = std::min<std::uint64_t>(*next, deadline);
+      loop_.skip_to(target);
+      ticks_ = target;
+    }
   }
-  return false;
+  return std::all_of(peers_.begin(), peers_.end(), [](const PeerEntry& e) {
+    return e.peer->has_content();
+  });
+}
+
+std::uint64_t ShardedDelivery::events_processed() const {
+  std::uint64_t total = 0;
+  for (const ShardWork& work : shard_work_) {
+    total += work.scheduler.events_processed();
+  }
+  return total;
 }
 
 std::vector<std::uint8_t> ShardedDelivery::peer_content(

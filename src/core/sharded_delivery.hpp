@@ -72,16 +72,33 @@ class ShardedDelivery {
   /// Advances the whole service by one round (send phase, barrier, receive
   /// phase). Returns the number of peers that completed during this tick.
   std::size_t tick();
+  /// Drives the service for up to `max_ticks` virtual ticks, jumping
+  /// empty tick spans when DeliveryOptions::jump_empty_ticks is set.
   bool run(std::size_t max_ticks);
+  /// Event-loop driver: see ContentDeliveryService::run_until. Sharded
+  /// ticks barrier only at event times — the jump happens on the
+  /// coordinator between pool runs, where it owns all state — and the
+  /// two-phase barrier stays the cross-shard commit point unchanged.
+  bool run_until(std::uint64_t deadline);
 
   std::size_t peer_count() const { return peers_.size(); }
   const Peer& peer(std::size_t id) const { return *peers_.at(id).peer; }
   bool peer_complete(std::size_t id) const {
     return peers_.at(id).peer->has_content();
   }
+  /// Virtual tick at which the peer first held the content (the ticks()
+  /// value observed right after the completing tick); 0 = not yet.
+  std::size_t peer_completion_tick(std::size_t id) const {
+    return peers_.at(id).completed_tick;
+  }
   std::vector<std::uint8_t> peer_content(std::size_t id) const;
 
   std::size_t ticks() const { return ticks_; }
+  /// Scheduler-ordered link services executed across all shards (timed
+  /// service path pops). Coordinator-only, between ticks.
+  std::uint64_t events_processed() const;
+  /// Virtual ticks run_until() jumped over without executing.
+  std::uint64_t ticks_skipped() const { return loop_.ticks_skipped(); }
   const codec::CodeParameters& parameters() const {
     return origins_.front()->parameters();
   }
@@ -140,6 +157,8 @@ class ShardedDelivery {
     std::optional<codec::EncodedSymbol> pending_origin;
     /// Snapshot the phases read instead of cross-shard peer state.
     bool complete_at_tick_start = false;
+    /// Virtual tick of first completion (0 = incomplete).
+    std::size_t completed_tick = 0;
   };
 
   struct ShardWork {
@@ -149,8 +168,8 @@ class ShardedDelivery {
     /// (receiver_id, sender_id) order. Rebuilt each refresh.
     std::vector<Download*> cross_senders;
     /// Per-shard service ordering for local downloads (shard-local: each
-    /// worker thread touches only its own).
-    LinkScheduler scheduler;
+    /// worker thread touches only its own event queue).
+    EventLoop scheduler;
   };
 
   void refresh_sessions();
@@ -159,7 +178,11 @@ class ShardedDelivery {
   void phase_receive(std::size_t shard);
   /// Mirrors ContentDeliveryService::service_downloads for the fully-local
   /// downloads of one peer (the shards=1 bit-for-bit contract).
-  void service_local_downloads(PeerEntry& entry, LinkScheduler& scheduler);
+  void service_local_downloads(PeerEntry& entry, EventLoop& scheduler);
+  /// See ContentDeliveryService::next_event_time; additionally covers the
+  /// cross-shard ShardLinks (both directions' delay lines and rings),
+  /// inspected by the coordinator while the workers are parked.
+  std::optional<std::uint64_t> next_event_time();
   void flush_batches(Download& download);
   static void accumulate_link(Download& download, LinkTotals& totals);
 
@@ -176,6 +199,10 @@ class ShardedDelivery {
   std::uint64_t tick_now_ = 0;
   std::uint64_t next_session_seed_;
   LinkTotals retired_link_totals_;
+  /// Coordinator event loop: global clock, jump accounting, and the
+  /// cross-tick planning queue run_until peeks. The per-shard service
+  /// queues live in ShardWork (worker-thread-local).
+  EventLoop loop_;
   /// Present only when shards > 1.
   std::optional<util::ShardPool> pool_;
   std::function<void(std::size_t)> send_fn_;

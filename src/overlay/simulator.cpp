@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "codec/recoder.hpp"
+#include "core/event_loop.hpp"
 #include "filter/bloom.hpp"
 #include "overlay/node.hpp"
 #include "sketch/minwise.hpp"
@@ -178,10 +179,17 @@ AdaptiveOverlayResult run_adaptive_overlay(
   }
   WireTotals serial_totals;
   std::size_t connection_serial = 0;
-  // Virtual time for timed edges (ChannelConfig delay/jitter/rate): every
-  // channel is advanced to the current round before it is used, so delays
-  // are measured in rounds. Untimed edges ignore it.
-  std::uint64_t current_round = 0;
+  // The discrete-event clock for timed edges (ChannelConfig
+  // delay/jitter/rate): the same core::EventLoop the delivery engines run
+  // on owns the round time here — every channel is advanced to
+  // clock.now() before it is used, so delays are measured in rounds, and
+  // the periodic reconfiguration rides the loop's queue as a scheduled
+  // kRefresh event instead of a per-round modulo check. Untimed edges
+  // ignore the clock.
+  core::EventLoop clock;
+  if (config.reconfigure_interval > 0) {
+    clock.schedule(config.reconfigure_interval, core::EventKind::kRefresh, 0);
+  }
 
 
   // Reconnects `peer` to up to connections_per_peer senders, charging the
@@ -319,10 +327,10 @@ AdaptiveOverlayResult run_adaptive_overlay(
   // its swap reordering (latency <= 1 round), so draining every round is
   // correct — no alternate-round rule needed. Timed edges instead deliver
   // by their delay/jitter/rate schedule against the round clock.
-  const auto send_through = [&current_round](
+  const auto send_through = [&clock](
                                 wire::LossyChannel& channel, PeerState& peer,
                                 const Transmission& t, WireTotals& totals) {
-    channel.advance_to(current_round);
+    channel.advance_to(clock.now());
     auto frame = encode_transmission(t);
     const std::size_t frame_bytes = frame.size();
     if (channel.send(std::move(frame))) {
@@ -354,7 +362,7 @@ AdaptiveOverlayResult run_adaptive_overlay(
       };
 
   for (std::size_t round = 1; round <= config.max_rounds; ++round) {
-    current_round = round;
+    clock.advance_to(round);
     // Joins (staggered arrivals: the paper's asynchrony requirement).
     for (std::size_t i = 0; i < config.peer_count; ++i) {
       if (!peers[i].joined && round > i * config.join_stagger) {
@@ -413,12 +421,15 @@ AdaptiveOverlayResult run_adaptive_overlay(
     }
     if (all_complete()) break;
 
-    // Periodic reconfiguration: the overlay adapts.
-    if (config.reconfigure_interval > 0 &&
-        round % config.reconfigure_interval == 0) {
+    // Periodic reconfiguration: the overlay adapts when the scheduled
+    // refresh event comes due (the same rounds the historical modulo
+    // check fired on).
+    if (clock.pop_due(round)) {
       for (std::size_t i = 0; i < config.peer_count; ++i) {
         reconfigure_peer(i);
       }
+      clock.schedule(round + config.reconfigure_interval,
+                     core::EventKind::kRefresh, 0);
     }
   }
 

@@ -75,10 +75,16 @@ struct ChannelConfig {
   /// (without delay/jitter/rate) it does not enable the virtual clock.
   std::uint64_t hops = 1;
   /// Token-bucket rate limit in bytes per virtual tick (0 = unlimited).
-  /// A frame departs when the bucket holds its size in tokens; departures
-  /// queue behind the bucket otherwise, so a saturating sender is paced to
-  /// the link rate. Lost frames still consume tokens (they were
-  /// transmitted; the network ate them downstream).
+  /// The rate is **per hop**: every store-and-forward hop of the path
+  /// meters independently at this rate, so a multi-hop path still carries
+  /// rate_bytes_per_tick end to end (the bottleneck is any one hop) while
+  /// bursts admitted by an earlier hop's bucket are re-paced downstream.
+  /// A frame departs a hop when that hop's bucket holds its size in
+  /// tokens and queues behind the bucket otherwise, so a saturating
+  /// sender is paced to the link rate. Lost frames still consume the
+  /// first hop's tokens (they were transmitted; the network ate them
+  /// downstream of the sender's bottleneck — downstream hops never see
+  /// them).
   double rate_bytes_per_tick = 0.0;
   /// Token-bucket capacity in bytes; 0 defaults to max(mtu, rate) so any
   /// MTU-sized frame can always eventually depart (no starvation).
@@ -161,38 +167,63 @@ class TimedFrameQueue {
 };
 
 /// Sender-side simulated-time shaping shared by LossyChannel and
-/// wire::ShardLink: a virtual clock, token-bucket departure pacing, and
+/// wire::ShardLink: a virtual clock, per-hop token-bucket pacing, and
 /// delay/jitter arrival scheduling. Loss/reorder draws stay with the
 /// owning link (they share its RNG stream).
 class LinkShaper {
  public:
   explicit LinkShaper(const ChannelConfig& config)
-      : config_(config), tokens_(config.burst()) {}
+      : config_(config), egress_{config.burst(), 0} {
+    if (config_.rate_bytes_per_tick > 0.0 && config_.hop_count() > 1) {
+      hop_buckets_.assign(config_.hop_count() - 1,
+                          Bucket{config_.burst(), 0});
+    }
+  }
 
   std::uint64_t now() const { return now_; }
   void advance_to(std::uint64_t t) { now_ = std::max(now_, t); }
 
-  /// Token-bucket departure time for a frame of `size` bytes sent at
-  /// now(); consumes the tokens.
+  /// First-hop token-bucket departure time for a frame of `size` bytes
+  /// sent at now(); consumes the tokens.
   std::uint64_t pace_departure(std::size_t size);
 
-  /// Earliest virtual time a frame of `bytes` could depart given the
-  /// bucket's current fill, without consuming anything.
+  /// Earliest virtual time a frame of `bytes` could depart the *first*
+  /// hop given its bucket's current fill, without consuming anything.
+  /// Downstream hop queueing shows up in the arrival time instead — the
+  /// send-credit probe stays a sender-egress question.
   std::uint64_t send_ready_at(std::size_t bytes) const;
 
-  /// Arrival time for a frame departing at `depart`: one delay_ticks plus
-  /// one uniform [0, jitter_ticks] draw from `rng` per hop.
-  std::uint64_t schedule_arrival(std::uint64_t depart, util::Xoshiro256& rng);
+  /// Arrival time for a frame of `size` bytes departing the first hop at
+  /// `depart`: per hop, a token-bucket re-pacing (hops beyond the first;
+  /// each hop meters rate_bytes_per_tick independently), one delay_ticks,
+  /// and one uniform [0, jitter_ticks] draw from `rng`. With one hop or
+  /// no rate limit this is exactly delay + jitter per hop.
+  std::uint64_t schedule_arrival(std::uint64_t depart, std::size_t size,
+                                 util::Xoshiro256& rng);
 
-  /// Frames whose departure the token bucket pushed past their send tick.
+  /// Frames whose first-hop departure the token bucket pushed past their
+  /// send tick.
   std::size_t throttled() const { return throttled_; }
 
  private:
+  /// One hop's token bucket: fill level at `time`.
+  struct Bucket {
+    double tokens;
+    std::uint64_t time;
+  };
+
+  /// Departure time through one bucket for `size` bytes offered at `at`;
+  /// consumes the tokens (the wait's own refill is spent on this frame,
+  /// leftover fractions stay in the bucket).
+  std::uint64_t pace_bucket(Bucket& bucket, std::uint64_t at,
+                            std::size_t size) const;
+
   ChannelConfig config_;
   std::uint64_t now_ = 0;
-  /// Token bucket: fill level at token_time_.
-  double tokens_;
-  std::uint64_t token_time_ = 0;
+  /// First-hop (sender egress) bucket.
+  Bucket egress_;
+  /// Hops 2..N meter independently; empty when unpaced or single-hop.
+  std::vector<Bucket> hop_buckets_;
   std::size_t throttled_ = 0;
 };
 
@@ -248,6 +279,16 @@ class LossyChannel {
   /// scheduler orders link servicing by. Already-due frames report their
   /// (past) arrival time, not now().
   std::optional<std::uint64_t> next_arrival_at() const;
+
+  /// The earliest virtual time at which this direction can deliver
+  /// anything — the event-loop planning surface. Timed: the next queued
+  /// arrival. Untimed: 0 (due immediately) while a frame is queued or in
+  /// flight, because the event clock advances with every tick and can
+  /// release the hop at any receive. nullopt = provably nothing pending.
+  std::optional<std::uint64_t> next_event_time() const {
+    if (timed()) return next_arrival_at();
+    return pending() ? std::optional<std::uint64_t>{0} : std::nullopt;
+  }
 
   /// Earliest virtual time a frame of `bytes` could *depart* given the
   /// token bucket's current fill — the scheduler's send-credit probe.

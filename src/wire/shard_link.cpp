@@ -46,7 +46,8 @@ bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
     // arrival (reorder draws swap adjacent arrivals), and hold the frame
     // in the sender-local delay line until its tick — advance_to() is
     // what commits it to the ring.
-    const std::uint64_t depart = shaper_.pace_departure(frame.size());
+    const std::size_t size = frame.size();
+    const std::uint64_t depart = shaper_.pace_departure(size);
     if (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate)) {
       release_buffer(std::move(frame));
       return true;
@@ -54,7 +55,7 @@ bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
     const bool reorder = config_.reorder_rate > 0.0 &&
                          rng_.next_bool(config_.reorder_rate);
     delayed_.insert(
-        TimedFrame{shaper_.schedule_arrival(depart, rng_), next_seq_++,
+        TimedFrame{shaper_.schedule_arrival(depart, size, rng_), next_seq_++,
                    std::move(frame)},
         reorder);
     release_arrived();

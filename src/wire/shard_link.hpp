@@ -79,6 +79,24 @@ class ShardLink {
     return a_.send_ready_at(bytes);
   }
 
+  /// The earliest virtual time at which either direction can deliver
+  /// anything — the event-loop planning surface, mirroring
+  /// ChannelLink::next_event_time(). Frames already committed to a ring
+  /// ("arrived", awaiting the consumer's drain) report 0 (due
+  /// immediately); otherwise the earliest delay-line arrival in either
+  /// direction; nullopt = provably drained. Coordinator-only, like every
+  /// between-ticks inspection: the workers must be parked at a barrier.
+  std::optional<std::uint64_t> next_event_time() const {
+    if (!a_to_b_.frames_ring.empty() || !b_to_a_.frames_ring.empty()) {
+      return 0;
+    }
+    const auto forward = a_.delayed_next_arrival();
+    const auto reverse = b_.delayed_next_arrival();
+    if (!forward) return reverse;
+    if (!reverse) return forward;
+    return std::min(*forward, *reverse);
+  }
+
   /// Frames dropped because a frame ring was full (distinct from the
   /// configured Bernoulli loss).
   std::size_t overflow_drops() const {
@@ -110,6 +128,13 @@ class ShardLink {
     void advance_to(std::uint64_t t);
     std::uint64_t send_ready_at(std::size_t bytes) const {
       return shaper_.send_ready_at(bytes);
+    }
+    /// Earliest arrival still waiting in this end's outgoing delay line.
+    /// The event-clock reorder holdback reports 0: it departs with the
+    /// next send or flush, so the planner must treat it as pending now.
+    std::optional<std::uint64_t> delayed_next_arrival() const {
+      if (held_) return 0;
+      return delayed_.next_arrival();
     }
 
    protected:

@@ -321,6 +321,18 @@ class ChannelLink {
     return a_to_b_.send_ready_at(bytes);
   }
 
+  /// The earliest virtual time at which either direction can deliver
+  /// anything — the event-loop planning surface (see
+  /// LossyChannel::next_event_time). nullopt = both directions provably
+  /// drained.
+  std::optional<std::uint64_t> next_event_time() const {
+    const auto forward = a_to_b_.next_event_time();
+    const auto reverse = b_to_a_.next_event_time();
+    if (!forward) return reverse;
+    if (!reverse) return forward;
+    return std::min(*forward, *reverse);
+  }
+
  private:
   LossyChannel a_to_b_;
   LossyChannel b_to_a_;

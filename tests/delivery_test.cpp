@@ -27,6 +27,65 @@ DeliveryOptions small_options() {
   return options;
 }
 
+// --- Admission starvation relaxation ----------------------------------------
+
+/// Builds a sketch over `count` ids starting at `first` (512 permutations:
+/// tight resemblance estimates so the cutoff comparisons are stable).
+sketch::MinwiseSketch make_sketch(std::uint64_t first, std::uint64_t count) {
+  sketch::MinwiseSketch sketch(1u << 20, 512);
+  for (std::uint64_t id = first; id < first + count; ++id) sketch.update(id);
+  return sketch;
+}
+
+TEST(AdmissionRelaxation, NearCompletePeerAdmitsNovelNotIdenticalSenders) {
+  // End-of-download regime: every candidate resembles the receiver above
+  // the strict cutoff. The relaxed policy (tiny remaining need -> cutoff
+  // relaxes toward 1) must admit the sender that still holds novel
+  // symbols while continuing to reject the genuinely identical one —
+  // which the old largest-candidate fallback would happily have picked.
+  const auto receiver = make_sketch(0, 950);
+  const auto identical = make_sketch(0, 950);     // same 950 ids
+  const auto near_identical = make_sketch(0, 960);  // 950 shared + 10 novel
+
+  AdmissionPolicy policy;  // max_resemblance 0.95
+  std::vector<CandidateSender> candidates{
+      CandidateSender{7, &identical, 950},
+      CandidateSender{9, &near_identical, 960}};
+
+  // Strict admission rejects both (estimated resemblance 1.0 and ~0.98).
+  EXPECT_TRUE(
+      select_senders(receiver, 950, candidates, policy, 2).empty());
+
+  // Near complete: needed 50 of a 1000-symbol target.
+  const AdmissionPolicy relaxed = relax_policy_for_need(policy, 50, 1000);
+  EXPECT_GT(relaxed.max_resemblance, 0.99);
+  EXPECT_LT(relaxed.max_resemblance, 1.0);  // identical stays out
+  const auto selected = select_senders(receiver, 950, candidates, relaxed, 2);
+  EXPECT_EQ(selected, (std::vector<std::size_t>{9}));
+}
+
+TEST(AdmissionRelaxation, FarFromDonePeerKeepsTheStrictCutoff) {
+  // Early-download regime: the same near-identical candidate offers
+  // nothing a peer that needs most of the content could not get from a
+  // genuinely novel sender, and the barely-relaxed cutoff still rejects
+  // it — no useless sessions are admitted.
+  const auto receiver = make_sketch(0, 950);
+  const auto near_identical = make_sketch(0, 960);
+  AdmissionPolicy policy;
+  std::vector<CandidateSender> candidates{
+      CandidateSender{9, &near_identical, 960}};
+
+  const AdmissionPolicy relaxed = relax_policy_for_need(policy, 900, 1000);
+  EXPECT_LT(relaxed.max_resemblance, 0.96);
+  EXPECT_TRUE(
+      select_senders(receiver, 950, candidates, relaxed, 2).empty());
+  // And the relaxation is monotone in the remaining need.
+  EXPECT_LT(relax_policy_for_need(policy, 900, 1000).max_resemblance,
+            relax_policy_for_need(policy, 400, 1000).max_resemblance);
+  EXPECT_LT(relax_policy_for_need(policy, 400, 1000).max_resemblance,
+            relax_policy_for_need(policy, 50, 1000).max_resemblance);
+}
+
 TEST(DeliveryService, SingleSubscriberDecodesFromOrigin) {
   const auto content = random_content(64 * 200, 1);
   ContentDeliveryService service(content, small_options());
