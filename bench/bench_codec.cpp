@@ -22,6 +22,8 @@
 #include "codec/encoder.hpp"
 #include "codec/inactivation.hpp"
 #include "codec/recoder.hpp"
+#include "sketch/minwise.hpp"
+#include "util/permutation.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -160,6 +162,56 @@ void print_decode_rate(bench::JsonReport& report, bool smoke) {
   report.add("decode_payload_mbps", mbps);
 }
 
+/// Handshake receive path: every summary bundle that arrives is decoded
+/// with MinwiseSketch::deserialize, which constructs a sketch over the
+/// agreed universe. The permutation family behind that sketch is immutable
+/// and fully determined by (universe, count, seed), so decode cost should
+/// be the minima copy — not a per-packet family rebuild (next_prime search
+/// plus 128 modular inversions). This lane times both and reports the
+/// speedup the shared_permutation_family cache buys; CI gates on it.
+void print_sketch_decode(bench::JsonReport& report, bool smoke) {
+  constexpr std::uint64_t kUniverse = 1u << 20;
+  constexpr std::size_t kPermutations =
+      sketch::MinwiseSketch::kDefaultPermutations;
+  constexpr std::uint64_t kSeed = sketch::MinwiseSketch::kSharedSeed;
+  sketch::MinwiseSketch sketch(kUniverse, kPermutations, kSeed);
+  util::Xoshiro256 rng(42);
+  for (int i = 0; i < 400; ++i) sketch.update(rng.next_below(kUniverse));
+  const auto wire = sketch.serialize();
+
+  const std::size_t decodes = smoke ? 200 : 5000;
+  // Warm the cache so the timed loop measures the steady state every
+  // handshake after the first sees.
+  (void)sketch::MinwiseSketch::deserialize(wire);
+  auto start = Clock::now();
+  for (std::size_t i = 0; i < decodes; ++i) {
+    const auto decoded = sketch::MinwiseSketch::deserialize(wire);
+    benchmark::DoNotOptimize(decoded.minima().data());
+  }
+  const double cached_s = seconds_since(start);
+
+  // The pre-cache cost: what each decode used to pay on top, rebuilding the
+  // identical family from scratch.
+  const std::size_t rebuilds = smoke ? 50 : 500;
+  start = Clock::now();
+  for (std::size_t i = 0; i < rebuilds; ++i) {
+    const auto family =
+        util::make_permutation_family(kUniverse, kPermutations, kSeed);
+    benchmark::DoNotOptimize(family.data());
+  }
+  const double rebuild_s = seconds_since(start);
+
+  const double cached_us = cached_s / decodes * 1e6;
+  const double rebuild_us = rebuild_s / rebuilds * 1e6;
+  const double speedup = (rebuild_us + cached_us) / cached_us;
+  std::printf("=== handshake sketch decode: %.2f us cached vs %.2f us with "
+              "per-packet family rebuild (%.1fx) ===\n\n",
+              cached_us, rebuild_us + cached_us, speedup);
+  report.add("sketch_decode_cached_us", cached_us);
+  report.add("sketch_family_rebuild_us", rebuild_us);
+  report.add("sketch_decode_cache_speedup", speedup);
+}
+
 void BM_Encode(benchmark::State& state) {
   const auto blocks = static_cast<std::size_t>(state.range(0));
   const auto source = make_source(blocks, 1400);
@@ -230,6 +282,7 @@ int main(int argc, char** argv) {
   print_overhead_table(report, smoke);
   print_inactivation_table(smoke);
   print_decode_rate(report, smoke);
+  print_sketch_decode(report, smoke);
   report.write("BENCH_codec.json");
 
   if (!smoke) {

@@ -39,6 +39,17 @@ struct DeliveryOptions {
   /// Re-run admission control and rebuild sessions every this many ticks.
   std::size_t refresh_interval = 50;
   AdmissionPolicy admission;
+  /// Complementary sender-group selection (end of Section 4: "overlay
+  /// management may explicitly avoid connecting nodes with identical
+  /// content"). When set, planning ranks the *whole* admitted pool and
+  /// then picks the max_peer_sessions group greedily, anchored at the
+  /// most novel candidate and at each step adding the candidate that
+  /// minimizes estimate_group_overlap of the group so far — so two
+  /// near-identical senders are demoted in favor of a complementary one
+  /// even when each looks equally novel against the receiver alone. Off
+  /// by default: the historical plan (top novelty ranks, input order on
+  /// ties) stays bit-for-bit.
+  bool overlap_aware_selection = false;
   /// Channel shaping (loss, reorder, MTU) applied to every peer-to-peer
   /// link. Perfect by default. An unset seed is replaced with a fresh
   /// per-link draw to decorrelate links; an explicit seed is honored

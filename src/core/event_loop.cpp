@@ -1,6 +1,9 @@
 #include "core/event_loop.hpp"
 
+#include <poll.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <tuple>
 
 #include "core/endpoint.hpp"
@@ -33,6 +36,64 @@ std::optional<Event> EventLoop::pop_due(std::uint64_t now) {
   heap_.pop_back();
   ++events_processed_;
   return event;
+}
+
+void EventLoop::enable_wall_clock(std::uint64_t ns_per_tick) {
+  wall_enabled_ = true;
+  wall_ns_per_tick_ = std::max<std::uint64_t>(1, ns_per_tick);
+  wall_epoch_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t EventLoop::wall_now() const {
+  if (!wall_enabled_) return now_;
+  const auto elapsed = std::chrono::steady_clock::now() - wall_epoch_;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                      .count();
+  return static_cast<std::uint64_t>(ns < 0 ? 0 : ns) / wall_ns_per_tick_;
+}
+
+void EventLoop::watch_fd(int fd) {
+  if (std::find(watched_fds_.begin(), watched_fds_.end(), fd) ==
+      watched_fds_.end()) {
+    watched_fds_.push_back(fd);
+  }
+}
+
+void EventLoop::unwatch_fd(int fd) {
+  watched_fds_.erase(std::remove(watched_fds_.begin(), watched_fds_.end(), fd),
+                     watched_fds_.end());
+}
+
+bool EventLoop::poll_wait(std::uint64_t max_wait_ticks) {
+  const std::uint64_t start = wall_now();
+  // The sleep deadline: the earliest scheduled virtual event, capped so a
+  // deep queue can never park the loop indefinitely. An event already due
+  // (or an empty cap) degrades to a non-blocking readability check.
+  std::uint64_t due = start + max_wait_ticks;
+  if (const auto next = peek(); next && next->at < due) {
+    due = std::max(next->at, start);
+  }
+  int timeout_ms = 0;
+  if (due > start) {
+    // Round up: waking a fraction of a tick late is harmless, waking early
+    // spins. Cap defensively at one minute per poll round.
+    const std::uint64_t ns = (due - start) * wall_ns_per_tick_;
+    timeout_ms = static_cast<int>(
+        std::min<std::uint64_t>(ns / 1'000'000 + 1, 60'000));
+  }
+  std::vector<pollfd> fds;
+  fds.reserve(watched_fds_.size());
+  for (const int fd : watched_fds_) fds.push_back(pollfd{fd, POLLIN, 0});
+  int ready = 0;
+  do {
+    ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
+  } while (ready < 0 && errno == EINTR);
+  // Ticks slept across were provably empty for this process — the
+  // wall-clock analogue of skip_to's jump accounting.
+  const std::uint64_t wall = wall_now();
+  if (wall > now_ + 1) ticks_skipped_ += wall - now_ - 1;
+  advance_to(wall);
+  return ready > 0;
 }
 
 std::size_t data_frame_bytes_hint(std::size_t block_size) {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -97,12 +98,46 @@ class EventLoop {
   /// Virtual ticks jumped over without executing.
   std::uint64_t ticks_skipped() const { return ticks_skipped_; }
 
+  // --- Wall-clock mode -----------------------------------------------------
+  // The real-network driver (examples/swarm_node): virtual ticks are bound
+  // to real time, tick i falling at epoch + i * ns_per_tick with the epoch
+  // recorded here. Instead of jumping the clock across empty spans, a
+  // run loop built on poll_wait() *sleeps* across them — blocking in
+  // ::poll on the watched sockets with a timeout derived from the next
+  // scheduled virtual event (handshake retry, flow-update cadence, service
+  // slot), so the same endpoint state machines run unmodified against real
+  // sockets. See DESIGN.md, "Real-network backend".
+
+  /// Enters wall-clock mode: tick 0 is now, ticks last `ns_per_tick`.
+  void enable_wall_clock(std::uint64_t ns_per_tick);
+  bool wall_clock() const { return wall_enabled_; }
+  std::uint64_t ns_per_tick() const { return wall_ns_per_tick_; }
+
+  /// The current wall time, expressed in virtual ticks since the epoch.
+  std::uint64_t wall_now() const;
+
+  /// Registers / removes a socket watched for readability by poll_wait().
+  void watch_fd(int fd);
+  void unwatch_fd(int fd);
+
+  /// Blocks until a watched fd turns readable or the earliest scheduled
+  /// event (capped at now + max_wait_ticks) comes due on the wall clock,
+  /// then advances now() to the wall tick. Ticks slept across count as
+  /// skipped — the wall-clock analogue of skip_to. Returns true when at
+  /// least one watched fd is readable. Requires enable_wall_clock.
+  bool poll_wait(std::uint64_t max_wait_ticks = 1000);
+
  private:
   /// std::push_heap/pop_heap min-heap ordered by (at, kind, key).
   std::vector<Event> heap_;
   std::uint64_t now_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t ticks_skipped_ = 0;
+  /// Wall-clock mode state (enable_wall_clock / poll_wait).
+  bool wall_enabled_ = false;
+  std::uint64_t wall_ns_per_tick_ = 1'000'000;  // 1 ms
+  std::chrono::steady_clock::time_point wall_epoch_{};
+  std::vector<int> watched_fds_;
 };
 
 /// Link-derived inputs to the service decision, gathered by the engine

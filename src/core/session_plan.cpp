@@ -7,6 +7,44 @@
 
 namespace icd::core {
 
+namespace {
+
+/// Overlap-aware narrowing of an admission-ranked pool to a session cap:
+/// anchor at the top-ranked (most novel) candidate, then repeatedly add
+/// the candidate whose inclusion keeps estimate_group_overlap of the
+/// chosen group smallest, ranking order breaking exact ties. The sketches
+/// admission already fetched are all this needs — the group-overlap
+/// estimator works on coordinate-wise minima alone.
+std::vector<std::size_t> pick_complementary_group(
+    const std::vector<PlanPeer>& peers, const std::vector<std::size_t>& ranked,
+    std::size_t max_sessions) {
+  if (ranked.size() <= max_sessions) return ranked;
+  std::vector<std::size_t> chosen{ranked.front()};
+  std::vector<const sketch::MinwiseSketch*> sketches{
+      peers[ranked.front()].sketch};
+  std::vector<std::size_t> remaining(ranked.begin() + 1, ranked.end());
+  while (chosen.size() < max_sessions && !remaining.empty()) {
+    std::size_t best = 0;
+    double best_overlap = 2.0;  // overlap estimates live in [0, 1]
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      sketches.push_back(peers[remaining[i]].sketch);
+      const double overlap = estimate_group_overlap(sketches);
+      sketches.pop_back();
+      if (overlap < best_overlap) {
+        best_overlap = overlap;
+        best = i;
+      }
+    }
+    chosen.push_back(remaining[best]);
+    sketches.push_back(peers[remaining[best]].sketch);
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(best));
+  }
+  return chosen;
+}
+
+}  // namespace
+
 std::vector<PlannedDownload> plan_peer_downloads(
     std::size_t me, const std::vector<PlanPeer>& peers,
     const DeliveryOptions& options, std::size_t target_symbols,
@@ -20,9 +58,14 @@ std::vector<PlannedDownload> plan_peer_downloads(
   const std::size_t have = peers[me].symbol_count;
   const std::size_t needed =
       target_symbols > have ? target_symbols - have : 1;
+  // Overlap-aware mode admits the whole pool (ranked), then narrows to the
+  // cap by group complementarity below; a cap of zero still means zero.
+  const std::size_t admit_cap =
+      options.overlap_aware_selection && options.max_peer_sessions > 0
+          ? candidates.size()
+          : options.max_peer_sessions;
   auto selected = select_senders(*peers[me].sketch, peers[me].symbol_count,
-                                 candidates, options.admission,
-                                 options.max_peer_sessions);
+                                 candidates, options.admission, admit_cap);
   // Starvation relaxation: admission exists to skip identical-content
   // senders, but near the end of a download every candidate looks
   // near-identical (resemblance above the cutoff) while still holding
@@ -40,7 +83,7 @@ std::vector<PlannedDownload> plan_peer_downloads(
     selected = select_senders(
         *peers[me].sketch, peers[me].symbol_count, candidates,
         relax_policy_for_need(options.admission, needed, target_symbols),
-        options.max_peer_sessions);
+        admit_cap);
   }
   if (selected.empty() && !candidates.empty() &&
       options.max_peer_sessions > 0) {
@@ -50,6 +93,11 @@ std::vector<PlannedDownload> plan_peer_downloads(
           return a.working_set_size < b.working_set_size;
         });
     selected.push_back(best->id);
+  }
+  if (options.overlap_aware_selection &&
+      selected.size() > options.max_peer_sessions) {
+    selected =
+        pick_complementary_group(peers, selected, options.max_peer_sessions);
   }
   std::vector<PlannedDownload> plan;
   plan.reserve(selected.size());

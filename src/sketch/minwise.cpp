@@ -12,7 +12,7 @@ MinwiseSketch::MinwiseSketch(std::uint64_t universe_size,
                              std::size_t permutations, std::uint64_t seed)
     : universe_size_(universe_size), seed_(seed),
       permutations_(
-          util::make_permutation_family(universe_size, permutations, seed)),
+          util::shared_permutation_family(universe_size, permutations, seed)),
       minima_(permutations, kEmpty) {
   if (permutations == 0) {
     throw std::invalid_argument("MinwiseSketch: need at least 1 permutation");
@@ -20,8 +20,9 @@ MinwiseSketch::MinwiseSketch(std::uint64_t universe_size,
 }
 
 void MinwiseSketch::update(std::uint64_t key) {
-  for (std::size_t j = 0; j < permutations_.size(); ++j) {
-    minima_[j] = std::min(minima_[j], permutations_[j](key));
+  const auto& family = *permutations_;
+  for (std::size_t j = 0; j < family.size(); ++j) {
+    minima_[j] = std::min(minima_[j], family[j](key));
   }
 }
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -76,7 +77,10 @@ class MinwiseSketch {
 
   std::uint64_t universe_size_;
   std::uint64_t seed_;
-  std::vector<util::LinearPermutation> permutations_;
+  /// Shared across every sketch with the same (universe, count, seed) via
+  /// util::shared_permutation_family — sketches are copied and deserialized
+  /// per handshake, and the family is the expensive immutable part.
+  std::shared_ptr<const std::vector<util::LinearPermutation>> permutations_;
   std::vector<std::uint64_t> minima_;
 };
 

@@ -1,6 +1,9 @@
 #include "util/permutation.hpp"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "util/prime.hpp"
 
@@ -53,6 +56,27 @@ std::vector<LinearPermutation> make_permutation_family(
     family.emplace_back(a, b, p);
   }
   return family;
+}
+
+std::shared_ptr<const std::vector<LinearPermutation>>
+shared_permutation_family(std::uint64_t universe_size, std::size_t count,
+                          std::uint64_t seed) {
+  using Key = std::tuple<std::uint64_t, std::size_t, std::uint64_t>;
+  static std::mutex mutex;
+  static std::map<Key, std::shared_ptr<const std::vector<LinearPermutation>>>
+      cache;
+  const Key key{universe_size, count, seed};
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (const auto it = cache.find(key); it != cache.end()) return it->second;
+  }
+  // Draw outside the lock — next_prime near 2^63 is the expensive part and
+  // the draw is deterministic, so a racing duplicate is identical and the
+  // first insert simply wins.
+  auto family = std::make_shared<const std::vector<LinearPermutation>>(
+      make_permutation_family(universe_size, count, seed));
+  std::lock_guard<std::mutex> lock(mutex);
+  return cache.try_emplace(key, std::move(family)).first->second;
 }
 
 }  // namespace icd::util

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "util/random.hpp"
@@ -53,5 +54,17 @@ class LinearPermutation {
 /// advance" is met without any communication.
 std::vector<LinearPermutation> make_permutation_family(
     std::uint64_t universe_size, std::size_t count, std::uint64_t seed);
+
+/// Process-wide cache over make_permutation_family, keyed by
+/// (universe_size, count, seed). Families are immutable once drawn and the
+/// key triple fully determines the draw, so every sketch over the same
+/// universe can share one family. This matters on the handshake receive
+/// path: MinwiseSketch::deserialize constructs a sketch per received
+/// summary, and rebuilding the family there costs a next_prime search plus
+/// `count` modular inversions per packet. Thread-safe; entries live for the
+/// process (distinct key triples are few — one per universe geometry).
+std::shared_ptr<const std::vector<LinearPermutation>>
+shared_permutation_family(std::uint64_t universe_size, std::size_t count,
+                          std::uint64_t seed);
 
 }  // namespace icd::util

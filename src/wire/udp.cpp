@@ -1,0 +1,296 @@
+#include "wire/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace icd::wire {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in make_addr(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("UdpSocket: bad IPv4 address: " + address);
+  }
+  return addr;
+}
+
+/// The kernel swallowed the datagram (ICMP unreachable from a peer that is
+/// not bound yet, or already gone). To the protocol this is link loss.
+bool is_unreachable(int error) {
+  return error == ECONNREFUSED || error == EHOSTUNREACH ||
+         error == ENETUNREACH;
+}
+
+/// Transient refusal: worth queueing the datagram and retrying.
+bool is_again(int error) {
+  return error == EAGAIN || error == EWOULDBLOCK || error == ENOBUFS ||
+         error == EINTR;
+}
+
+}  // namespace
+
+UdpSocket::~UdpSocket() { close(); }
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void UdpSocket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UdpSocket UdpSocket::bind(const std::string& address, std::uint16_t port) {
+  UdpSocket socket;
+  socket.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (socket.fd_ < 0) throw_errno("UdpSocket: socket");
+  const int flags = ::fcntl(socket.fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(socket.fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("UdpSocket: fcntl(O_NONBLOCK)");
+  }
+  const sockaddr_in addr = make_addr(address, port);
+  if (::bind(socket.fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    throw_errno("UdpSocket: bind");
+  }
+  return socket;
+}
+
+void UdpSocket::connect(const std::string& address, std::uint16_t port) {
+  const sockaddr_in addr = make_addr(address, port);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    throw_errno("UdpSocket: connect");
+  }
+}
+
+void UdpSocket::set_buffer_sizes(int bytes) {
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
+std::uint16_t UdpSocket::local_port() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("UdpSocket: getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+UdpTransport::UdpTransport(UdpSocket socket, std::size_t mtu,
+                           std::shared_ptr<BufferPool> pool)
+    : Transport(mtu, std::move(pool)), socket_(std::move(socket)) {
+  if (!socket_.valid()) {
+    throw std::invalid_argument("UdpTransport: socket not bound");
+  }
+  // One burst of full datagrams in each direction, with headroom: the
+  // default buffers on some kernels hold only a handful of 1400-byte
+  // datagrams, which turns loopback into a lossy link.
+  socket_.set_buffer_sizes(static_cast<int>(mtu + 64) * 4 * kBurst);
+}
+
+UdpTransport::~UdpTransport() {
+  // Give queued datagrams one last chance to depart; anything still stuck
+  // is link loss, which the accounting already recorded at send time.
+  pump();
+}
+
+bool UdpTransport::transmit(const std::vector<std::uint8_t>& frame) {
+  while (true) {
+    const auto n = ::send(socket_.fd(), frame.data(), frame.size(), 0);
+    if (n >= 0) {
+      ++udp_stats_.datagrams_sent;
+      return true;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool UdpTransport::send_datagram(std::vector<std::uint8_t> frame) {
+  // Queued datagrams must depart first to preserve frame order.
+  if (!tx_backlog_.empty()) pump();
+  if (tx_backlog_.empty() && transmit(frame)) {
+    release_buffer(std::move(frame));
+    return true;
+  }
+  const int error = errno;
+  if (tx_backlog_.empty() && is_unreachable(error)) {
+    // The network stack ate it — indistinguishable from channel loss, so
+    // the frame counts as sent (the same contract as LossyChannel drops).
+    ++udp_stats_.refused_sends;
+    release_buffer(std::move(frame));
+    return true;
+  }
+  if (!tx_backlog_.empty() || is_again(error)) {
+    ++udp_stats_.deferred_sends;
+    if (tx_backlog_.size() >= kMaxBacklog) {
+      ++udp_stats_.dropped_sends;
+      release_buffer(std::move(tx_backlog_.front()));
+      tx_backlog_.pop_front();
+    }
+    tx_backlog_.push_back(std::move(frame));
+    return true;  // handed to the link; a later drop is link loss
+  }
+  // EMSGSIZE and friends: the backend cannot carry this datagram at all.
+  release_buffer(std::move(frame));
+  return false;
+}
+
+bool UdpTransport::pump() {
+#ifdef __linux__
+  while (!tx_backlog_.empty()) {
+    mmsghdr msgs[kBurst]{};
+    iovec iovs[kBurst]{};
+    const std::size_t want = std::min(tx_backlog_.size(), kBurst);
+    for (std::size_t i = 0; i < want; ++i) {
+      auto& frame = tx_backlog_[i];
+      iovs[i].iov_base = frame.data();
+      iovs[i].iov_len = frame.size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int sent = ::sendmmsg(socket_.fd(), msgs,
+                                static_cast<unsigned>(want), 0);
+    if (sent > 0) {
+      udp_stats_.datagrams_sent += static_cast<std::size_t>(sent);
+      for (int i = 0; i < sent; ++i) {
+        release_buffer(std::move(tx_backlog_.front()));
+        tx_backlog_.pop_front();
+      }
+      if (static_cast<std::size_t>(sent) == want) continue;
+    }
+    const int error = errno;
+    if (sent <= 0 && is_unreachable(error)) {
+      ++udp_stats_.refused_sends;
+      release_buffer(std::move(tx_backlog_.front()));
+      tx_backlog_.pop_front();
+      continue;
+    }
+    break;  // EAGAIN or partial burst: the kernel is full, try later
+  }
+#else
+  while (!tx_backlog_.empty()) {
+    if (transmit(tx_backlog_.front())) {
+      release_buffer(std::move(tx_backlog_.front()));
+      tx_backlog_.pop_front();
+      continue;
+    }
+    if (is_unreachable(errno)) {
+      ++udp_stats_.refused_sends;
+      release_buffer(std::move(tx_backlog_.front()));
+      tx_backlog_.pop_front();
+      continue;
+    }
+    break;
+  }
+#endif
+  return tx_backlog_.empty();
+}
+
+std::size_t UdpTransport::drain() {
+  std::size_t arrived = 0;
+#ifdef __linux__
+  while (true) {
+    // Stage a burst of pooled buffers, each one byte over the MTU so an
+    // oversized datagram is detectable (and dropped) instead of silently
+    // truncated into a malformed frame.
+    std::vector<std::uint8_t> buffers[kBurst];
+    mmsghdr msgs[kBurst]{};
+    iovec iovs[kBurst]{};
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      buffers[i] = acquire_buffer();
+      buffers[i].resize(mtu() + 1);
+      iovs[i].iov_base = buffers[i].data();
+      iovs[i].iov_len = buffers[i].size();
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int got = ::recvmmsg(socket_.fd(), msgs,
+                               static_cast<unsigned>(kBurst), 0, nullptr);
+    const int error = errno;
+    if (got > 0) {
+      ++udp_stats_.recv_batches;
+      for (int i = 0; i < got; ++i) {
+        const std::size_t length = msgs[i].msg_len;
+        if (length > mtu()) {
+          ++udp_stats_.truncated_datagrams;
+          release_buffer(std::move(buffers[i]));
+          continue;
+        }
+        buffers[i].resize(length);
+        rx_.push_back(std::move(buffers[i]));
+        ++udp_stats_.datagrams_received;
+        ++arrived;
+      }
+      for (std::size_t i = static_cast<std::size_t>(got); i < kBurst; ++i) {
+        release_buffer(std::move(buffers[i]));
+      }
+      if (static_cast<std::size_t>(got) == kBurst) continue;
+      return arrived;
+    }
+    for (auto& buffer : buffers) release_buffer(std::move(buffer));
+    // ICMP unreachable surfaces here on connected sockets: consume it and
+    // keep draining — real datagrams may be queued behind it.
+    if (got < 0 && (is_unreachable(error) || error == EINTR)) continue;
+    return arrived;
+  }
+#else
+  while (true) {
+    auto buffer = acquire_buffer();
+    buffer.resize(mtu() + 1);
+    const auto n = ::recv(socket_.fd(), buffer.data(), buffer.size(), 0);
+    if (n < 0) {
+      release_buffer(std::move(buffer));
+      if (is_unreachable(errno) || errno == EINTR) continue;
+      return arrived;
+    }
+    ++udp_stats_.recv_batches;
+    if (static_cast<std::size_t>(n) > mtu()) {
+      ++udp_stats_.truncated_datagrams;
+      release_buffer(std::move(buffer));
+      continue;
+    }
+    buffer.resize(static_cast<std::size_t>(n));
+    rx_.push_back(std::move(buffer));
+    ++udp_stats_.datagrams_received;
+    ++arrived;
+  }
+#endif
+}
+
+std::optional<std::vector<std::uint8_t>> UdpTransport::next_datagram() {
+  if (rx_.empty()) drain();
+  if (rx_.empty()) return std::nullopt;
+  auto frame = std::move(rx_.front());
+  rx_.pop_front();
+  return frame;
+}
+
+}  // namespace icd::wire

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wire/transport.hpp"
+
+/// Real-network backend: the wire::Transport contract over non-blocking UDP.
+///
+/// Everything above this layer — endpoints, fragmentation, control-frame
+/// trains, byte accounting — is inherited unchanged from Transport, so a
+/// SenderEndpoint speaking through a UdpTransport produces byte-for-byte the
+/// same datagram stream as the same endpoint over an in-process Pipe with the
+/// same MTU and batch budget. That equivalence is what lets the multi-process
+/// swarm harness cross-check real runs against the simulator's prediction
+/// (see DESIGN.md, "Real-network backend").
+///
+/// The backend maps the repo's frame-train batching onto syscall batching:
+/// receive drains the socket with recvmmsg-sized bursts into pooled buffers,
+/// and sends the kernel refused with EAGAIN are queued and flushed with
+/// sendmmsg on the next pump(). Loopback smoke runs never hit either slow
+/// path, but a congested or netem-shaped link exercises both.
+namespace icd::wire {
+
+/// RAII wrapper for one non-blocking, connected UDP socket.
+///
+/// UDP "connect" only pins the default destination and filters inbound
+/// datagrams by source — there is no handshake — so bind-then-connect is
+/// safe before the far process exists. The price is asynchronous
+/// ECONNREFUSED from ICMP port-unreachable, which UdpTransport absorbs as
+/// link loss.
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Creates a non-blocking socket bound to address:port (port 0 picks an
+  /// ephemeral port; read it back with local_port). Throws std::system_error
+  /// on failure.
+  static UdpSocket bind(const std::string& address, std::uint16_t port);
+
+  /// Pins the default peer for send() and filters inbound datagrams.
+  void connect(const std::string& address, std::uint16_t port);
+
+  /// Grows SO_RCVBUF/SO_SNDBUF (best effort; the kernel may clamp).
+  void set_buffer_sizes(int bytes);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  std::uint16_t local_port() const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Backend-level counters, beneath the exact frame/byte accounting the base
+/// Transport keeps. Datagrams, not frames: one datagram may carry a train.
+struct UdpTransportStats {
+  std::size_t datagrams_sent = 0;
+  std::size_t datagrams_received = 0;
+  /// recvmmsg-style bursts that returned at least one datagram.
+  std::size_t recv_batches = 0;
+  /// Sends the kernel refused with EAGAIN, queued for a later pump().
+  std::size_t deferred_sends = 0;
+  /// Backlogged datagrams dropped on overflow — the link "lost" them, the
+  /// same contract as a LossyChannel drop (sent and byte-counted above).
+  std::size_t dropped_sends = 0;
+  /// Sends the network stack swallowed (ICMP port-unreachable from a peer
+  /// not yet bound, or already gone) — also charged as link loss.
+  std::size_t refused_sends = 0;
+  /// Inbound datagrams larger than the MTU, dropped before decode.
+  std::size_t truncated_datagrams = 0;
+};
+
+/// wire::Transport over one connected UDP socket.
+///
+/// Single-threaded like every Transport: drain(), pump() and the inherited
+/// send/receive surface must be called from the owning thread. The pooled
+/// receive path mirrors Pipe's: drain() resizes a pooled buffer to mtu+1
+/// (the extra byte detects truncation), recv()s into it, shrinks it to the
+/// datagram length and queues it; receive_frame() slices trains out of it
+/// and returns it to the pool on the next take.
+class UdpTransport : public Transport {
+ public:
+  /// Takes ownership of a bound (and usually connected) socket. A null pool
+  /// gets a private one — UDP ends live in different processes, so unlike
+  /// Pipe there is no pool to share across the link.
+  UdpTransport(UdpSocket socket, std::size_t mtu,
+               std::shared_ptr<BufferPool> pool = nullptr);
+  ~UdpTransport() override;
+
+  /// The fd for poll()/EventLoop::watch_fd.
+  int fd() const { return socket_.fd(); }
+  std::uint16_t local_port() const { return socket_.local_port(); }
+
+  /// Pulls every deliverable datagram out of the socket into the receive
+  /// queue (bursts of kBurst at a time). Returns how many arrived. Safe to
+  /// call opportunistically; next_datagram() also drains on demand.
+  std::size_t drain();
+
+  /// Retries EAGAIN-deferred datagrams with one sendmmsg-style burst.
+  /// Returns true when the backlog is empty afterwards.
+  bool pump();
+
+  /// No deferred sends waiting on the kernel.
+  bool tx_idle() const { return tx_backlog_.empty(); }
+
+  const UdpTransportStats& udp_stats() const { return udp_stats_; }
+
+  /// Datagrams recv() may burst per drain() round and sends per pump().
+  static constexpr std::size_t kBurst = 16;
+  /// Deferred datagrams kept before the oldest is dropped as link loss.
+  static constexpr std::size_t kMaxBacklog = 1024;
+
+ protected:
+  bool send_datagram(std::vector<std::uint8_t> frame) override;
+  std::optional<std::vector<std::uint8_t>> next_datagram() override;
+
+ private:
+  bool transmit(const std::vector<std::uint8_t>& frame);
+
+  UdpSocket socket_;
+  std::deque<std::vector<std::uint8_t>> rx_;
+  std::deque<std::vector<std::uint8_t>> tx_backlog_;
+  UdpTransportStats udp_stats_;
+};
+
+}  // namespace icd::wire
