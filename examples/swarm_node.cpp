@@ -121,6 +121,8 @@ int run_node(const core::SwarmSpec& spec, std::size_t node,
     json.add(prefix + "_frames_refused", half.stats.frames_refused);
     json.add(prefix + "_symbols_sent", half.symbols_sent);
     json.add(prefix + "_handshake_retries", half.handshake_retries);
+    json.add(prefix + "_session_failed",
+             std::size_t{half.session_failed ? 1u : 0u});
     json.add(prefix + "_pool_hit_rate", half.pool_hit_rate);
     json.add(prefix + "_datagrams_sent", half.udp.datagrams_sent);
     json.add(prefix + "_datagrams_received", half.udp.datagrams_received);
@@ -128,6 +130,7 @@ int run_node(const core::SwarmSpec& spec, std::size_t node,
     json.add(prefix + "_dropped_sends", half.udp.dropped_sends);
     json.add(prefix + "_refused_sends", half.udp.refused_sends);
     json.add(prefix + "_truncated_datagrams", half.udp.truncated_datagrams);
+    json.add(prefix + "_injected_drops", half.udp.injected_drops);
   }
   if (!json.write(out_path)) {
     std::fprintf(stderr, "swarm_node: cannot write %s\n", out_path.c_str());

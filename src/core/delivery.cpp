@@ -11,7 +11,8 @@ namespace icd::core {
 ContentDeliveryService::ContentDeliveryService(
     std::vector<std::uint8_t> content, DeliveryOptions options)
     : content_(std::move(content)), options_(options),
-      next_session_seed_(util::mix64(options.session_seed ^ 0x5e551075ULL)) {
+      next_session_seed_(util::mix64(options.session_seed ^ 0x5e551075ULL)),
+      faults_(options.faults) {
   origins_.push_back(std::make_unique<OriginServer>(
       content_, options_.block_size,
       delivery_distribution(content_.size(), options_.block_size),
@@ -54,18 +55,22 @@ void ContentDeliveryService::refresh_sessions() {
         // them), then bank the wire costs of the links about to be retired
         // so cumulative accounting (link_totals) survives.
         for (auto& [sender_id, download] : peers_[me].downloads) {
-          download->link.flush();
-          download->receiver.tick();
-          accumulate_link(*download, retired_link_totals_);
+          teardown_download(*download);
         }
         peers_[me].downloads.clear();
       },
       /*is_complete=*/
-      [this](std::size_t me) { return peers_[me].peer->has_content(); },
+      [this](std::size_t me) {
+        // A down peer plans nothing this refresh — it rejoins (session
+        // resumption with its surviving working set) at the first refresh
+        // after its restart.
+        return peers_[me].peer->has_content() || faults_.down(me, ticks_);
+      },
       /*snapshot=*/
       [this](std::size_t j) {
         return PlanPeer{&peers_[j].peer->sketch(),
-                        peers_[j].peer->symbol_count()};
+                        peers_[j].peer->symbol_count(),
+                        !faults_.unavailable(j, ticks_)};
       },
       /*create=*/
       [this](std::size_t me, PlannedDownload& planned) {
@@ -80,23 +85,39 @@ void ContentDeliveryService::refresh_sessions() {
 }
 
 std::size_t ContentDeliveryService::tick() {
+  // The tick index is the virtual time every timed link advances to.
+  const std::uint64_t now = ticks_;
+  // Fault application precedes the refresh so crashed peers are excluded
+  // from (and flash-crowd joiners included in) a refresh due this tick.
+  if (faults_.active()) apply_faults(now);
   if (ticks_ % std::max<std::size_t>(1, options_.refresh_interval) == 0) {
     refresh_sessions();
   }
-  // The tick index is the virtual time every timed link advances to.
-  const std::uint64_t now = ticks_;
   ++ticks_;
 
   std::size_t completed_now = 0;
-  for (PeerEntry& entry : peers_) {
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    PeerEntry& entry = peers_[i];
     if (entry.peer->has_content()) continue;
+    // A down (crashed or stalled) peer is frozen: no origin feed, and its
+    // own downloads are not serviced. Its receivers-on-other-peers keep
+    // running and discover the silence via their liveness timeouts.
+    if (faults_.active() && faults_.down(i, now)) continue;
     // Origin feed: one fresh symbol per tick for subscribers.
     if (entry.origin_fed) {
       entry.peer->receive_encoded(origins_[entry.origin_index]->next());
     }
+    if (faults_.any_blackouts()) {
+      for (auto& [sender_id, download] : entry.downloads) {
+        download->link.set_blackout(faults_.blackout(sender_id, i, now));
+      }
+    }
     service_downloads(entry, now);
     if (entry.peer->has_content()) ++completed_now;
   }
+  // Failure sweep before the completion stamps: sessions whose receivers
+  // flagged a dead sender this tick are retired at the tick they failed.
+  if (failure_detection_enabled()) sweep_failed_downloads(ticks_);
   // Completion stamps (covers peers finished by a refresh teardown too);
   // the global clock follows the tick index.
   for (PeerEntry& entry : peers_) {
@@ -106,6 +127,53 @@ std::size_t ContentDeliveryService::tick() {
   }
   loop_.advance_to(ticks_);
   return completed_now;
+}
+
+void ContentDeliveryService::apply_faults(std::uint64_t now) {
+  faults_.apply_until(
+      now,
+      /*on_crash=*/
+      [this](std::size_t peer) {
+        if (peer >= peers_.size()) return;
+        // The crash kills the peer's live sessions (wire costs banked) but
+        // not its decoded content: a later restart rejoins holding the
+        // partial working set and re-handshakes with its current summary.
+        for (auto& [sender_id, download] : peers_[peer].downloads) {
+          teardown_download(*download);
+        }
+        peers_[peer].downloads.clear();
+      },
+      /*on_join=*/
+      [this](std::size_t count, bool origin_fed) {
+        for (std::size_t n = 0; n < count; ++n) {
+          add_peer("join" + std::to_string(peers_.size()), origin_fed);
+        }
+      });
+}
+
+void ContentDeliveryService::sweep_failed_downloads(std::uint64_t now) {
+  for (PeerEntry& entry : peers_) {
+    for (auto it = entry.downloads.begin(); it != entry.downloads.end();) {
+      const ReceiverEndpoint& receiver = it->second->receiver;
+      if (!receiver.failed() && !receiver.sender_suspect()) {
+        ++it;
+        continue;
+      }
+      const auto reason = receiver.failed()
+                              ? FailedPeer::Reason::kHandshakeExhausted
+                              : FailedPeer::Reason::kLivenessTimeout;
+      teardown_download(*it->second);
+      entry.failed_peers.push_back(FailedPeer{it->first, now, reason});
+      faults_.mark_suspect(it->first, now + suspect_ttl());
+      it = entry.downloads.erase(it);
+    }
+  }
+}
+
+void ContentDeliveryService::teardown_download(DownloadLink& download) {
+  download.link.flush();
+  download.receiver.tick();
+  accumulate_link(download, retired_link_totals_);
 }
 
 void ContentDeliveryService::service_downloads(PeerEntry& entry,
@@ -128,8 +196,15 @@ void ContentDeliveryService::service_downloads(PeerEntry& entry,
     // for reorder_rate even though both sides drain every tick.
     for (auto& [sender_id, download] : entry.downloads) {
       if (entry.peer->has_content()) break;
-      download->sender.tick();
-      download->sender.send_symbol();
+      // A down sender goes silent mid-session: its endpoint is frozen
+      // while the receiver keeps ticking, so the receiver's liveness
+      // clock (and handshake retry budget) does the failure detection.
+      const bool sender_down =
+          faults_.active() && faults_.down(sender_id, now);
+      if (!sender_down) {
+        download->sender.tick();
+        download->sender.send_symbol();
+      }
       download->receiver.tick();
     }
     return;
@@ -146,6 +221,7 @@ void ContentDeliveryService::service_downloads(PeerEntry& entry,
     download->link.advance_to(now);
     LinkTimes times;
     times.timed = download->link.timed();
+    times.sender_down = faults_.active() && faults_.down(sender_id, now);
     if (times.timed) {
       times.next_arrival = download->link.next_arrival_at();
       times.send_credit_at = download->link.a_send_ready_at(hint);
@@ -161,9 +237,14 @@ void ContentDeliveryService::service_downloads(PeerEntry& entry,
   while (auto event = loop_.pop_due(now)) {
     if (entry.peer->has_content()) break;
     DownloadLink& download = *entry.downloads.at(event->key);
-    download.sender.tick();
-    if (!download.link.timed() || download.link.a_send_ready_at(hint) <= now) {
-      download.sender.send_symbol();
+    const bool sender_down =
+        faults_.active() && faults_.down(event->key, now);
+    if (!sender_down) {
+      download.sender.tick();
+      if (!download.link.timed() ||
+          download.link.a_send_ready_at(hint) <= now) {
+        download.sender.send_symbol();
+      }
     }
     download.receiver.advance_to(now);
     download.receiver.tick();
@@ -179,6 +260,9 @@ std::optional<std::uint64_t> ContentDeliveryService::next_event_time() {
     PeerEntry& entry = peers_[i];
     if (entry.peer->has_content()) continue;
     any_incomplete = true;
+    // A down peer is frozen until a fault boundary (restart / stall end)
+    // wakes it — scheduled below via kPeerFault, never per-link.
+    if (faults_.active() && faults_.down(i, now)) continue;
     // The origin fountain streams one symbol per tick to an incomplete
     // subscriber: every tick is an event while one exists.
     if (entry.origin_fed) {
@@ -188,6 +272,7 @@ std::optional<std::uint64_t> ContentDeliveryService::next_event_time() {
     for (auto& [sender_id, download] : entry.downloads) {
       LinkTimes times;
       times.timed = download->link.timed();
+      times.sender_down = faults_.active() && faults_.down(sender_id, now);
       if (times.timed) {
         times.next_arrival = download->link.next_event_time();
         times.send_credit_at = download->link.a_send_ready_at(hint);
@@ -196,8 +281,14 @@ std::optional<std::uint64_t> ContentDeliveryService::next_event_time() {
                                times, now, sender_id);
     }
   }
+  // Fault boundaries are planning barriers: the jump may never cross a
+  // crash/restart/join tick or a stall/blackout window edge, so jumped
+  // and lockstep runs apply faults at identical ticks.
+  if (const auto boundary = faults_.next_boundary_after(now)) {
+    loop_.schedule(*boundary, EventKind::kPeerFault, 0);
+  }
   return finish_event_planning(loop_, now, options_.refresh_interval,
-                               any_incomplete);
+                               any_incomplete || faults_.pending_joins());
 }
 
 bool ContentDeliveryService::run(std::size_t max_ticks) {
@@ -210,7 +301,9 @@ bool ContentDeliveryService::run_until(std::uint64_t deadline) {
     const bool all = std::all_of(
         peers_.begin(), peers_.end(),
         [](const PeerEntry& e) { return e.peer->has_content(); });
-    if (all) return true;
+    // "All done" is only final once no flash crowd is still scheduled to
+    // arrive — a pending join re-opens the swarm.
+    if (all && !faults_.pending_joins()) return true;
     if (!options_.jump_empty_ticks) continue;
     // All-untimed swarms can never open a span (untimed downloads are
     // due every tick), so skip the planning rebuild outright and keep

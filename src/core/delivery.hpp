@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -11,6 +12,7 @@
 #include "core/admission.hpp"
 #include "core/endpoint.hpp"
 #include "core/event_loop.hpp"
+#include "core/fault_plan.hpp"
 #include "core/origin.hpp"
 #include "core/peer.hpp"
 #include "wire/transport.hpp"
@@ -72,6 +74,29 @@ struct DeliveryOptions {
   /// above the worst round-trip delay, or every in-flight reply triggers
   /// a redundant bundle re-send.
   std::size_t handshake_retry_ticks = 8;
+
+  // --- Fault tolerance (all inert by default; see DESIGN.md, "Failure
+  // model") ----------------------------------------------------------------
+  /// Declarative fault schedule (peer crash/stall/restart, flash-crowd
+  /// joins, link blackout windows), honored identically by both engines.
+  /// Null = no faults, all machinery bypassed on the hot path.
+  std::shared_ptr<const FaultPlan> faults;
+  /// Sender-liveness timeout for every download session: mid-transfer
+  /// silence past this many ticks flags the sender suspect; the engine
+  /// tears the session down, records it in SessionResult::failed_peers,
+  /// and excludes the sender from admission for suspect_ttl_ticks.
+  /// 0 = disabled.
+  std::size_t liveness_timeout_ticks = 0;
+  /// Capped exponential backoff on handshake retries (see
+  /// SessionOptions). factor 1 = historical fixed cadence.
+  std::size_t handshake_backoff_factor = 1;
+  std::size_t handshake_backoff_cap_ticks = 0;
+  /// Handshake retry budget per session; on exhaustion the session fails
+  /// with a diagnostic instead of retrying forever. 0 = unbounded.
+  std::size_t max_handshake_retries = 0;
+  /// How long a suspect peer stays excluded from admission candidate
+  /// pools. 0 = one refresh_interval.
+  std::size_t suspect_ttl_ticks = 0;
   /// run()/run_until() jump the virtual clock across tick spans in which
   /// provably nothing can happen (no refresh due, no origin feed, no
   /// frame arrival, send credit, or handshake retry on any active link).
@@ -128,6 +153,17 @@ class ContentDeliveryService {
   const codec::CodeParameters& parameters() const {
     return origins_.front()->parameters();
   }
+  /// Per-receiver session outcome: completion plus every download session
+  /// the engine abandoned for this receiver (liveness timeout, handshake
+  /// retry exhaustion) — the "my sender died" diagnostic surface.
+  SessionResult session_result(std::size_t id) const {
+    const PeerEntry& entry = peers_.at(id);
+    return SessionResult{entry.peer->has_content(), entry.completed_tick,
+                         entry.failed_peers};
+  }
+  /// Whether the peer is currently down (crashed or stalled) under the
+  /// fault plan.
+  bool peer_down(std::size_t id) const { return faults_.down(id, ticks_); }
   /// Scheduler-ordered link services executed (timed service path pops).
   std::uint64_t events_processed() const { return loop_.events_processed(); }
   /// Virtual ticks run_until() jumped over without executing.
@@ -197,9 +233,34 @@ class ContentDeliveryService {
     std::map<std::size_t, std::unique_ptr<DownloadLink>> downloads;
     /// Virtual tick of first completion (0 = incomplete).
     std::size_t completed_tick = 0;
+    /// Download sessions abandoned for this receiver (diagnostics).
+    std::vector<FailedPeer> failed_peers;
   };
 
   void refresh_sessions();
+  /// Top-of-tick fault application: due crashes tear the crashed peer's
+  /// own downloads down (banking wire costs; its decoded content
+  /// survives for rejoin), due joins add fresh peers, and blackout
+  /// windows toggle on the affected links.
+  void apply_faults(std::uint64_t now);
+  /// End-of-tick sweep: downloads whose receiver flagged its sender
+  /// suspect (liveness) or exhausted its retry budget are torn down,
+  /// recorded in failed_peers, and the sender marked suspect for
+  /// admission. Runs only when liveness/retry bounding is enabled.
+  void sweep_failed_downloads(std::uint64_t now);
+  /// Graceful single-download teardown shared by refresh, crash, and the
+  /// failure sweep: flush in-flight frames, final receiver drain, bank
+  /// wire costs.
+  void teardown_download(DownloadLink& download);
+  bool failure_detection_enabled() const {
+    return options_.liveness_timeout_ticks > 0 ||
+           options_.max_handshake_retries > 0;
+  }
+  std::uint64_t suspect_ttl() const {
+    return options_.suspect_ttl_ticks > 0
+               ? options_.suspect_ttl_ticks
+               : std::max<std::size_t>(1, options_.refresh_interval);
+  }
   /// The earliest virtual tick >= ticks_ at which a lockstep tick would
   /// not be a no-op: the next refresh, an origin feed (every tick while a
   /// fed peer is incomplete), or any active download's next frame
@@ -222,6 +283,8 @@ class ContentDeliveryService {
   std::uint64_t next_session_seed_;
   /// Wire stats of links already torn down by refresh_sessions().
   LinkTotals retired_link_totals_;
+  /// Fault bookkeeping (inert when options_.faults is null).
+  FaultTracker faults_;
   /// The discrete-event core: global virtual clock + (time, kind, key)
   /// queue, reused both for per-tick service ordering (rebuilt per peer)
   /// and for the cross-tick planning that lets run_until jump empty

@@ -74,11 +74,26 @@ std::size_t ReceiverEndpoint::tick() {
   if (!started_) {
     throw std::logic_error("ReceiverEndpoint::tick before start");
   }
+  // Elapsed quiet credit for this service: one call on the call-counting
+  // clock, the virtual span since the last service once advance_to() has
+  // armed the virtual clock — identical under a lockstep driver, credited
+  // in one step by a jumping driver whose skipped ticks were provably
+  // quiet. Computed up front so both the handshake retry clock and the
+  // transfer liveness clock share one definition of "elapsed".
+  std::size_t elapsed = 1;
+  if (clock_) {
+    if (serviced_at_ && *clock_ > *serviced_at_) {
+      elapsed = static_cast<std::size_t>(*clock_ - *serviced_at_);
+    }
+    serviced_at_ = *clock_;
+  }
   std::size_t gained = 0;
+  std::size_t frames_seen = 0;
   // Zero-copy drain: symbol frames arrive as views into the transport's
   // receive buffer and are copied exactly once, into the peer's decoder;
   // only control frames materialize owning Messages.
   while (auto frame = transport_.receive_frame()) {
+    ++frames_seen;
     std::size_t got = 0;
     bool was_symbol = true;
     if (auto* encoded = std::get_if<codec::EncodedSymbolView>(&*frame)) {
@@ -136,24 +151,35 @@ std::size_t ReceiverEndpoint::tick() {
   // bundle periodically — any piece of it may have been lost. The clock
   // deliberately ignores arriving traffic: symbols can already be
   // streaming while the (lost) reply is what keeps us out of kTransfer.
-  // On the virtual clock (advance_to) the quiet count is the elapsed
-  // virtual span since the last service — identical to the call counter
-  // under a lockstep driver, and credited in one step by a jumping driver
-  // whose skipped ticks were all provably quiet. A service with a stale
-  // clock (teardown ticks) counts as one quiet tick, as it always has.
-  if (phase_ != EndpointPhase::kTransfer) {
-    std::size_t elapsed = 1;
-    if (clock_) {
-      if (serviced_at_ && *clock_ > *serviced_at_) {
-        elapsed = static_cast<std::size_t>(*clock_ - *serviced_at_);
-      }
-      serviced_at_ = *clock_;
-    }
+  // A service with a stale clock (teardown ticks) counts as one quiet
+  // tick, as it always has. Each retry stretches the cadence by the
+  // backoff factor (capped); an exhausted retry budget fails the session
+  // instead of retrying forever against a permanently dead sender.
+  if (phase_ != EndpointPhase::kTransfer && !failed_) {
     quiet_ticks_ += elapsed;
-    if (quiet_ticks_ >= options_.handshake_retry_ticks) {
-      quiet_ticks_ = 0;
-      ++handshake_retries_;
-      send_bundle();
+    if (quiet_ticks_ >= retry_interval()) {
+      if (options_.max_handshake_retries > 0 &&
+          handshake_retries_ >= options_.max_handshake_retries) {
+        failed_ = true;
+      } else {
+        quiet_ticks_ = 0;
+        ++handshake_retries_;
+        send_bundle();
+      }
+    }
+  }
+  // Sender-liveness: in transfer, silence past the timeout flags the
+  // sender suspect. Any arriving frame — data or control — is evidence of
+  // life; a satisfied receiver expects silence and never suspects.
+  if (options_.liveness_timeout_ticks > 0 &&
+      phase_ == EndpointPhase::kTransfer && !satisfied()) {
+    if (frames_seen > 0) {
+      quiet_transfer_ticks_ = 0;
+    } else {
+      quiet_transfer_ticks_ += elapsed;
+      if (quiet_transfer_ticks_ >= options_.liveness_timeout_ticks) {
+        sender_suspect_ = true;
+      }
     }
   }
   if (options_.flow_control && phase_ == EndpointPhase::kTransfer) {

@@ -54,6 +54,23 @@ struct SessionOptions {
   /// links, set this above the round-trip delay or every in-flight reply
   /// triggers a redundant retry (harmless but wasteful).
   std::size_t handshake_retry_ticks = 8;
+  /// Capped exponential backoff on the retry cadence: retry k waits
+  /// handshake_retry_ticks * factor^k quiet ticks (clamped to
+  /// handshake_backoff_cap_ticks when that is nonzero). 1 = the
+  /// historical fixed cadence, bit-for-bit.
+  std::size_t handshake_backoff_factor = 1;
+  /// Upper bound on one backoff interval (0 = uncapped growth).
+  std::size_t handshake_backoff_cap_ticks = 0;
+  /// Retry budget: after this many handshake retries without a reply the
+  /// receiver declares the session failed() and stops re-sending —
+  /// a permanently dead sender can no longer hold a receiver forever.
+  /// 0 = retry indefinitely (historical).
+  std::size_t max_handshake_retries = 0;
+  /// Sender-liveness timeout: in transfer, if no frame arrives within
+  /// this many (virtual) ticks the receiver flags its sender suspect
+  /// (sender_suspect()) so the engine can tear the session down and
+  /// reroute. 0 = disabled (historical).
+  std::size_t liveness_timeout_ticks = 0;
   /// Flow control: when true the receiver re-issues its request as
   /// wire::RequestUpdate frames with the decremented remaining count every
   /// `flow_update_symbols` new encoded symbols, plus a final
@@ -119,16 +136,40 @@ class ReceiverEndpoint {
 
   /// The virtual tick at which the handshake retry will fire if nothing
   /// arrives — the event a jumping driver must wake for. nullopt while
-  /// in transfer (no retries), before the first virtual-clock service
+  /// in transfer (no retries), after retry exhaustion (failed() — no
+  /// further retries ever), before the first virtual-clock service
   /// (no baseline yet — treat as due now), or on the call-counting clock.
   std::optional<std::uint64_t> retry_due_at() const {
-    if (phase_ == EndpointPhase::kTransfer || !serviced_at_) {
+    if (phase_ == EndpointPhase::kTransfer || failed_ || !serviced_at_) {
       return std::nullopt;
     }
-    return *serviced_at_ + (options_.handshake_retry_ticks > quiet_ticks_
-                                ? options_.handshake_retry_ticks - quiet_ticks_
-                                : 1);
+    const std::size_t interval = retry_interval();
+    return *serviced_at_ +
+           (interval > quiet_ticks_ ? interval - quiet_ticks_ : 1);
   }
+
+  /// The virtual tick at which the sender-liveness timeout expires if the
+  /// link stays silent — the kLivenessProbe event. nullopt when liveness
+  /// is disabled, outside transfer, already satisfied, already flagged,
+  /// or on the call-counting clock (no virtual baseline).
+  std::optional<std::uint64_t> liveness_due_at() const {
+    if (options_.liveness_timeout_ticks == 0 ||
+        phase_ != EndpointPhase::kTransfer || sender_suspect_ ||
+        satisfied() || !serviced_at_) {
+      return std::nullopt;
+    }
+    return *serviced_at_ +
+           (options_.liveness_timeout_ticks > quiet_transfer_ticks_
+                ? options_.liveness_timeout_ticks - quiet_transfer_ticks_
+                : 1);
+  }
+
+  /// The sender has been silent past liveness_timeout_ticks mid-transfer:
+  /// the engine should treat it as departed and reroute this receiver.
+  bool sender_suspect() const { return sender_suspect_; }
+  /// The handshake retry budget (max_handshake_retries) is exhausted: the
+  /// session can never establish and should be failed with a diagnostic.
+  bool failed() const { return failed_; }
 
   EndpointPhase phase() const { return phase_; }
   bool transfer_started() const { return phase_ == EndpointPhase::kTransfer; }
@@ -162,6 +203,20 @@ class ReceiverEndpoint {
  private:
   void send_bundle();
   void maybe_send_flow_update();
+  /// Current retry interval under the capped exponential backoff: the
+  /// base cadence times factor^retries, clamped to the cap. Factor 1
+  /// (default) reproduces the historical fixed cadence exactly.
+  std::size_t retry_interval() const {
+    std::size_t interval = options_.handshake_retry_ticks;
+    if (options_.handshake_backoff_factor > 1) {
+      const std::size_t cap = options_.handshake_backoff_cap_ticks;
+      for (std::size_t k = 0; k < handshake_retries_; ++k) {
+        interval *= options_.handshake_backoff_factor;
+        if (cap > 0 && interval >= cap) return cap;
+      }
+    }
+    return interval;
+  }
 
   Peer& peer_;
   SessionOptions options_;
@@ -184,6 +239,11 @@ class ReceiverEndpoint {
   bool containment_estimated_ = false;
   double estimated_containment_ = 0.0;
   std::size_t quiet_ticks_ = 0;
+  /// Liveness clock: quiet (virtual) ticks in transfer since the last
+  /// arriving frame; any frame resets it.
+  std::size_t quiet_transfer_ticks_ = 0;
+  bool sender_suspect_ = false;
+  bool failed_ = false;
   /// Virtual clock (advance_to): time of the upcoming tick(), and the time
   /// of the last tick() that ran — their difference is how many lockstep
   /// services a jumping driver skipped, all provably quiet.

@@ -101,6 +101,14 @@ std::size_t data_frame_bytes_hint(std::size_t block_size) {
   return block_size + 64;
 }
 
+namespace {
+
+inline void fold_min(std::optional<std::uint64_t>& at, std::uint64_t t) {
+  at = at ? std::min(*at, t) : t;
+}
+
+}  // namespace
+
 std::optional<std::uint64_t> next_service_time(const SenderEndpoint& sender,
                                                const ReceiverEndpoint& receiver,
                                                const LinkTimes& times,
@@ -110,8 +118,13 @@ std::optional<std::uint64_t> next_service_time(const SenderEndpoint& sender,
   // bundle pieces may still be crossing the (delayed) link.
   if (!receiver.transfer_started() || !sender.transfer_active()) return now;
   std::optional<std::uint64_t> at = times.next_arrival;
-  if (!sender.satisfied() && times.send_credit_at) {
-    at = at ? std::min(*at, *times.send_credit_at) : *times.send_credit_at;
+  if (!times.sender_down && !sender.satisfied() && times.send_credit_at) {
+    fold_min(at, *times.send_credit_at);
+  }
+  // Sender-liveness: the receiver must be serviced at its expiry tick even
+  // if the link is silent — that service is what trips the suspect flag.
+  if (const auto liveness = receiver.liveness_due_at()) {
+    fold_min(at, *liveness);
   }
   return at;
 }
@@ -146,23 +159,33 @@ void schedule_download_events(EventLoop& loop, const SenderEndpoint& sender,
     // Handshaking: between arrivals the observable work is the receiver's
     // retry clock, which fires at a known virtual tick. A receiver that
     // has not yet been serviced under the virtual clock reports no
-    // deadline and is conservatively due now.
-    const auto retry = receiver.retry_due_at();
-    loop.schedule(std::max(retry.value_or(now), now),
-                  EventKind::kHandshakeRetry, key);
+    // deadline and is conservatively due now. A receiver that exhausted
+    // its retry budget (failed()) has no future retry — the engine tears
+    // the session down; scheduling nothing is what lets the span close.
+    if (!receiver.failed()) {
+      const auto retry = receiver.retry_due_at();
+      loop.schedule(std::max(retry.value_or(now), now),
+                    EventKind::kHandshakeRetry, key);
+    }
     // A sender already in transfer (its reply still crossing toward the
     // receiver) streams on every credit tick of this window, exactly as
     // the lockstep loop drives it.
-    if (sender.transfer_active() && !sender.satisfied() &&
-        times.send_credit_at) {
+    if (!times.sender_down && sender.transfer_active() &&
+        !sender.satisfied() && times.send_credit_at) {
       loop.schedule(std::max(*times.send_credit_at, now),
                     EventKind::kSendCredit, key);
     }
     return;
   }
-  if (!sender.satisfied() && times.send_credit_at) {
+  if (!times.sender_down && !sender.satisfied() && times.send_credit_at) {
     loop.schedule(std::max(*times.send_credit_at, now), EventKind::kSendCredit,
                   key);
+  }
+  // Sender-liveness expiry is a real event: the service at that tick is
+  // what declares the silent sender suspect, so a jumping driver must not
+  // skip past it.
+  if (const auto liveness = receiver.liveness_due_at()) {
+    loop.schedule(std::max(*liveness, now), EventKind::kLivenessProbe, key);
   }
   // A drained link whose sender is satisfied schedules nothing: the
   // receiver's flow-control re-issues ride arrival services, so with no

@@ -44,6 +44,12 @@ enum class EventKind : std::uint8_t {
   kSendCredit = 4,      // the token bucket grants one data frame
   kFlowUpdate = 5,      // RequestUpdate re-issue (rides arrival services)
   kService = 6,         // per-tick link service slot (engines' pop loop)
+  // Appended after kService so historical intra-tick tie-breaks are
+  // untouched; both kinds are cross-tick planning barriers, executed at
+  // the top of the tick they land on.
+  kPeerFault = 7,       // a FaultPlan boundary (crash/stall/restart/join/
+                        // blackout edge) falls on this tick
+  kLivenessProbe = 8,   // a receiver's sender-liveness timeout expires
 };
 
 struct Event {
@@ -150,6 +156,10 @@ struct LinkTimes {
   std::optional<std::uint64_t> next_arrival;
   /// Earliest departure credit for one data frame (token bucket).
   std::optional<std::uint64_t> send_credit_at;
+  /// The serving peer is crashed or stalled (FaultPlan): the engine will
+  /// not run the sender half, so send-credit events are meaningless; the
+  /// receiver is serviced for arrivals, retries, and liveness expiry only.
+  bool sender_down = false;
 };
 
 /// Estimated wire size of one data-plane frame, used for the send-credit

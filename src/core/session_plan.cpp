@@ -51,7 +51,9 @@ std::vector<PlannedDownload> plan_peer_downloads(
     std::uint64_t& session_seed_chain) {
   std::vector<CandidateSender> candidates;
   for (std::size_t j = 0; j < peers.size(); ++j) {
-    if (j == me || peers[j].symbol_count == 0) continue;
+    if (j == me || peers[j].symbol_count == 0 || !peers[j].available) {
+      continue;
+    }
     candidates.push_back(
         CandidateSender{j, peers[j].sketch, peers[j].symbol_count});
   }
@@ -107,6 +109,12 @@ std::vector<PlannedDownload> plan_peer_downloads(
     download.session.strategy = options.strategy;
     download.session.flow_control = options.flow_control;
     download.session.handshake_retry_ticks = options.handshake_retry_ticks;
+    download.session.handshake_backoff_factor =
+        options.handshake_backoff_factor;
+    download.session.handshake_backoff_cap_ticks =
+        options.handshake_backoff_cap_ticks;
+    download.session.max_handshake_retries = options.max_handshake_retries;
+    download.session.liveness_timeout_ticks = options.liveness_timeout_ticks;
     download.session.requested_symbols = std::max<std::size_t>(
         1, (needed * 5 / 4) / std::max<std::size_t>(1, selected.size()));
     download.session.seed = session_seed_chain =

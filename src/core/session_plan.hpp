@@ -24,6 +24,10 @@ struct DeliveryOptions;
 struct PlanPeer {
   const sketch::MinwiseSketch* sketch = nullptr;
   std::size_t symbol_count = 0;
+  /// False when the peer may not serve right now — crashed, stalled, or
+  /// under liveness suspicion (see core::FaultTracker). Unavailable peers
+  /// are skipped as candidates but still plan their own downloads.
+  bool available = true;
 };
 
 /// One download the plan tells the engine to create.

@@ -15,7 +15,8 @@ ShardedDelivery::ShardedDelivery(std::vector<std::uint8_t> content,
       shards_(std::max<std::size_t>(1, shard_options.shards)),
       batch_budget_(shard_options.batch_budget),
       shard_work_(shards_),
-      next_session_seed_(util::mix64(options.session_seed ^ 0x5e551075ULL)) {
+      next_session_seed_(util::mix64(options.session_seed ^ 0x5e551075ULL)),
+      faults_(options.faults) {
   origins_.push_back(std::make_unique<OriginServer>(
       content_, options_.block_size,
       delivery_distribution(content_.size(), options_.block_size),
@@ -79,25 +80,22 @@ void ShardedDelivery::refresh_sessions() {
       /*teardown=*/
       [this](std::size_t me) {
         for (auto& [sender_id, download] : peers_[me].downloads) {
-          // Ship pending control trains first so their bytes are
-          // accounted, then deliver frames still in flight and bank the
-          // link's costs.
-          flush_batches(*download);
-          download->flush_link();
-          download->receiver->tick();
-          // The teardown tick may have batched a retry bundle; ship it so
-          // the retiring link's accounting matches the unbatched engine.
-          flush_batches(*download);
-          accumulate_link(*download, retired_link_totals_);
+          teardown_download(*download);
         }
         peers_[me].downloads.clear();
       },
       /*is_complete=*/
-      [this](std::size_t me) { return peers_[me].peer->has_content(); },
+      [this](std::size_t me) {
+        // A down peer plans nothing this refresh — it rejoins (session
+        // resumption with its surviving working set) at the first refresh
+        // after its restart.
+        return peers_[me].peer->has_content() || faults_.down(me, ticks_);
+      },
       /*snapshot=*/
       [this](std::size_t j) {
         return PlanPeer{&peers_[j].peer->sketch(),
-                        peers_[j].peer->symbol_count()};
+                        peers_[j].peer->symbol_count(),
+                        !faults_.unavailable(j, ticks_)};
       },
       /*create=*/
       [this](std::size_t me, PlannedDownload& planned) {
@@ -128,8 +126,14 @@ void ShardedDelivery::refresh_sessions() {
                                      std::move(download));
       });
 
-  // Rebuild the cross-sender worklists in (receiver, sender) order and
-  // hand the pools back to whichever thread uses them next.
+  // Rebuild the cross-sender worklists and hand the pools back to
+  // whichever thread uses them next.
+  rebuild_cross_senders();
+  release_pool_owners();
+}
+
+void ShardedDelivery::rebuild_cross_senders() {
+  // (receiver, sender) order, as the per-peer download maps iterate.
   for (ShardWork& work : shard_work_) work.cross_senders.clear();
   for (PeerEntry& entry : peers_) {
     for (auto& [sender_id, download] : entry.downloads) {
@@ -139,7 +143,72 @@ void ShardedDelivery::refresh_sessions() {
       }
     }
   }
-  release_pool_owners();
+}
+
+void ShardedDelivery::teardown_download(Download& download) {
+  // Ship pending control trains first so their bytes are accounted, then
+  // deliver frames still in flight and bank the link's costs. The
+  // teardown tick may batch a retry bundle; ship that too so the retiring
+  // link's accounting matches the unbatched engine.
+  flush_batches(download);
+  download.flush_link();
+  download.receiver->tick();
+  flush_batches(download);
+  accumulate_link(download, retired_link_totals_);
+}
+
+void ShardedDelivery::apply_faults(std::uint64_t now) {
+  bool any_crash = false;
+  faults_.apply_until(
+      now,
+      /*on_crash=*/
+      [this, &any_crash](std::size_t peer) {
+        if (peer >= peers_.size()) return;
+        any_crash = true;
+        // Coordinator stands in for the shard threads during the
+        // teardown ticks; the workers are parked between pool runs.
+        release_pool_owners();
+        for (auto& [sender_id, download] : peers_[peer].downloads) {
+          teardown_download(*download);
+        }
+        peers_[peer].downloads.clear();
+        release_pool_owners();
+      },
+      /*on_join=*/
+      [this](std::size_t count, bool origin_fed) {
+        for (std::size_t n = 0; n < count; ++n) {
+          add_peer("join" + std::to_string(peers_.size()), origin_fed);
+        }
+      });
+  // Crashed peers' downloads may have been cross-shard: drop the dangling
+  // worklist entries.
+  if (any_crash) rebuild_cross_senders();
+}
+
+void ShardedDelivery::sweep_failed_downloads(std::uint64_t now) {
+  bool any_erased = false;
+  for (PeerEntry& entry : peers_) {
+    for (auto it = entry.downloads.begin(); it != entry.downloads.end();) {
+      const ReceiverEndpoint& receiver = *it->second->receiver;
+      if (!receiver.failed() && !receiver.sender_suspect()) {
+        ++it;
+        continue;
+      }
+      if (!any_erased) release_pool_owners();
+      any_erased = true;
+      const auto reason = receiver.failed()
+                              ? FailedPeer::Reason::kHandshakeExhausted
+                              : FailedPeer::Reason::kLivenessTimeout;
+      teardown_download(*it->second);
+      entry.failed_peers.push_back(FailedPeer{it->first, now, reason});
+      faults_.mark_suspect(it->first, now + suspect_ttl());
+      it = entry.downloads.erase(it);
+    }
+  }
+  if (any_erased) {
+    rebuild_cross_senders();
+    release_pool_owners();
+  }
 }
 
 void ShardedDelivery::service_local_downloads(PeerEntry& entry,
@@ -160,8 +229,12 @@ void ShardedDelivery::service_local_downloads(PeerEntry& entry,
     for (auto& [sender_id, download] : entry.downloads) {
       if (entry.peer->has_content()) break;
       if (!download->local) continue;  // cross: receiver phase handles it
-      download->sender->tick();
-      download->sender->send_symbol();
+      // Down sender: frozen endpoint, but the receiver keeps ticking so
+      // its liveness clock runs (mirrors the legacy loop).
+      if (!peers_[sender_id].faulted_at_tick_start) {
+        download->sender->tick();
+        download->sender->send_symbol();
+      }
       download->receiver->tick();
       flush_batches(*download);
     }
@@ -176,6 +249,7 @@ void ShardedDelivery::service_local_downloads(PeerEntry& entry,
     download->local->advance_to(now);
     LinkTimes times;
     times.timed = download->local->timed();
+    times.sender_down = peers_[sender_id].faulted_at_tick_start;
     if (times.timed) {
       times.next_arrival = download->local->next_arrival_at();
       times.send_credit_at = download->local->a_send_ready_at(hint);
@@ -188,10 +262,12 @@ void ShardedDelivery::service_local_downloads(PeerEntry& entry,
   while (auto event = scheduler.pop_due(now)) {
     if (entry.peer->has_content()) break;
     Download& download = *entry.downloads.at(event->key);
-    download.sender->tick();
-    if (!download.local->timed() ||
-        download.local->a_send_ready_at(hint) <= now) {
-      download.sender->send_symbol();
+    if (!peers_[event->key].faulted_at_tick_start) {
+      download.sender->tick();
+      if (!download.local->timed() ||
+          download.local->a_send_ready_at(hint) <= now) {
+        download.sender->send_symbol();
+      }
     }
     download.receiver->advance_to(now);
     download.receiver->tick();
@@ -208,6 +284,8 @@ void ShardedDelivery::phase_send(std::size_t shard) {
       entry.pending_origin.reset();
       continue;
     }
+    // A down peer is frozen this tick: no origin apply, no servicing.
+    if (entry.faulted_at_tick_start) continue;
     // Origin feed: the symbol the coordinator drew for this tick.
     if (entry.pending_origin) {
       entry.peer->receive_encoded(*entry.pending_origin);
@@ -221,8 +299,15 @@ void ShardedDelivery::phase_send(std::size_t shard) {
   // barrier after this phase is the cross-shard commit point; a timed
   // link's advance pushes newly arrived frames onto it too).
   for (Download* download : work.cross_senders) {
-    if (peers_[download->receiver_id].complete_at_tick_start) continue;
+    if (peers_[download->receiver_id].complete_at_tick_start ||
+        peers_[download->receiver_id].faulted_at_tick_start) {
+      continue;
+    }
     download->cross->advance_a_to(tick_now_);
+    // A down sender goes silent: in-flight frames still cross (the
+    // advance above), but its endpoint is frozen — the receiver's
+    // liveness clock does the failure detection.
+    if (peers_[download->sender_id].faulted_at_tick_start) continue;
     download->sender->tick();
     if (!download->cross->timed() ||
         (!download->sender->satisfied() &&
@@ -236,7 +321,7 @@ void ShardedDelivery::phase_send(std::size_t shard) {
 void ShardedDelivery::phase_receive(std::size_t shard) {
   for (const std::size_t id : shard_work_[shard].peers) {
     PeerEntry& entry = peers_[id];
-    if (entry.complete_at_tick_start) continue;
+    if (entry.complete_at_tick_start || entry.faulted_at_tick_start) continue;
     for (auto& [sender_id, download] : entry.downloads) {
       if (!download->cross) continue;
       if (entry.peer->has_content()) break;
@@ -249,6 +334,9 @@ void ShardedDelivery::phase_receive(std::size_t shard) {
 }
 
 std::size_t ShardedDelivery::tick() {
+  // Fault application precedes the refresh so crashed peers are excluded
+  // from (and flash-crowd joiners included in) a refresh due this tick.
+  if (faults_.active()) apply_faults(ticks_);
   if (ticks_ % std::max<std::size_t>(1, options_.refresh_interval) == 0) {
     refresh_sessions();
   }
@@ -256,14 +344,31 @@ std::size_t ShardedDelivery::tick() {
   tick_now_ = ticks_;
   ++ticks_;
 
-  // Coordinator prologue: completion snapshots (the phases read these
-  // instead of cross-shard peer state) and origin draws in peer order —
-  // the same symbol-to-peer assignment as the legacy engine, which drew
-  // at each incomplete subscriber's turn.
-  for (PeerEntry& entry : peers_) {
+  // Coordinator prologue: completion and fault snapshots (the phases read
+  // these instead of cross-shard peer state) and origin draws in peer
+  // order — the same symbol-to-peer assignment as the legacy engine,
+  // which drew at each incomplete subscriber's turn (and skips down
+  // peers, exactly as the legacy tick loop does).
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    PeerEntry& entry = peers_[i];
     entry.complete_at_tick_start = entry.peer->has_content();
-    if (!entry.complete_at_tick_start && entry.origin_fed) {
+    entry.faulted_at_tick_start =
+        faults_.active() && faults_.down(i, tick_now_);
+    if (entry.complete_at_tick_start || entry.faulted_at_tick_start) {
+      continue;
+    }
+    if (entry.origin_fed) {
       entry.pending_origin = origins_[entry.origin_index]->next();
+    }
+    if (faults_.any_blackouts()) {
+      for (auto& [sender_id, download] : entry.downloads) {
+        const bool dark = faults_.blackout(sender_id, i, tick_now_);
+        if (download->local) {
+          download->local->set_blackout(dark);
+        } else {
+          download->cross->set_blackout(dark);
+        }
+      }
     }
   }
 
@@ -279,6 +384,10 @@ std::size_t ShardedDelivery::tick() {
             std::chrono::steady_clock::now() - start)
             .count());
   }
+
+  // Failure sweep before the completion stamps, as in the legacy engine;
+  // the workers are parked again, so the coordinator owns all state.
+  if (failure_detection_enabled()) sweep_failed_downloads(ticks_);
 
   std::size_t completed_now = 0;
   for (PeerEntry& entry : peers_) {
@@ -304,6 +413,9 @@ std::optional<std::uint64_t> ShardedDelivery::next_event_time() {
     PeerEntry& entry = peers_[i];
     if (entry.peer->has_content()) continue;
     any_incomplete = true;
+    // A down peer is frozen until a fault boundary (scheduled below as
+    // kPeerFault) wakes it.
+    if (faults_.active() && faults_.down(i, now)) continue;
     if (entry.origin_fed) {
       loop_.schedule(now, EventKind::kOriginFeed, i);
       continue;
@@ -312,6 +424,7 @@ std::optional<std::uint64_t> ShardedDelivery::next_event_time() {
       LinkTimes times;
       times.timed = download->local ? download->local->timed()
                                     : download->cross->timed();
+      times.sender_down = faults_.active() && faults_.down(sender_id, now);
       if (times.timed) {
         times.next_arrival = download->local
                                  ? download->local->next_event_time()
@@ -324,8 +437,12 @@ std::optional<std::uint64_t> ShardedDelivery::next_event_time() {
                                times, now, sender_id);
     }
   }
+  // Fault boundaries are planning barriers, as in the legacy engine.
+  if (const auto boundary = faults_.next_boundary_after(now)) {
+    loop_.schedule(*boundary, EventKind::kPeerFault, 0);
+  }
   return finish_event_planning(loop_, now, options_.refresh_interval,
-                               any_incomplete);
+                               any_incomplete || faults_.pending_joins());
 }
 
 bool ShardedDelivery::run(std::size_t max_ticks) {
@@ -338,7 +455,9 @@ bool ShardedDelivery::run_until(std::uint64_t deadline) {
     const bool all = std::all_of(
         peers_.begin(), peers_.end(),
         [](const PeerEntry& e) { return e.peer->has_content(); });
-    if (all) return true;
+    // "All done" is only final once no flash crowd is still scheduled to
+    // arrive — a pending join re-opens the swarm.
+    if (all && !faults_.pending_joins()) return true;
     if (!options_.jump_empty_ticks) continue;
     // All-untimed swarms can never open a span (untimed downloads are
     // due every tick), so skip the planning rebuild outright and keep

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -93,6 +94,16 @@ class ShardedDelivery {
   }
   std::vector<std::uint8_t> peer_content(std::size_t id) const;
 
+  /// Per-receiver session outcome (see ContentDeliveryService).
+  SessionResult session_result(std::size_t id) const {
+    const PeerEntry& entry = peers_.at(id);
+    return SessionResult{entry.peer->has_content(), entry.completed_tick,
+                         entry.failed_peers};
+  }
+  /// Whether the peer is currently down (crashed or stalled) under the
+  /// fault plan.
+  bool peer_down(std::size_t id) const { return faults_.down(id, ticks_); }
+
   std::size_t ticks() const { return ticks_; }
   /// Scheduler-ordered link services executed across all shards (timed
   /// service path pops). Coordinator-only, between ticks.
@@ -157,8 +168,14 @@ class ShardedDelivery {
     std::optional<codec::EncodedSymbol> pending_origin;
     /// Snapshot the phases read instead of cross-shard peer state.
     bool complete_at_tick_start = false;
+    /// Down (crashed or stalled) under the fault plan this tick — written
+    /// by the coordinator prologue, read by the phase workers (the pool
+    /// barrier orders the handoff).
+    bool faulted_at_tick_start = false;
     /// Virtual tick of first completion (0 = incomplete).
     std::size_t completed_tick = 0;
+    /// Download sessions abandoned for this receiver (diagnostics).
+    std::vector<FailedPeer> failed_peers;
   };
 
   struct ShardWork {
@@ -174,6 +191,25 @@ class ShardedDelivery {
 
   void refresh_sessions();
   void release_pool_owners();
+  /// Rebuilds the per-shard cross-sender worklists from the live download
+  /// maps — required after any teardown that may have erased a cross
+  /// download (refresh, crash, failure sweep), or the lists dangle.
+  void rebuild_cross_senders();
+  /// Coordinator-side fault application (see ContentDeliveryService).
+  void apply_faults(std::uint64_t now);
+  /// Coordinator-side end-of-tick failure sweep (see
+  /// ContentDeliveryService); callers must have the workers parked.
+  void sweep_failed_downloads(std::uint64_t now);
+  void teardown_download(Download& download);
+  bool failure_detection_enabled() const {
+    return options_.liveness_timeout_ticks > 0 ||
+           options_.max_handshake_retries > 0;
+  }
+  std::uint64_t suspect_ttl() const {
+    return options_.suspect_ttl_ticks > 0
+               ? options_.suspect_ttl_ticks
+               : std::max<std::size_t>(1, options_.refresh_interval);
+  }
   void phase_send(std::size_t shard);
   void phase_receive(std::size_t shard);
   /// Mirrors ContentDeliveryService::service_downloads for the fully-local
@@ -199,6 +235,9 @@ class ShardedDelivery {
   std::uint64_t tick_now_ = 0;
   std::uint64_t next_session_seed_;
   LinkTotals retired_link_totals_;
+  /// Fault bookkeeping (inert when options_.faults is null). Mutated on
+  /// the coordinator only; the phases read per-tick snapshots instead.
+  FaultTracker faults_;
   /// Coordinator event loop: global clock, jump accounting, and the
   /// cross-tick planning queue run_until peeks. The per-shard service
   /// queues live in ShardWork (worker-thread-local).

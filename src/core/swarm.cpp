@@ -93,6 +93,8 @@ std::string SwarmSpec::serialize() const {
   out << "symbols_per_tick " << symbols_per_tick << "\n";
   out << "handshake_retry_ticks " << handshake_retry_ticks << "\n";
   out << "request_overhead " << request_overhead << "\n";
+  out << "loss_rate " << loss_rate << "\n";
+  out << "max_handshake_retries " << max_handshake_retries << "\n";
   out << "tick_us " << tick_us << "\n";
   out << "max_ticks " << max_ticks << "\n";
   out << "host " << host << "\n";
@@ -134,6 +136,8 @@ SwarmSpec SwarmSpec::parse(std::istream& in) {
     else if (key == "symbols_per_tick") fields >> spec.symbols_per_tick;
     else if (key == "handshake_retry_ticks") fields >> spec.handshake_retry_ticks;
     else if (key == "request_overhead") fields >> spec.request_overhead;
+    else if (key == "loss_rate") fields >> spec.loss_rate;
+    else if (key == "max_handshake_retries") fields >> spec.max_handshake_retries;
     else if (key == "tick_us") fields >> spec.tick_us;
     else if (key == "max_ticks") fields >> spec.max_ticks;
     else if (key == "host") fields >> spec.host;
@@ -225,6 +229,7 @@ SessionOptions swarm_session_options(const SwarmSpec& spec,
   options.strategy = spec.strategy;
   options.requested_symbols = swarm_edge_quota(spec, world, edge_index);
   options.handshake_retry_ticks = spec.handshake_retry_ticks;
+  options.max_handshake_retries = spec.max_handshake_retries;
   // Off: quota-bound serving is what makes real totals predictable; a
   // timing-dependent stop would make them a race.
   options.flow_control = false;
@@ -385,6 +390,13 @@ SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
     half.transport =
         std::make_unique<wire::UdpTransport>(std::move(socket), spec.mtu);
     half.transport->set_batch_budget(spec.batch_budget);
+    if (spec.loss_rate > 0.0) {
+      // Deterministic per (spec seed, edge, direction) so reruns of a
+      // lossy swarm drop the same inbound datagrams.
+      half.transport->set_loss_injection(
+          spec.loss_rate,
+          util::mix64(spec.seed ^ (0x10c5ULL + 2 * e + (sender_half ? 1 : 0))));
+    }
     const SessionOptions options = swarm_session_options(spec, world, e);
     if (sender_half) {
       half.sender = std::make_unique<SenderEndpoint>(*frozen, options,
@@ -447,7 +459,11 @@ SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
       if (half.sender && half.sender->symbols_sent() < half.quota) {
         uploads_done = false;
       }
-      if (half.receiver && half.receiver->symbols_received() < half.quota) {
+      // A failed receiver half (handshake budget exhausted, sender dead)
+      // is abandoned: it can make no further progress and must not keep
+      // the node alive until max_ticks.
+      if (half.receiver && !half.receiver->failed() &&
+          half.receiver->symbols_received() < half.quota) {
         downloads_drained = false;
       }
     }
@@ -469,7 +485,8 @@ SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
           half.sender->symbols_sent() < half.quota) {
         loop.schedule(now + 1, EventKind::kSendCredit, half.edge_index);
       }
-      if (half.receiver && !half.receiver->transfer_started()) {
+      if (half.receiver && !half.receiver->transfer_started() &&
+          !half.receiver->failed()) {
         const auto retry = half.receiver->retry_due_at();
         loop.schedule(std::max(retry.value_or(now + 1), now + 1),
                       EventKind::kHandshakeRetry, half.edge_index);
@@ -504,6 +521,7 @@ SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
     if (half.sender) half_report.symbols_sent = half.sender->symbols_sent();
     if (half.receiver) {
       half_report.handshake_retries = half.receiver->handshake_retries();
+      half_report.session_failed = half.receiver->failed();
     }
     half_report.pool_hit_rate = half.transport->pool().stats().hit_rate();
     report.halves.push_back(half_report);

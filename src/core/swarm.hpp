@@ -72,6 +72,17 @@ struct SwarmSpec {
   /// frozen admission epoch: summaries never refresh and quotas never
   /// re-plan, so all decoding overhead must be provisioned up front.
   double request_overhead = 3.0;
+  /// Socket-level inbound loss injected at every node's UdpTransport
+  /// (UdpTransport::set_loss_injection). With loss the byte-equality
+  /// cross-check no longer holds — the harness's --loss mode gates on
+  /// completion and bounded retries instead. 0 = off.
+  double loss_rate = 0.0;
+  /// Handshake retry budget per receiver half
+  /// (SessionOptions::max_handshake_retries): a receiver whose sender
+  /// never answers fails its session instead of retrying forever, and the
+  /// node's run loop abandons that half (reported, not hung). 0 =
+  /// unbounded — the historical behavior.
+  std::size_t max_handshake_retries = 0;
   /// Real-time tick period for swarm_node's wall-clock loop.
   std::uint64_t tick_us = 1000;
   /// Completion horizon, in ticks, for both modes.
@@ -178,6 +189,10 @@ struct SwarmHalfReport {
   wire::UdpTransportStats udp;
   std::size_t symbols_sent = 0;       // sender halves
   std::size_t handshake_retries = 0;  // receiver halves
+  /// Receiver half gave up: handshake retry budget exhausted with no
+  /// reply (dead or unreachable sender). The node abandons the half and
+  /// keeps serving its other edges.
+  bool session_failed = false;
   double pool_hit_rate = 0.0;
 };
 

@@ -132,7 +132,9 @@ std::uint64_t LinkShaper::schedule_arrival(std::uint64_t depart,
 
 LossyChannel::LossyChannel(ChannelConfig config)
     : config_(config), rng_(config.seed.value_or(kDefaultChannelSeed)),
-      shaper_(config) {}
+      shaper_(config) {
+  if (config_.gilbert_elliott()) ge_.emplace(config_);
+}
 
 bool LossyChannel::send(std::vector<std::uint8_t> frame) {
   if (frame.size() > config_.mtu) {
@@ -141,8 +143,16 @@ bool LossyChannel::send(std::vector<std::uint8_t> frame) {
   }
   ++sent_;
   sent_bytes_ += frame.size();
+  // Blackout windows eat the frame before any RNG draw: the loss/reorder
+  // stream is untouched, so trajectories outside the window are identical
+  // to a run without the blackout.
+  if (blackout_) {
+    ++dropped_;
+    ++blackout_drops_;
+    return true;
+  }
   if (!timed()) {
-    if (rng_.next_bool(config_.loss_rate)) {
+    if (ge_ ? ge_->drop(rng_) : rng_.next_bool(config_.loss_rate)) {
       ++dropped_;
       return true;  // sent, but the network ate it
     }
@@ -164,7 +174,7 @@ bool LossyChannel::send(std::vector<std::uint8_t> frame) {
   // the arrival across the path's hops (per-hop pacing + delay + jitter).
   const std::size_t size = frame.size();
   const std::uint64_t depart = shaper_.pace_departure(size);
-  if (rng_.next_bool(config_.loss_rate)) {
+  if (ge_ ? ge_->drop(rng_) : rng_.next_bool(config_.loss_rate)) {
     ++dropped_;
     return true;
   }

@@ -90,6 +90,24 @@ struct ChannelConfig {
   /// MTU-sized frame can always eventually depart (no starvation).
   std::size_t burst_bytes = 0;
 
+  // --- Gilbert-Elliott burst loss (off unless ge_loss_bad > 0) -----------
+  /// Two-state Markov loss: the channel flips between a good state (loss
+  /// ge_loss_good) and a bad state (loss ge_loss_bad) with per-frame
+  /// transition probabilities ge_p_good_bad / ge_p_bad_good. Correlated
+  /// loss is where informed summaries should beat Random hardest (SRM's
+  /// lesson: loss-recovery protocols are only proven under burst loss).
+  /// When enabled the GE draws *replace* the Bernoulli loss_rate draw;
+  /// every channel starts in the good state. Mean burst length is
+  /// 1 / ge_p_bad_good frames; stationary bad-state share is
+  /// ge_p_good_bad / (ge_p_good_bad + ge_p_bad_good).
+  double ge_loss_good = 0.0;
+  double ge_loss_bad = 0.0;
+  double ge_p_good_bad = 0.0;
+  double ge_p_bad_good = 0.0;
+
+  /// Whether the Gilbert-Elliott chain replaces the Bernoulli loss draw.
+  bool gilbert_elliott() const { return ge_loss_bad > 0.0; }
+
   /// Whether any knob requests the virtual clock. `hops` alone does not:
   /// it multiplies delay/jitter and is inert without them.
   bool timed() const {
@@ -123,6 +141,32 @@ inline ChannelConfig resolve_edge_config(
   return with_edge_seed(
       override_fn ? override_fn(sender, receiver) : fallback, draw);
 }
+
+/// The per-direction Gilbert-Elliott chain shared by LossyChannel and
+/// wire::ShardLink. Each frame advances the state (one transition draw)
+/// and then draws loss at the state's rate, so both draws come from the
+/// owning link's RNG stream — deterministic per (config, seed) exactly
+/// like the Bernoulli path it replaces.
+class GilbertElliott {
+ public:
+  explicit GilbertElliott(const ChannelConfig& config) : config_(config) {}
+
+  /// True when this frame is lost. Advances the chain.
+  bool drop(util::Xoshiro256& rng) {
+    if (bad_) {
+      if (rng.next_bool(config_.ge_p_bad_good)) bad_ = false;
+    } else {
+      if (rng.next_bool(config_.ge_p_good_bad)) bad_ = true;
+    }
+    return rng.next_bool(bad_ ? config_.ge_loss_bad : config_.ge_loss_good);
+  }
+
+  bool in_bad_state() const { return bad_; }
+
+ private:
+  ChannelConfig config_;
+  bool bad_ = false;
+};
 
 /// A frame scheduled on a timed link direction.
 struct TimedFrame {
@@ -297,6 +341,18 @@ class LossyChannel {
     return shaper_.send_ready_at(bytes);
   }
 
+  // --- Fault injection -----------------------------------------------------
+
+  /// Link blackout: while set, every send is eaten whole *before* any
+  /// loss/reorder RNG draw — no randomness is consumed, so a blackout
+  /// window perturbs nothing outside itself and both delivery engines
+  /// drop the identical frame set. Frames already in flight still arrive
+  /// (the partition cuts the wire, not the queue).
+  void set_blackout(bool active) { blackout_ = active; }
+  bool blackout() const { return blackout_; }
+  /// Frames eaten by blackout windows (also counted in dropped()).
+  std::size_t blackout_drops() const { return blackout_drops_; }
+
   /// Statistics.
   std::size_t sent() const { return sent_; }
   std::size_t dropped() const { return dropped_; }
@@ -312,6 +368,11 @@ class LossyChannel {
   ChannelConfig config_;
   util::Xoshiro256 rng_;
   LinkShaper shaper_;
+  /// Present only for Gilbert-Elliott configs; replaces the Bernoulli
+  /// loss draw (the RNG stream is shared, consumed two draws per frame).
+  std::optional<GilbertElliott> ge_;
+  bool blackout_ = false;
+  std::size_t blackout_drops_ = 0;
   util::RingBuffer<std::vector<std::uint8_t>> queue_;
   /// Event clock: the most recently sent frame, one hop from deliverable.
   std::optional<std::vector<std::uint8_t>> in_flight_;

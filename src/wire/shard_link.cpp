@@ -29,7 +29,9 @@ void ShardLink::flush() {
 ShardLink::End::End(ChannelConfig config, Direction& out, Direction& in)
     : Transport(config.mtu, /*pool=*/nullptr), out_(out), in_(in),
       config_(config),
-      rng_(config.seed.value_or(kDefaultChannelSeed)), shaper_(config) {}
+      rng_(config.seed.value_or(kDefaultChannelSeed)), shaper_(config) {
+  if (config_.gilbert_elliott()) ge_.emplace(config_);
+}
 
 void ShardLink::End::enqueue(std::vector<std::uint8_t> frame) {
   if (!out_.frames_ring.try_push(frame)) {
@@ -40,6 +42,12 @@ void ShardLink::End::enqueue(std::vector<std::uint8_t> frame) {
 
 bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
   if (frame.size() > config_.mtu) return false;
+  // Blackout (fault injection) eats the frame before any RNG draw,
+  // exactly as LossyChannel does, so both engines drop the same frames.
+  if (blackout_) {
+    release_buffer(std::move(frame));
+    return true;
+  }
   if (config_.timed()) {
     // Timed shaping mirrors LossyChannel's virtual clock: pace the
     // departure (lost frames consumed link capacity too), schedule the
@@ -48,7 +56,8 @@ bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
     // what commits it to the ring.
     const std::size_t size = frame.size();
     const std::uint64_t depart = shaper_.pace_departure(size);
-    if (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate)) {
+    if (ge_ ? ge_->drop(rng_)
+            : (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate))) {
       release_buffer(std::move(frame));
       return true;
     }
@@ -64,7 +73,8 @@ bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
   // Loss and reordering are drawn sender-side (single-threaded per
   // direction); a dropped frame still counted as sent by the base class,
   // matching LossyChannel's "handed to the link" semantics.
-  if (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate)) {
+  if (ge_ ? ge_->drop(rng_)
+          : (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate))) {
     release_buffer(std::move(frame));
     return true;
   }

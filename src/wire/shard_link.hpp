@@ -103,6 +103,15 @@ class ShardLink {
     return a_.overflow_drops() + b_.overflow_drops();
   }
 
+  /// Link blackout (fault injection): while set, both directions eat every
+  /// send before any RNG draw — mirroring ChannelLink::set_blackout so the
+  /// sharded engine drops the identical frame set. Coordinator-only, like
+  /// every cross-shard configuration call (workers parked at a barrier).
+  void set_blackout(bool active) {
+    a_.set_blackout(active);
+    b_.set_blackout(active);
+  }
+
   /// Frames per direction a burst can queue before overflow; handshake
   /// fragment trains (multi-KB ART summaries) set the floor.
   static constexpr std::size_t kRingFrames = 1024;
@@ -123,6 +132,7 @@ class ShardLink {
 
     std::size_t overflow_drops() const { return overflow_drops_; }
     void flush_held();
+    void set_blackout(bool active) { blackout_ = active; }
 
     bool timed() const { return config_.timed(); }
     void advance_to(std::uint64_t t);
@@ -153,6 +163,10 @@ class ShardLink {
     ChannelConfig config_;
     util::Xoshiro256 rng_;
     LinkShaper shaper_;
+    /// Gilbert-Elliott chain replacing the Bernoulli loss draw when the
+    /// config enables it (see wire::GilbertElliott).
+    std::optional<GilbertElliott> ge_;
+    bool blackout_ = false;
     /// Reorder holdback: the frame that may be overtaken by its successor
     /// (event-clock configs only; timed configs draw reorder as arrival
     /// swaps in the delay line, like LossyChannel).

@@ -333,6 +333,14 @@ class ChannelLink {
     return std::min(*forward, *reverse);
   }
 
+  /// Link blackout (fault injection): while set, both directions eat every
+  /// send before any RNG draw — a full partition of this edge. Frames
+  /// already in flight still arrive.
+  void set_blackout(bool active) {
+    a_to_b_.set_blackout(active);
+    b_to_a_.set_blackout(active);
+  }
+
  private:
   LossyChannel a_to_b_;
   LossyChannel b_to_a_;

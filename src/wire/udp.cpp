@@ -122,6 +122,11 @@ UdpTransport::~UdpTransport() {
 }
 
 bool UdpTransport::transmit(const std::vector<std::uint8_t>& frame) {
+  if (debug_eagain_sends_ > 0) {
+    --debug_eagain_sends_;
+    errno = EAGAIN;
+    return false;
+  }
   while (true) {
     const auto n = ::send(socket_.fd(), frame.data(), frame.size(), 0);
     if (n >= 0) {
@@ -165,7 +170,9 @@ bool UdpTransport::send_datagram(std::vector<std::uint8_t> frame) {
 
 bool UdpTransport::pump() {
 #ifdef __linux__
-  while (!tx_backlog_.empty()) {
+  // The sendmmsg fast path bypasses transmit(), so the EAGAIN test seam
+  // routes through the portable per-datagram loop below instead.
+  while (debug_eagain_sends_ == 0 && !tx_backlog_.empty()) {
     mmsghdr msgs[kBurst]{};
     iovec iovs[kBurst]{};
     const std::size_t want = std::min(tx_backlog_.size(), kBurst);
@@ -195,7 +202,9 @@ bool UdpTransport::pump() {
     }
     break;  // EAGAIN or partial burst: the kernel is full, try later
   }
-#else
+  if (debug_eagain_sends_ == 0) return tx_backlog_.empty();
+#endif
+  // Portable per-datagram loop (and the seam-armed path on Linux).
   while (!tx_backlog_.empty()) {
     if (transmit(tx_backlog_.front())) {
       release_buffer(std::move(tx_backlog_.front()));
@@ -210,7 +219,6 @@ bool UdpTransport::pump() {
     }
     break;
   }
-#endif
   return tx_backlog_.empty();
 }
 
@@ -244,6 +252,11 @@ std::size_t UdpTransport::drain() {
           release_buffer(std::move(buffers[i]));
           continue;
         }
+        if (rx_loss_rate_ > 0.0 && rx_loss_rng_.next_bool(rx_loss_rate_)) {
+          ++udp_stats_.injected_drops;
+          release_buffer(std::move(buffers[i]));
+          continue;
+        }
         buffers[i].resize(length);
         rx_.push_back(std::move(buffers[i]));
         ++udp_stats_.datagrams_received;
@@ -274,6 +287,11 @@ std::size_t UdpTransport::drain() {
     ++udp_stats_.recv_batches;
     if (static_cast<std::size_t>(n) > mtu()) {
       ++udp_stats_.truncated_datagrams;
+      release_buffer(std::move(buffer));
+      continue;
+    }
+    if (rx_loss_rate_ > 0.0 && rx_loss_rng_.next_bool(rx_loss_rate_)) {
+      ++udp_stats_.injected_drops;
       release_buffer(std::move(buffer));
       continue;
     }

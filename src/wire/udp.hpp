@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "util/random.hpp"
 #include "wire/transport.hpp"
 
 /// Real-network backend: the wire::Transport contract over non-blocking UDP.
@@ -81,6 +82,8 @@ struct UdpTransportStats {
   std::size_t refused_sends = 0;
   /// Inbound datagrams larger than the MTU, dropped before decode.
   std::size_t truncated_datagrams = 0;
+  /// Inbound datagrams dropped by set_loss_injection (fault testing).
+  std::size_t injected_drops = 0;
 };
 
 /// wire::Transport over one connected UDP socket.
@@ -116,6 +119,20 @@ class UdpTransport : public Transport {
   /// No deferred sends waiting on the kernel.
   bool tx_idle() const { return tx_backlog_.empty(); }
 
+  /// Socket-level loss injection: each inbound datagram is independently
+  /// dropped with probability `rate` before it reaches the receive queue —
+  /// real-network fault testing without netem privileges. Deterministic
+  /// per (rate, seed); 0 disables.
+  void set_loss_injection(double rate, std::uint64_t seed) {
+    rx_loss_rate_ = rate;
+    rx_loss_rng_ = util::Xoshiro256(seed);
+  }
+
+  /// Test seam: the next `n` datagram transmissions (direct sends and
+  /// pump() retries alike) fail as if the kernel returned EAGAIN, forcing
+  /// the deferred-send backlog path without needing a saturated socket.
+  void debug_force_eagain(std::size_t n) { debug_eagain_sends_ = n; }
+
   const UdpTransportStats& udp_stats() const { return udp_stats_; }
 
   /// Datagrams recv() may burst per drain() round and sends per pump().
@@ -134,6 +151,9 @@ class UdpTransport : public Transport {
   std::deque<std::vector<std::uint8_t>> rx_;
   std::deque<std::vector<std::uint8_t>> tx_backlog_;
   UdpTransportStats udp_stats_;
+  double rx_loss_rate_ = 0.0;
+  util::Xoshiro256 rx_loss_rng_{0};
+  std::size_t debug_eagain_sends_ = 0;
 };
 
 }  // namespace icd::wire

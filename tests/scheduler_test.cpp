@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -706,6 +707,88 @@ TEST(EventLoopEngine, JumpedRunMatchesLockstepSharded1And4) {
     drive_lockstep(lockstep, 30000);
     EXPECT_TRUE(jumped.run(30000)) << shards << " shards";
     expect_same_trajectory(lockstep, jumped, peers);
+  }
+}
+
+// --- Fault-enabled equality: the contract survives churn --------------------
+
+/// Timed, lossy, paced links plus a full fault schedule: a crash/restart,
+/// a stall window, a flash-crowd join, and a link blackout — the scenario
+/// every engine and driver must reproduce tick-for-tick.
+core::DeliveryOptions faulty_options() {
+  auto options = jumpy_options(overlay::Strategy::kRecodeBloom);
+  auto plan = std::make_shared<core::FaultPlan>();
+  plan->crashes.push_back({120, 3});
+  plan->restarts.push_back({300, 3});
+  plan->stalls.push_back({150, 250, 2});
+  plan->joins.push_back({200, 1, false});
+  plan->blackouts.push_back({80, 160, 0, 1});
+  options.faults = std::move(plan);
+  options.liveness_timeout_ticks = 30;
+  options.handshake_backoff_factor = 2;
+  options.handshake_backoff_cap_ticks = 64;
+  options.max_handshake_retries = 6;
+  options.suspect_ttl_ticks = 60;
+  return options;
+}
+
+/// Lockstep driver that keeps ticking until every peer (including late
+/// joiners) is complete and every scheduled fault has fired.
+template <typename Service>
+void drive_lockstep_past_faults(Service& service, std::size_t max_ticks) {
+  for (std::size_t t = 0; t < max_ticks; ++t) {
+    service.tick();
+    if (service.ticks() <= 300) continue;  // the last scheduled fault
+    bool all = true;
+    for (std::size_t p = 0; p < service.peer_count(); ++p) {
+      all = all && service.peer_complete(p);
+    }
+    if (all) return;
+  }
+}
+
+TEST(EventLoopEngine, JumpedRunMatchesLockstepWithFaultsEnabled) {
+  // The event-loop jump must land exactly on every fault boundary
+  // (kPeerFault planning events) — a jump that overshot a crash tick or a
+  // blackout edge would diverge from the lockstep trajectory immediately.
+  const auto content = random_content(64 * 40, 45);
+  core::ContentDeliveryService lockstep(content, faulty_options());
+  core::ContentDeliveryService jumped(content, faulty_options());
+  add_peers(lockstep, 5);
+  add_peers(jumped, 5);
+  drive_lockstep_past_faults(lockstep, 30000);
+  EXPECT_TRUE(jumped.run(30000));
+  ASSERT_EQ(lockstep.peer_count(), jumped.peer_count());
+  expect_same_trajectory(lockstep, jumped, lockstep.peer_count());
+  EXPECT_GT(jumped.ticks_skipped(), 0u) << "the jump never engaged";
+}
+
+TEST(SchedulerEngine, Shards1MatchesLegacyWithFaultsEnabled) {
+  const auto content = random_content(64 * 40, 46);
+  core::ContentDeliveryService legacy(content, faulty_options());
+  core::ShardedDelivery sharded(content, faulty_options(),
+                                core::ShardOptions{/*shards=*/1});
+  add_peers(legacy, 5);
+  add_peers(sharded, 5);
+  drive_lockstep_past_faults(legacy, 30000);
+  EXPECT_TRUE(sharded.run(30000));
+  ASSERT_EQ(legacy.peer_count(), sharded.peer_count());
+  expect_same_trajectory(legacy, sharded, legacy.peer_count());
+}
+
+TEST(EventLoopEngine, ShardedJumpMatchesLockstepWithFaultsEnabled) {
+  const auto content = random_content(64 * 40, 47);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    core::ShardedDelivery lockstep(content, faulty_options(),
+                                   core::ShardOptions{shards});
+    core::ShardedDelivery jumped(content, faulty_options(),
+                                 core::ShardOptions{shards});
+    add_peers(lockstep, 6);
+    add_peers(jumped, 6);
+    drive_lockstep_past_faults(lockstep, 30000);
+    EXPECT_TRUE(jumped.run(30000)) << shards << " shards";
+    ASSERT_EQ(lockstep.peer_count(), jumped.peer_count());
+    expect_same_trajectory(lockstep, jumped, lockstep.peer_count());
   }
 }
 

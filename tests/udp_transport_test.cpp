@@ -176,6 +176,110 @@ TEST(UdpTransport, PooledReceivePathReachesSteadyState) {
   EXPECT_EQ(b.stats().messages_received, 300u);
 }
 
+TEST(UdpTransport, EagainBacklogQueuesThenPumpDrainsInOrder) {
+  auto [pa, pb] = make_loopback_pair(1400);
+  UdpTransport &a = *pa, &b = *pb;
+  // Arm the EAGAIN seam: every transmit attempt reports a full kernel
+  // queue, so sends must defer into the tx backlog instead of failing.
+  a.debug_force_eagain(1000);
+  constexpr std::uint64_t kFrames = 50;
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    ASSERT_TRUE(a.send(Request{i}));  // handed to the link, not refused
+  }
+  EXPECT_EQ(a.udp_stats().datagrams_sent, 0u);
+  EXPECT_GE(a.udp_stats().deferred_sends, kFrames);
+  EXPECT_EQ(a.udp_stats().dropped_sends, 0u);  // backlog far from its cap
+  EXPECT_FALSE(a.pump());  // still armed: nothing can depart
+
+  // Nothing arrived while the seam was armed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  b.drain();
+  EXPECT_FALSE(b.receive().has_value());
+
+  // Recovery: the kernel "unclogs" and one pump flushes the whole backlog
+  // in original send order.
+  a.debug_force_eagain(0);
+  EXPECT_TRUE(a.pump());
+  EXPECT_EQ(a.udp_stats().datagrams_sent, kFrames);
+  for (std::uint64_t i = 0; i < kFrames; ++i) {
+    const auto received = receive_within(b);
+    ASSERT_TRUE(received.has_value()) << "frame " << i;
+    EXPECT_EQ(std::get<Request>(*received), Request{i});
+  }
+}
+
+TEST(UdpTransport, SendAfterRecoveryKeepsOrderBehindBacklog) {
+  auto [pa, pb] = make_loopback_pair(1400);
+  UdpTransport &a = *pa, &b = *pb;
+  a.debug_force_eagain(10);
+  ASSERT_TRUE(a.send(Request{1}));
+  ASSERT_TRUE(a.send(Request{2}));
+  a.debug_force_eagain(0);
+  // The next send must flush the queued frames first — frame order is
+  // part of the transport contract even across an EAGAIN episode.
+  ASSERT_TRUE(a.send(Request{3}));
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    const auto received = receive_within(b);
+    ASSERT_TRUE(received.has_value()) << "frame " << i;
+    EXPECT_EQ(std::get<Request>(*received), Request{i});
+  }
+  EXPECT_EQ(a.udp_stats().dropped_sends, 0u);
+}
+
+TEST(UdpTransport, SurvivesInterleavedGarbageBursts) {
+  // Bursts of hostile datagrams (wrong magic, truncated frames) arriving
+  // between valid ones: every valid frame still decodes, every hostile one
+  // is counted and discarded, and the session never wedges.
+  auto [pa, pb] = make_loopback_pair(256);
+  UdpTransport &a = *pa, &b = *pb;
+  const std::vector<std::uint8_t> garbage(32, 0xff);
+  const auto truncated = encode_frame(Hello{7, 8, 9});
+  constexpr std::uint64_t kRounds = 20;
+  for (std::uint64_t i = 0; i < kRounds; ++i) {
+    ASSERT_GT(::send(a.fd(), garbage.data(), garbage.size(), 0), 0);
+    ASSERT_GT(::send(a.fd(), truncated.data(), 5, 0), 0);
+    ASSERT_TRUE(a.send(Request{i}));
+    const auto received = receive_within(b);
+    ASSERT_TRUE(received.has_value()) << "round " << i;
+    EXPECT_EQ(std::get<Request>(*received), Request{i});
+  }
+  EXPECT_EQ(b.stats().messages_received, kRounds);
+  EXPECT_EQ(b.stats().malformed_frames, 2 * kRounds);
+  EXPECT_EQ(b.udp_stats().truncated_datagrams, 0u);
+}
+
+TEST(UdpTransport, LossInjectionDropsDeterministicallyAtTheSocket) {
+  const auto run = [](std::uint64_t seed) {
+    auto [pa, pb] = make_loopback_pair(1400);
+    UdpTransport &a = *pa, &b = *pb;
+    b.set_loss_injection(0.5, seed);
+    constexpr std::size_t kFrames = 200;
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      EXPECT_TRUE(a.send(Request{i}));
+      // Drain as we go so the kernel socket buffer never overflows —
+      // every datagram must reach the injection point.
+      for (int spin = 0; spin < 2000; ++spin) {
+        b.drain();
+        if (b.udp_stats().datagrams_received + b.udp_stats().injected_drops >
+            i) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    const auto& stats = b.udp_stats();
+    EXPECT_EQ(stats.datagrams_received + stats.injected_drops, kFrames);
+    EXPECT_GT(stats.injected_drops, 0u);
+    EXPECT_GT(stats.datagrams_received, 0u);
+    return stats.injected_drops;
+  };
+  // Same seed, same traffic -> the same drop pattern: the injection is a
+  // deterministic function of the seed, not of wall-clock racing.
+  const std::size_t first = run(0xfee1);
+  const std::size_t second = run(0xfee1);
+  EXPECT_EQ(first, second);
+}
+
 /// The same control + data script over a given transport pair; returns the
 /// sender-side stats. Mirrors a handshake bundle (batched control train),
 /// a data-plane burst, and one oversized fragmented summary.
