@@ -85,6 +85,8 @@ int run_predict(const core::SwarmSpec& spec, const std::string& out_path) {
   }
   json.add("total_control_bytes", control_bytes);
   json.add("total_data_bytes", data_bytes);
+  json.add("handshake_retries", prediction.handshake_retries);
+  json.add("shaped", std::size_t{spec.shaped() ? 1u : 0u});
   if (!json.write(out_path)) {
     std::fprintf(stderr, "swarm_node: cannot write %s\n", out_path.c_str());
     return 1;
@@ -98,9 +100,9 @@ int run_predict(const core::SwarmSpec& spec, const std::string& out_path) {
 
 int run_node(const core::SwarmSpec& spec, std::size_t node,
              const std::string& out_path, const std::string& ready_file,
-             const std::string& go_file) {
+             const std::string& go_file, const std::string& progress_file) {
   const core::SwarmNodeReport report =
-      core::run_swarm_node(spec, node, ready_file, go_file);
+      core::run_swarm_node(spec, node, ready_file, go_file, progress_file);
   JsonOut json;
   json.add_string("mode", "node");
   json.add("node", report.node);
@@ -127,10 +129,11 @@ int run_node(const core::SwarmSpec& spec, std::size_t node,
     json.add(prefix + "_datagrams_sent", half.udp.datagrams_sent);
     json.add(prefix + "_datagrams_received", half.udp.datagrams_received);
     json.add(prefix + "_deferred_sends", half.udp.deferred_sends);
-    json.add(prefix + "_dropped_sends", half.udp.dropped_sends);
+    json.add(prefix + "_backlog_dropped", half.udp.backlog_dropped);
     json.add(prefix + "_refused_sends", half.udp.refused_sends);
     json.add(prefix + "_truncated_datagrams", half.udp.truncated_datagrams);
     json.add(prefix + "_injected_drops", half.udp.injected_drops);
+    json.add(prefix + "_delayed_datagrams", half.udp.delayed_datagrams);
   }
   if (!json.write(out_path)) {
     std::fprintf(stderr, "swarm_node: cannot write %s\n", out_path.c_str());
@@ -151,6 +154,7 @@ int main(int argc, char** argv) {
   std::string out_path = "swarm_node.json";
   std::string ready_file;
   std::string go_file;
+  std::string progress_file;
   std::size_t node = 0;
   bool have_node = false;
   bool predict = false;
@@ -167,12 +171,14 @@ int main(int argc, char** argv) {
     else if (arg == "--out") out_path = value();
     else if (arg == "--ready-file") ready_file = value();
     else if (arg == "--go-file") go_file = value();
+    else if (arg == "--progress-file") progress_file = value();
     else if (arg == "--node") { node = std::stoul(value()); have_node = true; }
     else if (arg == "--predict") predict = true;
     else {
       std::fprintf(stderr,
                    "usage: swarm_node --config FILE (--predict | --node I "
-                   "[--ready-file F] [--go-file F]) [--out FILE]\n");
+                   "[--ready-file F] [--go-file F] [--progress-file F]) "
+                   "[--out FILE]\n");
       return 1;
     }
   }
@@ -183,8 +189,10 @@ int main(int argc, char** argv) {
   }
   try {
     const core::SwarmSpec spec = core::SwarmSpec::parse_file(config_path);
-    return predict ? run_predict(spec, out_path)
-                   : run_node(spec, node, out_path, ready_file, go_file);
+    return predict
+               ? run_predict(spec, out_path)
+               : run_node(spec, node, out_path, ready_file, go_file,
+                          progress_file);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "swarm_node: %s\n", error.what());
     return 1;

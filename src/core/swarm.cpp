@@ -79,6 +79,24 @@ std::optional<overlay::Strategy> parse_strategy_key(const std::string& key) {
   return std::nullopt;
 }
 
+const SwarmLinkProfile* SwarmSpec::node_profile(std::size_t id) const {
+  const auto it = access.find(id);
+  if (it != access.end()) return &link_profiles[it->second];
+  if (access_default) return &link_profiles[*access_default];
+  return nullptr;
+}
+
+bool SwarmSpec::shaped() const {
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const SwarmLinkProfile* profile = node_profile(i);
+    if (profile && (profile->loss > 0.0 || profile->delay_us > 0 ||
+                    profile->jitter_us > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string SwarmSpec::serialize() const {
   std::ostringstream out;
   out << "nodes " << nodes << "\n";
@@ -98,6 +116,16 @@ std::string SwarmSpec::serialize() const {
   out << "tick_us " << tick_us << "\n";
   out << "max_ticks " << max_ticks << "\n";
   out << "host " << host << "\n";
+  for (const auto& profile : link_profiles) {
+    out << "link_profile " << profile.name << " " << profile.loss << " "
+        << profile.delay_us << " " << profile.jitter_us << "\n";
+  }
+  for (const auto& [node, index] : access) {
+    out << "access " << node << " " << link_profiles[index].name << "\n";
+  }
+  if (access_default) {
+    out << "access default " << link_profiles[*access_default].name << "\n";
+  }
   for (const auto& edge : edges) {
     out << "edge " << edge.sender << " " << edge.receiver << " "
         << edge.sender_port << " " << edge.receiver_port << "\n";
@@ -146,12 +174,55 @@ SwarmSpec SwarmSpec::parse(std::istream& in) {
       fields >> edge.sender >> edge.receiver >> edge.sender_port >>
           edge.receiver_port;
       spec.edges.push_back(edge);
+    } else if (key == "link_profile") {
+      SwarmLinkProfile profile;
+      fields >> profile.name >> profile.loss >> profile.delay_us >>
+          profile.jitter_us;
+      if (fields.fail()) throw bad("bad value for 'link_profile'");
+      if (profile.loss < 0.0 || profile.loss > 1.0) {
+        throw bad("link_profile loss must be in [0, 1]");
+      }
+      for (const auto& existing : spec.link_profiles) {
+        if (existing.name == profile.name) {
+          throw bad("duplicate link_profile '" + profile.name + "'");
+        }
+      }
+      spec.link_profiles.push_back(std::move(profile));
+    } else if (key == "access") {
+      std::string who, name;
+      fields >> who >> name;
+      if (fields.fail()) throw bad("access needs <node|default> <profile>");
+      std::optional<std::size_t> index;
+      for (std::size_t i = 0; i < spec.link_profiles.size(); ++i) {
+        if (spec.link_profiles[i].name == name) index = i;
+      }
+      if (!index) {
+        throw bad("access references unknown link_profile '" + name +
+                  "' (declare profiles before access lines)");
+      }
+      if (who == "default") {
+        spec.access_default = index;
+      } else {
+        std::istringstream who_in(who);
+        std::size_t node = 0;
+        if (!(who_in >> node) || !who_in.eof()) {
+          throw bad("access node must be an id or 'default'");
+        }
+        spec.access[node] = *index;
+      }
     } else {
       throw bad("unknown key '" + key + "'");
     }
     if (fields.fail()) throw bad("bad value for '" + key + "'");
   }
   if (spec.nodes < 2) throw std::runtime_error("SwarmSpec: nodes must be >= 2");
+  for (const auto& [node, index] : spec.access) {
+    if (node >= spec.nodes) {
+      throw std::runtime_error("SwarmSpec: access names node " +
+                               std::to_string(node) + " >= nodes");
+    }
+    (void)index;
+  }
   for (const auto& edge : spec.edges) {
     if (edge.sender >= spec.nodes || edge.receiver >= spec.nodes ||
         edge.sender == edge.receiver) {
@@ -256,8 +327,31 @@ void service_receiver_half(ReceiverEndpoint& receiver,
   transport.flush_batch();
 }
 
+namespace {
+
+/// The predictor's model of one node's inbound socket shaping (loss
+/// injection + FIFO delay line) as a ChannelConfig, wall-clock microseconds
+/// converted to ticks at the spec's tick period.
+wire::ChannelConfig inbound_shaping(const SwarmSpec& spec,
+                                    const SwarmLinkProfile* profile,
+                                    std::uint64_t seed) {
+  wire::ChannelConfig config;
+  config.mtu = spec.mtu;
+  config.seed = seed;
+  if (profile) {
+    const std::uint64_t tick_us = std::max<std::uint64_t>(1, spec.tick_us);
+    config.loss_rate = profile->loss;
+    config.delay_ticks = profile->delay_us / tick_us;
+    config.jitter_ticks = profile->jitter_us / tick_us;
+  }
+  return config;
+}
+
+}  // namespace
+
 SwarmPrediction predict_swarm(const SwarmSpec& spec) {
   const SwarmWorld world = build_swarm_world(spec);
+  const bool shaped = spec.shaped();
 
   std::vector<std::unique_ptr<Peer>> live;
   std::vector<std::unique_ptr<Peer>> frozen;
@@ -267,7 +361,10 @@ SwarmPrediction predict_swarm(const SwarmSpec& spec) {
   }
 
   struct PredictEdge {
-    std::unique_ptr<wire::Pipe> pipe;
+    std::unique_ptr<wire::Pipe> pipe;           // unshaped: perfect link
+    std::unique_ptr<wire::ChannelLink> link;    // shaped: modeled losses
+    wire::Transport* a = nullptr;               // sender side
+    wire::Transport* b = nullptr;               // receiver side
     std::unique_ptr<SenderEndpoint> sender;
     std::unique_ptr<ReceiverEndpoint> receiver;
     std::size_t quota = 0;
@@ -276,15 +373,30 @@ SwarmPrediction predict_swarm(const SwarmSpec& spec) {
   for (std::size_t e = 0; e < spec.edges.size(); ++e) {
     const SwarmEdge& edge = spec.edges[e];
     PredictEdge lane;
-    lane.pipe = std::make_unique<wire::Pipe>(spec.mtu);
-    lane.pipe->a().set_batch_budget(spec.batch_budget);
-    lane.pipe->b().set_batch_budget(spec.batch_budget);
+    if (shaped) {
+      // Each direction carries the *receiving* node's inbound shaping —
+      // the same placement as the real run, where every node shapes its
+      // own sockets. Seeds decorrelate per edge and direction.
+      lane.link = std::make_unique<wire::ChannelLink>(
+          inbound_shaping(spec, spec.node_profile(edge.receiver),
+                          util::mix64(spec.seed ^ (0x51a9ULL + 2 * e))),
+          inbound_shaping(spec, spec.node_profile(edge.sender),
+                          util::mix64(spec.seed ^ (0x51a9ULL + 2 * e + 1))));
+      lane.a = &lane.link->a();
+      lane.b = &lane.link->b();
+    } else {
+      lane.pipe = std::make_unique<wire::Pipe>(spec.mtu);
+      lane.a = &lane.pipe->a();
+      lane.b = &lane.pipe->b();
+    }
+    lane.a->set_batch_budget(spec.batch_budget);
+    lane.b->set_batch_budget(spec.batch_budget);
     const SessionOptions options = swarm_session_options(spec, world, e);
     lane.quota = swarm_edge_quota(spec, world, e);
     lane.sender = std::make_unique<SenderEndpoint>(*frozen[edge.sender],
-                                                   options, lane.pipe->a());
+                                                   options, *lane.a);
     lane.receiver = std::make_unique<ReceiverEndpoint>(*live[edge.receiver],
-                                                       options, lane.pipe->b());
+                                                       options, *lane.b);
     lanes.push_back(std::move(lane));
   }
   for (auto& lane : lanes) lane.receiver->start();
@@ -295,9 +407,10 @@ SwarmPrediction predict_swarm(const SwarmSpec& spec) {
   std::uint64_t t = 0;
   for (; t < spec.max_ticks; ++t) {
     for (auto& lane : lanes) {
-      service_sender_half(*lane.sender, lane.pipe->a(), lane.quota,
+      if (lane.link) lane.link->advance_to(t);
+      service_sender_half(*lane.sender, *lane.a, lane.quota,
                           spec.symbols_per_tick);
-      service_receiver_half(*lane.receiver, lane.pipe->b(), t);
+      service_receiver_half(*lane.receiver, *lane.b, t);
     }
     for (std::size_t i = 0; i < spec.nodes; ++i) {
       // The figures' completion rule (bench_latency): decoded, or the
@@ -331,8 +444,8 @@ SwarmPrediction predict_swarm(const SwarmSpec& spec) {
     prediction.final_symbols.push_back(live[i]->symbol_count());
   }
   for (auto& lane : lanes) {
-    const auto& sent_a = lane.pipe->a().stats();
-    const auto& sent_b = lane.pipe->b().stats();
+    const auto& sent_a = lane.a->stats();
+    const auto& sent_b = lane.b->stats();
     SwarmEdgeTotals totals;
     totals.control_bytes = sent_a.control_bytes_sent + sent_b.control_bytes_sent;
     totals.control_frames =
@@ -340,6 +453,7 @@ SwarmPrediction predict_swarm(const SwarmSpec& spec) {
     totals.data_bytes = sent_a.data_bytes_sent + sent_b.data_bytes_sent;
     totals.data_frames = sent_a.data_frames_sent + sent_b.data_frames_sent;
     prediction.edges.push_back(totals);
+    prediction.handshake_retries += lane.receiver->handshake_retries();
   }
   return prediction;
 }
@@ -355,6 +469,21 @@ struct Half {
   std::unique_ptr<ReceiverEndpoint> receiver;  // receiver halves
 };
 
+/// Atomically rewrites the watchdog heartbeat (write-then-rename, so the
+/// harness never reads a torn line).
+void write_progress(const std::string& path, std::uint64_t now,
+                    std::size_t symbols, bool completed) {
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << "tick " << now << " symbols " << symbols << " completed "
+        << (completed ? 1 : 0) << "\n";
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+}
+
 void wait_for_file(const std::string& path, std::chrono::seconds timeout) {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   while (!std::filesystem::exists(path)) {
@@ -369,9 +498,11 @@ void wait_for_file(const std::string& path, std::chrono::seconds timeout) {
 
 SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
                                const std::string& ready_file,
-                               const std::string& go_file) {
+                               const std::string& go_file,
+                               const std::string& progress_file) {
   if (id >= spec.nodes) throw std::invalid_argument("swarm node id out of range");
   const SwarmWorld world = build_swarm_world(spec);
+  const SwarmLinkProfile* profile = spec.node_profile(id);
   auto live = make_swarm_peer(spec, world, id);
   auto frozen = make_swarm_peer(spec, world, id, ".frozen");
 
@@ -390,12 +521,23 @@ SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
     half.transport =
         std::make_unique<wire::UdpTransport>(std::move(socket), spec.mtu);
     half.transport->set_batch_budget(spec.batch_budget);
-    if (spec.loss_rate > 0.0) {
-      // Deterministic per (spec seed, edge, direction) so reruns of a
-      // lossy swarm drop the same inbound datagrams.
+    // Inbound shaping: the global loss_rate composed with this node's own
+    // access-class loss (independent drops), plus the class's delay line.
+    // Deterministic per (spec seed, edge, direction) so reruns of a lossy
+    // swarm drop the same inbound datagrams.
+    double inbound_loss = spec.loss_rate;
+    if (profile && profile->loss > 0.0) {
+      inbound_loss = 1.0 - (1.0 - inbound_loss) * (1.0 - profile->loss);
+    }
+    if (inbound_loss > 0.0) {
       half.transport->set_loss_injection(
-          spec.loss_rate,
+          inbound_loss,
           util::mix64(spec.seed ^ (0x10c5ULL + 2 * e + (sender_half ? 1 : 0))));
+    }
+    if (profile && (profile->delay_us > 0 || profile->jitter_us > 0)) {
+      half.transport->set_delay_shaping(
+          profile->delay_us, profile->jitter_us,
+          util::mix64(spec.seed ^ (0xde1aULL + 2 * e + (sender_half ? 1 : 0))));
     }
     const SessionOptions options = swarm_session_options(spec, world, e);
     if (sender_half) {
@@ -427,21 +569,38 @@ SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
   SwarmNodeReport report;
   report.node = id;
   const auto wall_start = std::chrono::steady_clock::now();
+  auto next_heartbeat = wall_start;
   std::uint64_t now = 0;
   std::uint64_t last_serviced = 0;
+  bool first_service = true;
   while (true) {
     now = loop.wall_now();
+    if (!progress_file.empty() &&
+        std::chrono::steady_clock::now() >= next_heartbeat) {
+      write_progress(progress_file, now, live->symbol_count(),
+                     report.completed);
+      next_heartbeat =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+    }
     // Catch-up credit: ticks slept or stalled across grant their data
     // budget in one round (capped — totals are quota-bound anyway).
     const std::uint64_t credit = std::min<std::uint64_t>(
         std::max<std::uint64_t>(1, now - last_serviced), 64);
+    // Receiver halves are serviced at most once per wall tick: a readable
+    // socket can wake the poll loop many times inside one tick (especially
+    // with a delay line holding datagrams back), and every same-tick
+    // service would count one quiet tick on the handshake retry clock —
+    // inflating retries far beyond what the lockstep predictor (one
+    // service per tick, by construction) would ever fire.
+    const bool rx_due = first_service || now != last_serviced;
+    first_service = false;
     last_serviced = now;
     for (auto& half : halves) {
       half.transport->pump();
       if (half.sender) {
         service_sender_half(*half.sender, *half.transport, half.quota,
                             spec.symbols_per_tick * credit);
-      } else {
+      } else if (rx_due) {
         service_receiver_half(*half.receiver, *half.transport, now);
       }
     }
@@ -506,6 +665,8 @@ SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
     if (idle) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+
+  write_progress(progress_file, now, live->symbol_count(), report.completed);
 
   report.end_tick = now;
   report.ticks_slept = loop.ticks_skipped();

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -49,6 +50,19 @@ struct SwarmEdge {
   std::uint16_t receiver_port = 0;
 };
 
+/// One named real-network access class (the scenario engine's LinkProfile,
+/// in wall-clock units): inbound shaping applied at a node's own sockets —
+/// socket-level loss injection plus a FIFO delay line — and mirrored by
+/// the predictor as per-edge ChannelLink shaping. With any shaping active
+/// the byte-equality cross-check degrades to completion + distributional
+/// agreement (completion-tick and retry bands), the harness's shaped mode.
+struct SwarmLinkProfile {
+  std::string name;
+  double loss = 0.0;  // inbound datagram loss probability
+  std::uint64_t delay_us = 0;
+  std::uint64_t jitter_us = 0;
+};
+
 /// The whole experiment in one small text config (`key value` lines plus
 /// one `edge <sender> <receiver> <sender_port> <receiver_port>` line per
 /// edge) shared verbatim by every process and the predictor.
@@ -89,6 +103,19 @@ struct SwarmSpec {
   std::uint64_t max_ticks = 30000;
   std::string host = "127.0.0.1";
   std::vector<SwarmEdge> edges;
+
+  /// Named access classes (`link_profile <name> <loss> <delay_us>
+  /// <jitter_us>` lines) and the node -> class assignment (`access
+  /// <node|default> <name>`, profiles must be declared first). Unassigned
+  /// nodes are unshaped.
+  std::vector<SwarmLinkProfile> link_profiles;
+  std::map<std::size_t, std::size_t> access;
+  std::optional<std::size_t> access_default;
+
+  /// The access class shaping node `id`'s inbound sockets, if any.
+  const SwarmLinkProfile* node_profile(std::size_t id) const;
+  /// Any node carries non-trivial shaping (=> byte exactness is off).
+  bool shaped() const;
 
   /// Every ordered pair exchanges: node r downloads from every other node,
   /// ports allocated consecutively from `base_port` (two per edge).
@@ -173,10 +200,17 @@ struct SwarmPrediction {
   std::vector<std::uint64_t> completion_tick;   // per node (0 = never)
   std::vector<std::size_t> final_symbols;       // per node distinct symbols
   std::vector<SwarmEdgeTotals> edges;
+  /// Receiver-half handshake retries summed over all edges (nonzero only
+  /// under shaped links, where a lost bundle forces a retry).
+  std::size_t handshake_retries = 0;
 };
 
-/// The simulator's answer for this spec: the same script over perfect
-/// in-process Pipes, every edge in lockstep.
+/// The simulator's answer for this spec: the same script over in-process
+/// links, every edge in lockstep. Unshaped specs run over perfect Pipes
+/// (byte-exact prediction); specs with access profiles run over
+/// ChannelLinks carrying each receiving node's loss/delay shaping — the
+/// completion-tick and retry figures become the *band centers* the shaped
+/// real run is gated against, not byte-exact totals.
 SwarmPrediction predict_swarm(const SwarmSpec& spec);
 
 /// --- Real run (one process) ------------------------------------------------
@@ -212,8 +246,12 @@ struct SwarmNodeReport {
 /// an unbound peer socket, or retries would diverge from the prediction),
 /// then drives its halves on EventLoop's wall-clock poll loop until its
 /// uploads exhaust their quotas and its download completes (or max_ticks).
+/// A non-empty `progress_file` is rewritten periodically with `tick
+/// <now> symbols <held> completed <0|1>` so the harness watchdog can tell
+/// a slow node from a wedged one.
 SwarmNodeReport run_swarm_node(const SwarmSpec& spec, std::size_t id,
                                const std::string& ready_file,
-                               const std::string& go_file);
+                               const std::string& go_file,
+                               const std::string& progress_file = "");
 
 }  // namespace icd::core

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
@@ -41,6 +42,13 @@ bool is_unreachable(int error) {
 bool is_again(int error) {
   return error == EAGAIN || error == EWOULDBLOCK || error == ENOBUFS ||
          error == EINTR;
+}
+
+std::uint64_t steady_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
@@ -155,8 +163,8 @@ bool UdpTransport::send_datagram(std::vector<std::uint8_t> frame) {
   }
   if (!tx_backlog_.empty() || is_again(error)) {
     ++udp_stats_.deferred_sends;
-    if (tx_backlog_.size() >= kMaxBacklog) {
-      ++udp_stats_.dropped_sends;
+    if (tx_backlog_.size() >= max_backlog_) {
+      ++udp_stats_.backlog_dropped;
       release_buffer(std::move(tx_backlog_.front()));
       tx_backlog_.pop_front();
     }
@@ -258,7 +266,7 @@ std::size_t UdpTransport::drain() {
           continue;
         }
         buffers[i].resize(length);
-        rx_.push_back(std::move(buffers[i]));
+        admit_rx(std::move(buffers[i]));
         ++udp_stats_.datagrams_received;
         ++arrived;
       }
@@ -296,17 +304,39 @@ std::size_t UdpTransport::drain() {
       continue;
     }
     buffer.resize(static_cast<std::size_t>(n));
-    rx_.push_back(std::move(buffer));
+    admit_rx(std::move(buffer));
     ++udp_stats_.datagrams_received;
     ++arrived;
   }
 #endif
 }
 
+void UdpTransport::admit_rx(std::vector<std::uint8_t> frame) {
+  RxEntry entry;
+  if (rx_delay_us_ > 0 || rx_jitter_us_ > 0) {
+    const std::uint64_t now = steady_now_us();
+    std::uint64_t hold = rx_delay_us_;
+    if (rx_jitter_us_ > 0) {
+      hold += rx_delay_rng_.next_below(rx_jitter_us_ + 1);
+    }
+    // A FIFO delay line: release times never reorder, the head of the
+    // queue is always the next deliverable datagram.
+    entry.release_us = std::max(now + hold, rx_last_release_us_);
+    rx_last_release_us_ = entry.release_us;
+    ++udp_stats_.delayed_datagrams;
+  }
+  entry.frame = std::move(frame);
+  rx_.push_back(std::move(entry));
+}
+
 std::optional<std::vector<std::uint8_t>> UdpTransport::next_datagram() {
   if (rx_.empty()) drain();
   if (rx_.empty()) return std::nullopt;
-  auto frame = std::move(rx_.front());
+  if (rx_.front().release_us > 0 &&
+      rx_.front().release_us > steady_now_us()) {
+    return std::nullopt;  // shaped datagram still in flight
+  }
+  auto frame = std::move(rx_.front().frame);
   rx_.pop_front();
   return frame;
 }

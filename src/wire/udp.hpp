@@ -74,9 +74,10 @@ struct UdpTransportStats {
   std::size_t recv_batches = 0;
   /// Sends the kernel refused with EAGAIN, queued for a later pump().
   std::size_t deferred_sends = 0;
-  /// Backlogged datagrams dropped on overflow — the link "lost" them, the
-  /// same contract as a LossyChannel drop (sent and byte-counted above).
-  std::size_t dropped_sends = 0;
+  /// Backlogged datagrams dropped oldest-first when the deferred queue hit
+  /// its cap — the link "lost" them, the same contract as a LossyChannel
+  /// drop (sent and byte-counted above).
+  std::size_t backlog_dropped = 0;
   /// Sends the network stack swallowed (ICMP port-unreachable from a peer
   /// not yet bound, or already gone) — also charged as link loss.
   std::size_t refused_sends = 0;
@@ -84,6 +85,8 @@ struct UdpTransportStats {
   std::size_t truncated_datagrams = 0;
   /// Inbound datagrams dropped by set_loss_injection (fault testing).
   std::size_t injected_drops = 0;
+  /// Inbound datagrams held back by set_delay_shaping before delivery.
+  std::size_t delayed_datagrams = 0;
 };
 
 /// wire::Transport over one connected UDP socket.
@@ -128,6 +131,25 @@ class UdpTransport : public Transport {
     rx_loss_rng_ = util::Xoshiro256(seed);
   }
 
+  /// Socket-level delay shaping: each inbound datagram is held for
+  /// `delay_us` plus a uniform jitter draw in [0, jitter_us] microseconds
+  /// of wall time before next_datagram() will surface it. Release times
+  /// are kept monotone (a FIFO delay line, not a reorderer). Scenario
+  /// link-profile emulation without netem privileges; 0/0 disables.
+  void set_delay_shaping(std::uint64_t delay_us, std::uint64_t jitter_us,
+                         std::uint64_t seed) {
+    rx_delay_us_ = delay_us;
+    rx_jitter_us_ = jitter_us;
+    rx_delay_rng_ = util::Xoshiro256(seed);
+  }
+
+  /// Caps the EAGAIN-deferred send queue (drop-oldest on overflow, counted
+  /// in backlog_dropped). Clamped to >= 1; defaults to kMaxBacklog.
+  void set_max_backlog(std::size_t cap) {
+    max_backlog_ = cap > 0 ? cap : std::size_t{1};
+  }
+  std::size_t max_backlog() const { return max_backlog_; }
+
   /// Test seam: the next `n` datagram transmissions (direct sends and
   /// pump() retries alike) fail as if the kernel returned EAGAIN, forcing
   /// the deferred-send backlog path without needing a saturated socket.
@@ -146,13 +168,27 @@ class UdpTransport : public Transport {
 
  private:
   bool transmit(const std::vector<std::uint8_t>& frame);
+  /// Queues one arrived datagram, stamping its shaped release time.
+  void admit_rx(std::vector<std::uint8_t> frame);
+
+  struct RxEntry {
+    /// Wall-clock release deadline in steady-clock microseconds; 0 when
+    /// shaping is off (deliverable immediately).
+    std::uint64_t release_us = 0;
+    std::vector<std::uint8_t> frame;
+  };
 
   UdpSocket socket_;
-  std::deque<std::vector<std::uint8_t>> rx_;
+  std::deque<RxEntry> rx_;
   std::deque<std::vector<std::uint8_t>> tx_backlog_;
   UdpTransportStats udp_stats_;
+  std::size_t max_backlog_ = kMaxBacklog;
   double rx_loss_rate_ = 0.0;
   util::Xoshiro256 rx_loss_rng_{0};
+  std::uint64_t rx_delay_us_ = 0;
+  std::uint64_t rx_jitter_us_ = 0;
+  std::uint64_t rx_last_release_us_ = 0;
+  util::Xoshiro256 rx_delay_rng_{0};
   std::size_t debug_eagain_sends_ = 0;
 };
 

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "core/delivery.hpp"
+#include "core/fault_plan.hpp"
 #include "core/session_plan.hpp"
 #include "util/random.hpp"
 
@@ -253,6 +255,51 @@ TEST(DeliveryService, LinkTotalsAreCumulativeAcrossRefreshes) {
   EXPECT_GT(refreshes_observed, 0u);
   EXPECT_GT(previous.control_bytes, 0u);
   EXPECT_GT(previous.data_bytes, 0u);
+}
+
+TEST(DeliveryService, SuspectOnlyNovelSenderIsReadmittedAfterTtlExpiry) {
+  // relax_policy_for_need x suspect set: peer 1's only novel source is
+  // peer 0, which crashes mid-transfer (flagged by the liveness timeout,
+  // marked suspect) and restarts while still inside its suspect TTL. The
+  // starving receiver's admission cutoff relaxes toward 1 as refreshes
+  // pass — but relaxation widens the *policy*, never the candidate pool:
+  // a suspect stays excluded until the TTL expires, and only then does
+  // the (relaxed) admission re-form the session and finish the download.
+  auto plan = std::make_shared<FaultPlan>();
+  plan->crashes.push_back({30, 0});
+  plan->restarts.push_back({55, 0});
+  DeliveryOptions options;
+  options.block_size = 64;
+  options.session_seed = 51;
+  options.refresh_interval = 25;
+  options.faults = plan;
+  options.liveness_timeout_ticks = 12;
+  options.max_handshake_retries = 4;
+  options.suspect_ttl_ticks = 60;
+  const auto content = random_content(64 * 60, 77);
+  ContentDeliveryService service(content, options);
+  service.add_peer("source", true);
+  service.add_peer("leaf", false);
+
+  // Restarted and alive — but still suspect, so refreshes (with ever more
+  // relaxed cutoffs: the leaf is starving) must not re-admit peer 0.
+  for (std::size_t t = 0; t < 90; ++t) service.tick();
+  EXPECT_FALSE(service.peer_down(0));
+  EXPECT_FALSE(service.peer_complete(1));
+
+  ASSERT_TRUE(service.run(8000));
+  EXPECT_TRUE(service.peer_complete(1));
+  EXPECT_EQ(service.peer_content(1), content);
+
+  // The abandoned session was diagnosed, and completion waited out the
+  // suspect window (failure tick + TTL) rather than racing the restart.
+  const auto result = service.session_result(1);
+  ASSERT_FALSE(result.failed_peers.empty());
+  EXPECT_EQ(result.failed_peers.front().peer, 0u);
+  EXPECT_EQ(result.failed_peers.front().reason,
+            FailedPeer::Reason::kLivenessTimeout);
+  EXPECT_GE(service.peer_completion_tick(1),
+            result.failed_peers.front().tick + options.suspect_ttl_ticks);
 }
 
 TEST(DeliveryService, TicksAreCountedAndContentIsStable) {
