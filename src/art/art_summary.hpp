@@ -35,6 +35,12 @@ class ArtSummary {
 
   std::size_t element_count() const { return element_count_; }
 
+  /// Heap bytes the two filters pin (scale audit).
+  std::size_t memory_bytes() const {
+    return (leaf_filter_ ? leaf_filter_->memory_bytes() : 0) +
+           (internal_filter_ ? internal_filter_->memory_bytes() : 0);
+  }
+
   /// Total size of both filters in bits / in serialized bytes.
   /// serialize_into appends the same bytes as serialize() to an existing
   /// writer (e.g. over a pooled frame buffer) without scratch vectors;

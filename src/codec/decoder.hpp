@@ -44,6 +44,24 @@ class Decoder {
 
   const CodeParameters& parameters() const { return params_; }
 
+  /// Heap bytes pinned: the peeler plus the derivation scratch.
+  std::size_t memory_bytes() const {
+    return peeler_.memory_bytes() +
+           neighbor_scratch_.capacity() * sizeof(std::uint32_t) +
+           pick_scratch_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Releases solver-only storage (buffered equations, waiting index)
+  /// once no further symbols will arrive. Recovered blocks — blocks()
+  /// and complete() — survive. Idempotent.
+  void release_solver_state() {
+    peeler_.release_solver_state();
+    neighbor_scratch_.clear();
+    neighbor_scratch_.shrink_to_fit();
+    pick_scratch_.clear();
+    pick_scratch_.shrink_to_fit();
+  }
+
  private:
   CodeParameters params_;
   DegreeDistribution dist_;

@@ -67,6 +67,12 @@ class Encoder {
   /// different seeds do not collide.
   EncodedSymbol next();
 
+  /// Draws the next stream id WITHOUT encoding it. next() ≡
+  /// encode(take_next_id()); splitting the draw lets a coordinator reserve
+  /// ids in deterministic order while shard workers run the (pure, const)
+  /// encode() for those ids in parallel.
+  std::uint64_t take_next_id() { return next_id_++; }
+
   std::vector<std::uint32_t> neighbors(std::uint64_t symbol_id) const {
     return symbol_neighbors(params_, dist_, symbol_id);
   }

@@ -89,6 +89,45 @@ class PeelingDecoder {
   /// track an offset into this log to observe incremental recoveries.
   const std::vector<Key>& recovery_log() const { return log_; }
 
+  /// Heap bytes this decoder pins: recovered values, buffered equations
+  /// (unknown lists + payloads), the waiting index, and the logs. Node
+  /// and bucket overhead of the hash maps is approximated per entry.
+  std::size_t memory_bytes() const {
+    // unordered_map node ~= key + value + 2 pointers + hash slot.
+    constexpr std::size_t kNodeOverhead = 4 * sizeof(void*);
+    std::size_t bytes = 0;
+    for (const auto& [key, value] : known_) {
+      bytes += sizeof(Key) + value.capacity() + kNodeOverhead;
+    }
+    for (const Equation& eq : equations_) {
+      bytes += sizeof(Equation) + eq.unknowns.capacity() * sizeof(Key) +
+               eq.payload.capacity();
+    }
+    bytes += equations_.capacity() * sizeof(Equation);
+    for (const auto& [key, ids] : waiting_) {
+      bytes += sizeof(Key) + ids.capacity() * sizeof(std::size_t) +
+               kNodeOverhead;
+    }
+    bytes += pending_.size() * sizeof(Key);
+    bytes += log_.capacity() * sizeof(Key);
+    return bytes;
+  }
+
+  /// Releases solver-only storage — buffered equations, the waiting
+  /// index, the substitution queue — once no further equations will ever
+  /// arrive (session completion). Recovered values (`known_`), the
+  /// recovery log, and the redundancy counter survive: serving recoded
+  /// symbols and content reassembly read them. Idempotent.
+  void release_solver_state() {
+    equations_.clear();
+    equations_.shrink_to_fit();
+    waiting_.clear();
+    waiting_.rehash(0);
+    pending_.clear();
+    pending_.shrink_to_fit();
+    live_equations_ = 0;
+  }
+
  private:
   struct Equation {
     std::vector<Key> unknowns;

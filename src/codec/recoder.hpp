@@ -110,6 +110,14 @@ class RecodeDecoder {
     return peeler_.recovery_log();
   }
 
+  /// Heap bytes pinned (held payloads + buffered recode equations).
+  std::size_t memory_bytes() const { return peeler_.memory_bytes(); }
+
+  /// Releases recode-solver storage (buffered equations with unresolved
+  /// constituents) once no further symbols will arrive. Held/recovered
+  /// payloads — payload() serving — survive. Idempotent.
+  void release_solver_state() { peeler_.release_solver_state(); }
+
  private:
   PeelingDecoder<std::uint64_t> peeler_;
 };

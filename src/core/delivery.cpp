@@ -35,6 +35,7 @@ std::size_t ContentDeliveryService::add_peer(const std::string& name,
   entry.origin_fed = subscribe_origin;
   entry.origin_index = peers_.size() % origins_.size();
   peers_.push_back(std::move(entry));
+  planner_dirty_ = true;  // membership change: replan from scratch
   return peers_.size() - 1;
 }
 
@@ -45,6 +46,7 @@ void ContentDeliveryService::refresh_sessions() {
   // with ShardedDelivery so the two engines form identical sessions.
   const std::size_t target = static_cast<std::size_t>(
       1.07 * static_cast<double>(parameters().block_count));
+  planner_dirty_ = true;  // every download link is about to be replaced
   run_refresh_loop(
       peers_.size(), options_, target, next_session_seed_,
       /*teardown=*/
@@ -58,6 +60,13 @@ void ContentDeliveryService::refresh_sessions() {
           teardown_download(*download);
         }
         peers_[me].downloads.clear();
+        // Past the last delivery this peer can ever see, a finished
+        // decoder's solver state is dead weight — release it here (not at
+        // the completion stamp, where in-flight symbols could still peel
+        // held equations and perturb the sketch admission reads).
+        if (peers_[me].peer->has_content()) {
+          peers_[me].peer->compact_on_complete();
+        }
       },
       /*is_complete=*/
       [this](std::size_t me) {
@@ -138,10 +147,14 @@ void ContentDeliveryService::apply_faults(std::uint64_t now) {
         // The crash kills the peer's live sessions (wire costs banked) but
         // not its decoded content: a later restart rejoins holding the
         // partial working set and re-handshakes with its current summary.
+        planner_dirty_ = true;
         for (auto& [sender_id, download] : peers_[peer].downloads) {
           teardown_download(*download);
         }
         peers_[peer].downloads.clear();
+        if (peers_[peer].peer->has_content()) {
+          peers_[peer].peer->compact_on_complete();
+        }
       },
       /*on_join=*/
       [this](std::size_t count, bool origin_fed) {
@@ -166,6 +179,7 @@ void ContentDeliveryService::sweep_failed_downloads(std::uint64_t now) {
       entry.failed_peers.push_back(FailedPeer{it->first, now, reason});
       faults_.mark_suspect(it->first, now + suspect_ttl());
       it = entry.downloads.erase(it);
+      planner_dirty_ = true;  // the erased download's events are gone
     }
   }
 }
@@ -251,44 +265,108 @@ void ContentDeliveryService::service_downloads(PeerEntry& entry,
   }
 }
 
-std::optional<std::uint64_t> ContentDeliveryService::next_event_time() {
-  loop_.clear();
-  const std::uint64_t now = ticks_;
+std::optional<Event> ContentDeliveryService::plan_peer_events(
+    std::size_t i, std::uint64_t now) {
+  PeerEntry& entry = peers_[i];
+  if (entry.peer->has_content()) return std::nullopt;
+  // A down peer is frozen until a fault boundary (restart / stall end)
+  // wakes it — every boundary forces a full planner rebuild, never a
+  // per-link event.
+  if (faults_.active() && faults_.down(i, now)) return std::nullopt;
+  // The origin fountain streams one symbol per tick to an incomplete
+  // subscriber: every tick is an event while one exists.
+  if (entry.origin_fed) return Event{now, EventKind::kOriginFeed, i};
   const std::size_t hint = data_frame_bytes_hint(options_.block_size);
-  bool any_incomplete = false;
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    PeerEntry& entry = peers_[i];
-    if (entry.peer->has_content()) continue;
-    any_incomplete = true;
-    // A down peer is frozen until a fault boundary (restart / stall end)
-    // wakes it — scheduled below via kPeerFault, never per-link.
-    if (faults_.active() && faults_.down(i, now)) continue;
-    // The origin fountain streams one symbol per tick to an incomplete
-    // subscriber: every tick is an event while one exists.
-    if (entry.origin_fed) {
-      loop_.schedule(now, EventKind::kOriginFeed, i);
-      continue;
+  plan_scratch_.clear();
+  for (auto& [sender_id, download] : entry.downloads) {
+    LinkTimes times;
+    times.timed = download->link.timed();
+    times.sender_down = faults_.active() && faults_.down(sender_id, now);
+    if (times.timed) {
+      times.next_arrival = download->link.next_event_time();
+      times.send_credit_at = download->link.a_send_ready_at(hint);
     }
-    for (auto& [sender_id, download] : entry.downloads) {
-      LinkTimes times;
-      times.timed = download->link.timed();
-      times.sender_down = faults_.active() && faults_.down(sender_id, now);
-      if (times.timed) {
-        times.next_arrival = download->link.next_event_time();
-        times.send_credit_at = download->link.a_send_ready_at(hint);
-      }
-      schedule_download_events(loop_, download->sender, download->receiver,
-                               times, now, sender_id);
+    schedule_download_events(plan_scratch_, download->sender,
+                             download->receiver, times, now, sender_id);
+  }
+  const auto first = plan_scratch_.peek();
+  if (!first) return std::nullopt;
+  // Re-keyed to the receiving peer: the planner holds one entry per peer,
+  // and only the entry's *time* feeds the jump target (max(peek, now) —
+  // exactly what the full rebuild's global min produced).
+  return Event{first->at, first->kind, i};
+}
+
+void ContentDeliveryService::replan_peer(std::size_t i, std::uint64_t now) {
+  const char incomplete = peers_[i].peer->has_content() ? 0 : 1;
+  if (plan_incomplete_[i] != incomplete) {
+    plan_incomplete_[i] = incomplete;
+    if (incomplete) {
+      ++incomplete_peers_;
+    } else {
+      --incomplete_peers_;
     }
   }
+  planner_.set(i, plan_peer_events(i, now));
+}
+
+std::optional<std::uint64_t> ContentDeliveryService::next_event_time() {
+  const std::uint64_t now = ticks_;
+  planner_.ensure_keys(peers_.size());
+  if (plan_incomplete_.size() < peers_.size()) {
+    plan_incomplete_.resize(peers_.size(), 0);
+  }
+  // Full rebuild when the download graph changed shape (refresh, crash,
+  // sweep, join), when a fault boundary fell inside the planning gap (a
+  // stall window edge flips down() with no callback), or — conservatively
+  // — while blackout windows exist (they mutate link delivery without
+  // touching any planned state).
+  bool full = planner_dirty_ || planner_.pending_full() ||
+              faults_.any_blackouts();
+  if (!full && faults_.active()) {
+    const auto boundary = faults_.next_boundary_after(planned_through_);
+    if (boundary && *boundary <= now) full = true;
+  }
+  if (full) {
+    planner_.begin_rebuild();
+    incomplete_peers_ = 0;
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      plan_incomplete_[i] = peers_[i].peer->has_content() ? 0 : 1;
+      incomplete_peers_ += static_cast<std::size_t>(plan_incomplete_[i]);
+      planner_.set(i, plan_peer_events(i, now));
+    }
+    planner_dirty_ = false;
+  } else {
+    // Incremental round: only peers whose stored entry came due (the
+    // executed ticks may have perturbed exactly those) are replanned.
+    // Entries with at >= now are untouched — every per-download time
+    // source is an absolute-time function of state that no-op services
+    // leave unchanged, so they are exactly what a rebuild would plan.
+    plan_due_scratch_.clear();
+    planner_.take_due(now, plan_due_scratch_);
+    for (const std::uint64_t key : plan_due_scratch_) {
+      replan_peer(key, now);
+    }
+  }
+  planned_through_ = now;
+  if (incomplete_peers_ == 0 && !faults_.pending_joins()) return std::nullopt;
+  std::optional<std::uint64_t> at;
+  if (const auto next = planner_.peek()) at = next->at;
   // Fault boundaries are planning barriers: the jump may never cross a
   // crash/restart/join tick or a stall/blackout window edge, so jumped
   // and lockstep runs apply faults at identical ticks.
-  if (const auto boundary = faults_.next_boundary_after(now)) {
-    loop_.schedule(*boundary, EventKind::kPeerFault, 0);
+  if (faults_.active()) {
+    if (const auto boundary = faults_.next_boundary_after(now)) {
+      at = at ? std::min(*at, *boundary) : *boundary;
+    }
   }
-  return finish_event_planning(loop_, now, options_.refresh_interval,
-                               any_incomplete || faults_.pending_joins());
+  // The coordinator's next refresh tick (first multiple of the interval
+  // at or after now — matching tick()'s pre-increment modulo check).
+  const std::size_t interval =
+      std::max<std::size_t>(1, options_.refresh_interval);
+  const std::uint64_t refresh = ((now + interval - 1) / interval) * interval;
+  at = at ? std::min(*at, refresh) : refresh;
+  return std::max(*at, now);
 }
 
 bool ContentDeliveryService::run(std::size_t max_ticks) {
@@ -350,6 +428,22 @@ ContentDeliveryService::LinkTotals ContentDeliveryService::link_totals()
   LinkTotals totals = retired_link_totals_;
   totals += active_link_totals();
   return totals;
+}
+
+MemoryAudit ContentDeliveryService::memory_audit() const {
+  MemoryAudit audit;
+  audit.peers = peers_.size();
+  for (const PeerEntry& entry : peers_) {
+    audit.decoder_bytes += entry.peer->memory_bytes();
+    for (const auto& [sender_id, download] : entry.downloads) {
+      audit.endpoint_bytes += download->sender.memory_bytes() +
+                              download->receiver.memory_bytes();
+      // The link counts its shared buffer pool once here; the transports
+      // deliberately exclude it (see Transport::memory_bytes).
+      audit.link_bytes += download->link.memory_bytes();
+    }
+  }
+  return audit;
 }
 
 }  // namespace icd::core

@@ -52,6 +52,12 @@ struct DeliveryOptions {
   /// by default: the historical plan (top novelty ranks, input order on
   /// ties) stays bit-for-bit.
   bool overlap_aware_selection = false;
+  /// Massive-swarm admission: when nonzero, each refresh plans every
+  /// receiver against a deterministic sample of this many candidate
+  /// senders (seeded rejection draws off the session seed chain) instead
+  /// of ranking the entire swarm — O(n·k²) per refresh instead of O(n²).
+  /// 0 (default) keeps the historical full-pool plan bit-for-bit.
+  std::size_t admission_sample = 0;
   /// Channel shaping (loss, reorder, MTU) applied to every peer-to-peer
   /// link. Perfect by default. An unset seed is replaced with a fresh
   /// per-link draw to decorrelate links; an explicit seed is honored
@@ -107,6 +113,30 @@ struct DeliveryOptions {
   bool jump_empty_ticks = true;
 };
 
+/// Per-peer memory accounting for the scale audit: how many bytes of
+/// decoder, endpoint, and link state one simulated peer pins, so a 10k-1M
+/// swarm's RAM footprint is a measured number instead of a guess. Shared
+/// by both delivery engines; see DESIGN.md, "Scale model".
+struct MemoryAudit {
+  std::size_t peers = 0;
+  /// Peer-held codec state: block + recode decoders, sketch, symbol ids.
+  std::size_t decoder_bytes = 0;
+  /// Active endpoint pairs (handshake caches, reconciliation domains,
+  /// scratch).
+  std::size_t endpoint_bytes = 0;
+  /// Link state: channel queues, delay lines, transports, buffer pools.
+  std::size_t link_bytes = 0;
+
+  std::size_t total() const {
+    return decoder_bytes + endpoint_bytes + link_bytes;
+  }
+  double bytes_per_peer() const {
+    return peers == 0 ? 0.0
+                      : static_cast<double>(total()) /
+                            static_cast<double>(peers);
+  }
+};
+
 class ContentDeliveryService {
  public:
   /// Registers the content and creates the primary origin.
@@ -159,7 +189,14 @@ class ContentDeliveryService {
   SessionResult session_result(std::size_t id) const {
     const PeerEntry& entry = peers_.at(id);
     return SessionResult{entry.peer->has_content(), entry.completed_tick,
-                         entry.failed_peers};
+                         entry.failed_peers, entry.peer->memory_bytes()};
+  }
+  /// Decoder + endpoint + link bytes currently pinned, per layer and per
+  /// peer — the scale audit both engines surface identically.
+  MemoryAudit memory_audit() const;
+  /// Incremental cross-tick planner counters (queue-ops-per-tick bench).
+  const PlanningQueue::Stats& planner_stats() const {
+    return planner_.stats();
   }
   /// Whether the peer is currently down (crashed or stalled) under the
   /// fault plan.
@@ -265,8 +302,17 @@ class ContentDeliveryService {
   /// not be a no-op: the next refresh, an origin feed (every tick while a
   /// fed peer is incomplete), or any active download's next frame
   /// arrival / send credit / handshake retry. nullopt when every peer is
-  /// complete. Rebuilds the loop's (time, kind, key) queue and peeks it.
+  /// complete. Served by the incremental planner: only peers whose stored
+  /// entry came due (or a structural invalidation) are replanned; stored
+  /// entries with at >= now are exactly what a full rebuild would plan
+  /// (see DESIGN.md, "Scale model").
   std::optional<std::uint64_t> next_event_time();
+  /// One peer's earliest upcoming event, re-keyed to the receiving peer
+  /// id — the planner entry. nullopt for complete, down, or fully drained
+  /// peers (a down peer is woken by the fault-boundary rebuild).
+  std::optional<Event> plan_peer_events(std::size_t i, std::uint64_t now);
+  /// Re-derives one peer's planner entry and incomplete accounting.
+  void replan_peer(std::size_t i, std::uint64_t now);
   /// Services one peer's downloads in event order at virtual time
   /// `now` (= the tick index): untimed links every tick in sender order
   /// (the historical lockstep), timed links only when a frame has arrived
@@ -286,10 +332,24 @@ class ContentDeliveryService {
   /// Fault bookkeeping (inert when options_.faults is null).
   FaultTracker faults_;
   /// The discrete-event core: global virtual clock + (time, kind, key)
-  /// queue, reused both for per-tick service ordering (rebuilt per peer)
-  /// and for the cross-tick planning that lets run_until jump empty
-  /// spans.
+  /// queue, reused for per-tick service ordering (rebuilt per peer).
   EventLoop loop_;
+  /// The always-on incremental cross-tick planner: one live entry per
+  /// peer (its earliest upcoming event), lazily invalidated by stamp.
+  PlanningQueue planner_;
+  /// Scratch queue plan_peer_events builds one peer's events into.
+  EventLoop plan_scratch_;
+  /// Keys handed back by PlanningQueue::take_due each planning round.
+  std::vector<std::uint64_t> plan_due_scratch_;
+  /// Structural invalidation: session refresh, fault application, failure
+  /// sweep, membership change — the next planning round rebuilds fully.
+  bool planner_dirty_ = true;
+  /// The `now` of the last planning round (fault-boundary gap detection).
+  std::uint64_t planned_through_ = 0;
+  /// Per-peer incompleteness mirror + count, so planning needn't rescan
+  /// every peer to decide whether the swarm is done.
+  std::vector<char> plan_incomplete_;
+  std::size_t incomplete_peers_ = 0;
 };
 
 }  // namespace icd::core

@@ -145,6 +145,14 @@ std::size_t ReceiverEndpoint::tick() {
       containment_estimated_ = true;
     }
     phase_ = EndpointPhase::kTransfer;
+    // Transfer reached: the buffered sender sketch and the cached
+    // handshake bundle (summary + sketch scratch) are never sent or read
+    // again — retries only run pre-transfer. Freeing them here is what
+    // keeps per-receiver memory flat at 10k+ peers; a duplicate sender
+    // reply merely re-buffers the sketch until the next service.
+    sender_sketch_.reset();
+    summary_cache_.reset();
+    sketch_scratch_.reset();
   }
 
   // Request/retry path: until the sender's reply lands, re-send the whole
@@ -261,6 +269,17 @@ void SenderEndpoint::tick() {
     }
   }
 
+  // Transfer first: once the handshake is digested the buffered summaries
+  // are released (finish_handshake), so bundle_complete() no longer holds
+  // — but in transfer the only work left is answering re-sent bundles.
+  // Pre-release this ordering is equivalent to checking bundle_complete()
+  // first, because the buffered pieces were sticky once transfer began.
+  if (phase_ == EndpointPhase::kTransfer) {
+    if (reply_due_) send_reply();
+    reply_due_ = false;
+    release_handshake_summaries();  // drop any re-buffered duplicates
+    return;
+  }
   if (!bundle_complete()) {
     if (receiver_hello_ || receiver_sketch_) {
       phase_ = strategy_uses_bloom(options_.strategy)
@@ -269,11 +288,7 @@ void SenderEndpoint::tick() {
     }
     return;
   }
-  if (phase_ != EndpointPhase::kTransfer) {
-    finish_handshake();
-  } else if (reply_due_) {
-    send_reply();
-  }
+  finish_handshake();
   reply_due_ = false;
 }
 
@@ -313,6 +328,11 @@ void SenderEndpoint::finish_handshake() {
 
   phase_ = EndpointPhase::kTransfer;
   send_reply();
+  // The sketch and summary are fully digested into estimated_containment_
+  // and domain_; free the per-session copies (the dominant sender-side
+  // cost at scale). sketch_scratch_ stays — send_reply reuses it for
+  // every re-sent bundle's reply.
+  release_handshake_summaries();
 }
 
 void SenderEndpoint::send_reply() {

@@ -97,6 +97,24 @@ struct SessionStats {
   std::size_t new_encoded_symbols = 0;
 };
 
+/// Heap bytes a cached handshake message pins (scale audit): the sketch,
+/// Bloom, or ART payload held inside the wire::Message variant. Other
+/// message kinds (and an empty optional) cost nothing worth charging.
+inline std::size_t cached_message_bytes(
+    const std::optional<wire::Message>& message) {
+  if (!message) return 0;
+  if (const auto* s = std::get_if<wire::SketchMessage>(&*message)) {
+    return s->sketch.memory_bytes();
+  }
+  if (const auto* b = std::get_if<wire::BloomSummaryMessage>(&*message)) {
+    return b->filter.memory_bytes();
+  }
+  if (const auto* a = std::get_if<wire::ArtSummaryMessage>(&*message)) {
+    return a->summary.memory_bytes();
+  }
+  return 0;
+}
+
 /// Protocol progress of one endpoint.
 enum class EndpointPhase : std::uint8_t {
   kHandshake,  // nothing exchanged yet
@@ -200,6 +218,16 @@ class ReceiverEndpoint {
   /// RequestUpdate frames issued (flow_control sessions only).
   std::size_t flow_updates_sent() const { return flow_updates_sent_; }
 
+  /// Heap bytes this endpoint pins beyond its Peer: the buffered sender
+  /// sketch plus the cached handshake bundle pieces (scale audit). The
+  /// handshake caches are released on the transfer transition, so a
+  /// completed session charges ~0 here.
+  std::size_t memory_bytes() const {
+    return (sender_sketch_ ? sender_sketch_->memory_bytes() : 0) +
+           cached_message_bytes(summary_cache_) +
+           cached_message_bytes(sketch_scratch_);
+  }
+
  private:
   void send_bundle();
   void maybe_send_flow_update();
@@ -301,10 +329,32 @@ class SenderEndpoint {
   const Peer& peer() const { return peer_; }
   const wire::Transport& transport() const { return transport_; }
 
+  /// Heap bytes this endpoint pins beyond its Peer: buffered handshake
+  /// summaries (released once digested), the filtered domain, the recode
+  /// scratch, and the cached reply sketch (scale audit).
+  std::size_t memory_bytes() const {
+    return (receiver_sketch_ ? receiver_sketch_->memory_bytes() : 0) +
+           (receiver_bloom_ ? receiver_bloom_->memory_bytes() : 0) +
+           (receiver_art_ ? receiver_art_->memory_bytes() : 0) +
+           domain_.capacity() * sizeof(std::uint64_t) +
+           recode_scratch_.constituents.capacity() * sizeof(std::uint64_t) +
+           recode_scratch_.payload.capacity() +
+           cached_message_bytes(sketch_scratch_);
+  }
+
  private:
   bool bundle_complete() const;
   void finish_handshake();
   void send_reply();
+  /// Frees the buffered handshake summaries once digested into domain_ and
+  /// the containment estimate — at 10k+ peers the per-session Bloom/ART
+  /// copies dominate sender-side memory. A duplicate bundle from a lossy
+  /// link re-buffers them; the transfer branch re-releases after replying.
+  void release_handshake_summaries() {
+    receiver_sketch_.reset();
+    receiver_bloom_.reset();
+    receiver_art_.reset();
+  }
 
   Peer& peer_;
   SessionOptions options_;

@@ -96,6 +96,93 @@ bool EventLoop::poll_wait(std::uint64_t max_wait_ticks) {
   return ready > 0;
 }
 
+namespace {
+
+/// Same strict (at, kind, key) order as the EventLoop heap.
+struct EntryAfter {
+  template <typename Entry>
+  bool operator()(const Entry& a, const Entry& b) const {
+    return std::tie(a.event.at, a.event.kind, a.event.key) >
+           std::tie(b.event.at, b.event.kind, b.event.key);
+  }
+};
+
+}  // namespace
+
+void PlanningQueue::ensure_keys(std::size_t count) {
+  if (count <= stamps_.size()) return;
+  stamps_.resize(count, 0);
+  live_.resize(count, 0);
+  live_event_.resize(count);
+}
+
+void PlanningQueue::begin_rebuild() {
+  heap_.clear();
+  std::fill(live_.begin(), live_.end(), 0);
+  live_count_ = 0;
+  pending_full_ = false;
+  ++stats_.full_rebuilds;
+}
+
+void PlanningQueue::set(std::uint64_t key, const std::optional<Event>& event) {
+  ensure_keys(key + 1);
+  ++stamps_[key];  // invalidates any heap entry this key had
+  if (!event) {
+    if (live_[key]) {
+      live_[key] = 0;
+      --live_count_;
+    }
+    return;
+  }
+  if (!live_[key]) {
+    live_[key] = 1;
+    ++live_count_;
+  }
+  live_event_[key] = *event;
+  heap_.push_back(Entry{*event, stamps_[key]});
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  ++stats_.pushes;
+  if (heap_.size() > 2 * live_count_ + 64) compact();
+}
+
+void PlanningQueue::drop_stale_front() {
+  while (!heap_.empty() && !fresh(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+    ++stats_.stale_skipped;
+  }
+}
+
+void PlanningQueue::take_due(std::uint64_t now,
+                             std::vector<std::uint64_t>& out) {
+  for (;;) {
+    drop_stale_front();
+    if (heap_.empty() || heap_.front().event.at >= now) return;
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    const std::uint64_t key = heap_.back().event.key;
+    heap_.pop_back();
+    live_[key] = 0;
+    --live_count_;
+    ++stats_.pops;
+    out.push_back(key);
+  }
+}
+
+std::optional<Event> PlanningQueue::peek() {
+  drop_stale_front();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.front().event;
+}
+
+void PlanningQueue::compact() {
+  heap_.clear();
+  for (std::uint64_t key = 0; key < live_.size(); ++key) {
+    if (live_[key]) heap_.push_back(Entry{live_event_[key], stamps_[key]});
+  }
+  std::make_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  ++stats_.compactions;
+}
+
 std::size_t data_frame_bytes_hint(std::size_t block_size) {
   // Frame header + symbol id/constituents prefix on top of one payload.
   return block_size + 64;

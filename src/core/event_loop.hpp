@@ -146,6 +146,89 @@ class EventLoop {
   std::vector<int> watched_fds_;
 };
 
+/// The always-on incremental cross-tick planner. The engines used to
+/// rebuild the whole planning queue after every executed tick (clear +
+/// re-schedule every incomplete peer's downloads) — quadratic-ish on huge
+/// swarms, since one executed tick usually perturbs a handful of peers.
+/// PlanningQueue keeps one live entry per *key* (the receiving peer id):
+/// that peer's earliest upcoming event, re-keyed to the peer. Replacing a
+/// key's entry does not search the heap; it bumps the key's stamp and
+/// pushes a fresh entry, and stale entries (stamp mismatch) are skimmed
+/// lazily at peek/pop time. A compaction bound (heap > 2*live + 64)
+/// keeps the garbage linear in the live set.
+///
+/// Correctness contract (see DESIGN.md, "Scale model"): a stored entry
+/// with at >= now is exactly what a full rebuild at `now` would plan for
+/// that peer, because every per-download time source (frame arrival,
+/// send credit, retry/liveness deadlines) is an absolute-time function of
+/// state that only changes when the peer is serviced or flagged — and
+/// take_due() hands every entry with at < now back for replanning before
+/// the round's answer is folded.
+class PlanningQueue {
+ public:
+  struct Stats {
+    std::uint64_t pushes = 0;         // entries pushed (set with a value)
+    std::uint64_t pops = 0;           // live entries handed back by take_due
+    std::uint64_t stale_skipped = 0;  // lazily discarded invalidated entries
+    std::uint64_t full_rebuilds = 0;  // begin_rebuild rounds
+    std::uint64_t compactions = 0;    // garbage-bound heap rebuilds
+
+    /// Total heap operations — the bench's queue-ops metric.
+    std::uint64_t ops() const { return pushes + pops + stale_skipped; }
+  };
+
+  /// Grows the per-key tables (new keys start with no live entry).
+  void ensure_keys(std::size_t count);
+
+  /// Requests a full rebuild at the next planning round (engine-side
+  /// invalidation: refresh, fault application, membership change).
+  void invalidate_all() { pending_full_ = true; }
+  bool pending_full() const { return pending_full_; }
+
+  /// Starts a full rebuild: drops every entry. The caller re-sets every
+  /// key it still cares about.
+  void begin_rebuild();
+
+  /// Replaces `key`'s entry. nullopt = the key has no upcoming event
+  /// (complete, down, or drained+satisfied peers). The old entry, if any,
+  /// is invalidated by stamp, not searched for.
+  void set(std::uint64_t key, const std::optional<Event>& event);
+
+  /// Pops every live entry with at < `now` — peers whose stored plan an
+  /// executed tick may have perturbed — into `out` in (at, kind, key)
+  /// order, marking them planless. Entries at exactly `now` stay: they
+  /// are this round's answer, not history.
+  void take_due(std::uint64_t now, std::vector<std::uint64_t>& out);
+
+  /// The earliest live entry (lazily skimming stale ones).
+  std::optional<Event> peek();
+
+  std::size_t live() const { return live_count_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Event event;
+    std::uint64_t stamp = 0;
+  };
+
+  bool fresh(const Entry& entry) const {
+    return live_[entry.event.key] != 0 &&
+           entry.stamp == stamps_[entry.event.key];
+  }
+  void drop_stale_front();
+  void compact();
+
+  /// Min-heap by (at, kind, key); stale entries skimmed lazily.
+  std::vector<Entry> heap_;
+  std::vector<std::uint64_t> stamps_;  // per key: current stamp
+  std::vector<char> live_;             // per key: a live entry exists
+  std::vector<Event> live_event_;      // per key: that entry (compaction)
+  std::size_t live_count_ = 0;
+  bool pending_full_ = true;  // first round always builds from scratch
+  Stats stats_;
+};
+
 /// Link-derived inputs to the service decision, gathered by the engine
 /// from whichever link type carries the download (ChannelLink locally,
 /// ShardLink across shards).

@@ -108,6 +108,10 @@ struct SessionResult {
   bool completed = false;
   std::uint64_t completion_tick = 0;
   std::vector<FailedPeer> failed_peers;
+  /// Bytes of decoder/working-set state the peer currently pins (the
+  /// per-peer half of the scale memory audit; see MemoryAudit). Defaulted
+  /// so callers that only care about completion can keep brace-initing.
+  std::size_t memory_bytes = 0;
 };
 
 /// The mutable fault bookkeeping both engines embed: a cursor over the

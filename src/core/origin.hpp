@@ -33,6 +33,11 @@ class OriginServer {
     return encoder_.encode(id);
   }
 
+  /// Reserves the next stream id without encoding it: next() ≡
+  /// encode(take_next_id()). The coordinator draws ids in deterministic
+  /// order; shard workers encode them in parallel (encode() is const).
+  std::uint64_t take_next_id() { return encoder_.take_next_id(); }
+
   const codec::CodeParameters& parameters() const {
     return encoder_.parameters();
   }

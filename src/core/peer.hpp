@@ -131,6 +131,38 @@ class Peer {
                         const std::vector<std::uint64_t>& domain_ids,
                         std::size_t degree, util::Xoshiro256& rng) const;
 
+  /// --- Scale audit --------------------------------------------------------
+
+  /// Heap bytes this peer pins: both decoders, the sketch, the id set,
+  /// and any cached decoded blocks. The per-peer half of MemoryAudit.
+  std::size_t memory_bytes() const {
+    std::size_t bytes = recode_decoder_.memory_bytes() +
+                        block_decoder_.memory_bytes() +
+                        sketch_.memory_bytes() +
+                        symbol_ids_.capacity() * sizeof(std::uint64_t) +
+                        recode_held_scratch_.capacity() * sizeof(std::uint64_t) +
+                        recode_pick_scratch_.capacity() * sizeof(std::uint64_t);
+    if (decoded_blocks_) {
+      for (const auto& block : *decoded_blocks_) bytes += block.capacity();
+      bytes += decoded_blocks_->capacity() * sizeof(std::vector<std::uint8_t>);
+    }
+    return bytes;
+  }
+
+  /// Releases solver-only storage once this peer has the full content and
+  /// its last download link has been torn down (no further symbols can
+  /// ever arrive): buffered equations and waiting indexes in both
+  /// decoders. Everything the serving path reads — held payloads, the
+  /// sketch, symbol ids, recovered blocks — survives untouched, so a
+  /// compacted peer serves byte-identically. Idempotent; engines call it
+  /// from teardown, never at the completion stamp (in-flight symbols
+  /// delivered during teardown could still peel buffered equations and
+  /// perturb what admission observes).
+  void compact_on_complete() {
+    recode_decoder_.release_solver_state();
+    block_decoder_.release_solver_state();
+  }
+
  private:
   /// Pulls newly acquired ids out of the recode decoder's log, updating the
   /// sketch and feeding the block decoder. Returns how many were new.

@@ -14,6 +14,7 @@ ShardedDelivery::ShardedDelivery(std::vector<std::uint8_t> content,
     : content_(std::move(content)), options_(options),
       shards_(std::max<std::size_t>(1, shard_options.shards)),
       batch_budget_(shard_options.batch_budget),
+      rebalance_epochs_(shard_options.rebalance_epochs),
       shard_work_(shards_),
       next_session_seed_(util::mix64(options.session_seed ^ 0x5e551075ULL)),
       faults_(options.faults) {
@@ -23,8 +24,8 @@ ShardedDelivery::ShardedDelivery(std::vector<std::uint8_t> content,
       options_.session_seed, /*stream_index=*/0));
   if (shards_ > 1) {
     pool_.emplace(shards_);
-    send_fn_ = [this](std::size_t shard) { phase_send(shard); };
-    receive_fn_ = [this](std::size_t shard) { phase_receive(shard); };
+    send_fn_ = [this](std::size_t shard) { phase_send_multi(shard); };
+    receive_fn_ = [this](std::size_t shard) { phase_receive_multi(shard); };
   }
 }
 
@@ -45,7 +46,9 @@ std::size_t ShardedDelivery::add_peer(const std::string& name,
   entry.origin_index = peers_.size() % origins_.size();
   peers_.push_back(std::move(entry));
   const std::size_t id = peers_.size() - 1;
+  shard_assignment_.push_back(id % shards_);
   shard_work_[shard_of(id)].peers.push_back(id);
+  planner_dirty_ = true;
   return id;
 }
 
@@ -69,7 +72,17 @@ void ShardedDelivery::release_pool_owners() {
 }
 
 void ShardedDelivery::refresh_sessions() {
+  planner_dirty_ = true;
   release_pool_owners();
+  // Cost rebalance rides the refresh boundary: every download is torn
+  // down below and recreated against the *new* placement, so no live link
+  // ever changes local/cross type, and the refresh is already a planning
+  // barrier for the jump driver.
+  if (rebalance_epochs_ > 0 && refresh_count_ > 0 &&
+      refresh_count_ % rebalance_epochs_ == 0) {
+    rebalance_shards();
+  }
+  ++refresh_count_;
   // The loop shape (and the planner's seed chain) is the shared
   // session_plan code, so with shards = 1 the sessions formed are
   // bit-for-bit identical to ContentDeliveryService's.
@@ -83,6 +96,13 @@ void ShardedDelivery::refresh_sessions() {
           teardown_download(*download);
         }
         peers_[me].downloads.clear();
+        // Sessions are fully retired: a peer that finished since the last
+        // refresh can safely shed its solver state (see
+        // Peer::compact_on_complete for why this must not happen at the
+        // completion stamp itself).
+        if (peers_[me].peer->has_content()) {
+          peers_[me].peer->compact_on_complete();
+        }
       },
       /*is_complete=*/
       [this](std::size_t me) {
@@ -165,6 +185,7 @@ void ShardedDelivery::apply_faults(std::uint64_t now) {
       [this, &any_crash](std::size_t peer) {
         if (peer >= peers_.size()) return;
         any_crash = true;
+        planner_dirty_ = true;
         // Coordinator stands in for the shard threads during the
         // teardown ticks; the workers are parked between pool runs.
         release_pool_owners();
@@ -172,6 +193,9 @@ void ShardedDelivery::apply_faults(std::uint64_t now) {
           teardown_download(*download);
         }
         peers_[peer].downloads.clear();
+        if (peers_[peer].peer->has_content()) {
+          peers_[peer].peer->compact_on_complete();
+        }
         release_pool_owners();
       },
       /*on_join=*/
@@ -196,6 +220,7 @@ void ShardedDelivery::sweep_failed_downloads(std::uint64_t now) {
       }
       if (!any_erased) release_pool_owners();
       any_erased = true;
+      planner_dirty_ = true;
       const auto reason = receiver.failed()
                               ? FailedPeer::Reason::kHandshakeExhausted
                               : FailedPeer::Reason::kLivenessTimeout;
@@ -237,6 +262,7 @@ void ShardedDelivery::service_local_downloads(PeerEntry& entry,
       }
       download->receiver->tick();
       flush_batches(*download);
+      entry.work_units += 2;  // both endpoint halves ran on this shard
     }
     return;
   }
@@ -272,6 +298,7 @@ void ShardedDelivery::service_local_downloads(PeerEntry& entry,
     download.receiver->advance_to(now);
     download.receiver->tick();
     flush_batches(download);
+    entry.work_units += 2;  // both endpoint halves ran on this shard
   }
 }
 
@@ -281,15 +308,19 @@ void ShardedDelivery::phase_send(std::size_t shard) {
   for (const std::size_t id : work.peers) {
     PeerEntry& entry = peers_[id];
     if (entry.peer->has_content()) {
-      entry.pending_origin.reset();
+      entry.pending_origin_id.reset();
       continue;
     }
     // A down peer is frozen this tick: no origin apply, no servicing.
     if (entry.faulted_at_tick_start) continue;
-    // Origin feed: the symbol the coordinator drew for this tick.
-    if (entry.pending_origin) {
-      entry.peer->receive_encoded(*entry.pending_origin);
-      entry.pending_origin.reset();
+    // Origin feed: the coordinator reserved the id (the deterministic
+    // stream order); the XOR-heavy encode runs here, in parallel across
+    // shards — Encoder::encode is a const pure function of the id.
+    if (entry.pending_origin_id) {
+      entry.peer->receive_encoded(
+          origins_[entry.origin_index]->encode(*entry.pending_origin_id));
+      entry.pending_origin_id.reset();
+      entry.work_units += 1;
     }
     // Fully-local downloads run end to end, exactly the legacy loop.
     service_local_downloads(entry, work.scheduler);
@@ -315,6 +346,8 @@ void ShardedDelivery::phase_send(std::size_t shard) {
       download->sender->send_symbol();
     }
     if (batch_budget_ > 0) download->sender_transport().flush_batch();
+    // Charged to the sender: this half runs on (and loads) its shard.
+    peers_[download->sender_id].work_units += 1;
   }
 }
 
@@ -329,6 +362,98 @@ void ShardedDelivery::phase_receive(std::size_t shard) {
       download->receiver->advance_to(tick_now_);
       download->receiver->tick();
       if (batch_budget_ > 0) download->receiver_transport().flush_batch();
+      entry.work_units += 1;
+    }
+  }
+}
+
+void ShardedDelivery::phase_send_multi(std::size_t shard) {
+  // Read-only over swarm state: sender halves draw from working sets that
+  // nothing mutates until the barrier (origin applies and receives both
+  // live in phase_receive_multi), so the iteration order — and therefore
+  // peer placement — cannot leak into results. Local downloads get the
+  // exact servicing the cross worklist below gives cross ones.
+  ShardWork& work = shard_work_[shard];
+  const std::size_t hint = data_frame_bytes_hint(options_.block_size);
+  for (const std::size_t id : work.peers) {
+    PeerEntry& entry = peers_[id];
+    if (entry.complete_at_tick_start || entry.faulted_at_tick_start) continue;
+    for (auto& [sender_id, download] : entry.downloads) {
+      if (!download->local) continue;  // cross: sender's shard handles it
+      download->local->advance_to(tick_now_);
+      // A down sender goes silent: in-flight frames still arrive (the
+      // advance above), but its endpoint is frozen — the receiver's
+      // liveness clock does the failure detection.
+      if (peers_[sender_id].faulted_at_tick_start) continue;
+      download->sender->tick();
+      if (!download->local->timed() ||
+          (!download->sender->satisfied() &&
+           download->local->a_send_ready_at(hint) <= tick_now_)) {
+        download->sender->send_symbol();
+      }
+      if (batch_budget_ > 0) download->sender_transport().flush_batch();
+      // The local sender half runs on (and loads) the receiver's shard.
+      entry.work_units += 1;
+    }
+  }
+  for (Download* download : work.cross_senders) {
+    if (peers_[download->receiver_id].complete_at_tick_start ||
+        peers_[download->receiver_id].faulted_at_tick_start) {
+      continue;
+    }
+    // Surface the reverse direction's due frames before this half drains:
+    // a local link's advance_to(now) does both in one call. Keyed off the
+    // current tick (never a look-ahead stashed by a previous tick), so a
+    // jumped run commits exactly what a lockstep run would have by now.
+    // Phase-safe: the b owner only produces onto this ring in the receive
+    // phase, behind the barrier.
+    download->cross->commit_b_through(tick_now_);
+    download->cross->advance_a_to(tick_now_);
+    if (peers_[download->sender_id].faulted_at_tick_start) continue;
+    download->sender->tick();
+    if (!download->cross->timed() ||
+        (!download->sender->satisfied() &&
+         download->cross->a_send_ready_at(hint) <= tick_now_)) {
+      download->sender->send_symbol();
+    }
+    if (batch_budget_ > 0) download->sender_transport().flush_batch();
+    peers_[download->sender_id].work_units += 1;
+  }
+}
+
+void ShardedDelivery::phase_receive_multi(std::size_t shard) {
+  // All working-set mutations happen here, and each touches only the
+  // iterated peer's own state: the origin apply the coordinator reserved
+  // the id for (stream order is fixed at reservation, so where the
+  // XOR-heavy encode runs is immaterial), then the receiver halves in
+  // ascending sender order. Cross b-ends advance in a separate pass
+  // *before* any completion can land mid-loop, mirroring the local
+  // links' phase-send advance — so a peer's mid-tick completion leaves
+  // every link in exactly the state a local placement would. (Their
+  // timed reverse frames are committed by the consuming side at the top
+  // of the next send phase; see phase_send_multi.)
+  for (const std::size_t id : shard_work_[shard].peers) {
+    PeerEntry& entry = peers_[id];
+    if (entry.complete_at_tick_start || entry.faulted_at_tick_start) continue;
+    for (auto& [sender_id, download] : entry.downloads) {
+      if (download->cross) download->cross->advance_b_to(tick_now_);
+    }
+  }
+  for (const std::size_t id : shard_work_[shard].peers) {
+    PeerEntry& entry = peers_[id];
+    if (entry.complete_at_tick_start || entry.faulted_at_tick_start) continue;
+    if (entry.pending_origin_id) {
+      entry.peer->receive_encoded(
+          origins_[entry.origin_index]->encode(*entry.pending_origin_id));
+      entry.pending_origin_id.reset();
+      entry.work_units += 1;
+    }
+    for (auto& [sender_id, download] : entry.downloads) {
+      if (entry.peer->has_content()) break;
+      download->receiver->advance_to(tick_now_);
+      download->receiver->tick();
+      if (batch_budget_ > 0) download->receiver_transport().flush_batch();
+      entry.work_units += 1;
     }
   }
 }
@@ -358,7 +483,11 @@ std::size_t ShardedDelivery::tick() {
       continue;
     }
     if (entry.origin_fed) {
-      entry.pending_origin = origins_[entry.origin_index]->next();
+      // Reserve the id only; the owning shard encodes it in the send
+      // phase. next() ≡ encode(take_next_id()), so the symbol each peer
+      // sees is exactly what the serial draw produced.
+      entry.pending_origin_id =
+          origins_[entry.origin_index]->take_next_id();
     }
     if (faults_.any_blackouts()) {
       for (auto& [sender_id, download] : entry.downloads) {
@@ -402,47 +531,103 @@ std::size_t ShardedDelivery::tick() {
   return completed_now;
 }
 
+std::optional<Event> ShardedDelivery::plan_peer_events(std::size_t i,
+                                                       std::uint64_t now) {
+  PeerEntry& entry = peers_[i];
+  if (entry.peer->has_content()) return std::nullopt;
+  // A down peer is frozen until a fault boundary wakes it — every
+  // boundary forces a full planner rebuild, never a per-link event.
+  if (faults_.active() && faults_.down(i, now)) return std::nullopt;
+  // The origin fountain streams one symbol per tick to an incomplete
+  // subscriber: every tick is an event while one exists.
+  if (entry.origin_fed) return Event{now, EventKind::kOriginFeed, i};
+  const std::size_t hint = data_frame_bytes_hint(options_.block_size);
+  plan_scratch_.clear();
+  for (auto& [sender_id, download] : entry.downloads) {
+    LinkTimes times;
+    times.timed = download->local ? download->local->timed()
+                                  : download->cross->timed();
+    times.sender_down = faults_.active() && faults_.down(sender_id, now);
+    if (times.timed) {
+      times.next_arrival = download->local
+                               ? download->local->next_event_time()
+                               : download->cross->next_event_time();
+      times.send_credit_at =
+          download->local ? download->local->a_send_ready_at(hint)
+                          : download->cross->a_send_ready_at(hint);
+    }
+    schedule_download_events(plan_scratch_, *download->sender,
+                             *download->receiver, times, now, sender_id);
+  }
+  const auto first = plan_scratch_.peek();
+  if (!first) return std::nullopt;
+  // Re-keyed to the receiving peer, as in the legacy planner: only the
+  // entry's time feeds the jump target.
+  return Event{first->at, first->kind, i};
+}
+
+void ShardedDelivery::replan_peer(std::size_t i, std::uint64_t now) {
+  const char incomplete = peers_[i].peer->has_content() ? 0 : 1;
+  if (plan_incomplete_[i] != incomplete) {
+    plan_incomplete_[i] = incomplete;
+    if (incomplete) {
+      ++incomplete_peers_;
+    } else {
+      --incomplete_peers_;
+    }
+  }
+  planner_.set(i, plan_peer_events(i, now));
+}
+
 std::optional<std::uint64_t> ShardedDelivery::next_event_time() {
   // Coordinator-only, between pool runs: the workers are parked, so every
   // shard's links and endpoints may be inspected (not mutated) here.
-  loop_.clear();
+  // Incremental planning, exactly the legacy engine's scheme: one live
+  // entry per peer; full rebuilds only when the download graph changed
+  // shape, a fault boundary fell in the planning gap, or blackout windows
+  // exist; otherwise only the peers whose entries came due are replanned.
   const std::uint64_t now = ticks_;
-  const std::size_t hint = data_frame_bytes_hint(options_.block_size);
-  bool any_incomplete = false;
-  for (std::size_t i = 0; i < peers_.size(); ++i) {
-    PeerEntry& entry = peers_[i];
-    if (entry.peer->has_content()) continue;
-    any_incomplete = true;
-    // A down peer is frozen until a fault boundary (scheduled below as
-    // kPeerFault) wakes it.
-    if (faults_.active() && faults_.down(i, now)) continue;
-    if (entry.origin_fed) {
-      loop_.schedule(now, EventKind::kOriginFeed, i);
-      continue;
+  planner_.ensure_keys(peers_.size());
+  if (plan_incomplete_.size() < peers_.size()) {
+    plan_incomplete_.resize(peers_.size(), 0);
+  }
+  bool full = planner_dirty_ || planner_.pending_full() ||
+              faults_.any_blackouts();
+  if (!full && faults_.active()) {
+    const auto boundary = faults_.next_boundary_after(planned_through_);
+    if (boundary && *boundary <= now) full = true;
+  }
+  if (full) {
+    planner_.begin_rebuild();
+    incomplete_peers_ = 0;
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      plan_incomplete_[i] = peers_[i].peer->has_content() ? 0 : 1;
+      incomplete_peers_ += static_cast<std::size_t>(plan_incomplete_[i]);
+      planner_.set(i, plan_peer_events(i, now));
     }
-    for (auto& [sender_id, download] : entry.downloads) {
-      LinkTimes times;
-      times.timed = download->local ? download->local->timed()
-                                    : download->cross->timed();
-      times.sender_down = faults_.active() && faults_.down(sender_id, now);
-      if (times.timed) {
-        times.next_arrival = download->local
-                                 ? download->local->next_event_time()
-                                 : download->cross->next_event_time();
-        times.send_credit_at =
-            download->local ? download->local->a_send_ready_at(hint)
-                            : download->cross->a_send_ready_at(hint);
-      }
-      schedule_download_events(loop_, *download->sender, *download->receiver,
-                               times, now, sender_id);
+    planner_dirty_ = false;
+  } else {
+    plan_due_scratch_.clear();
+    planner_.take_due(now, plan_due_scratch_);
+    for (const std::uint64_t key : plan_due_scratch_) {
+      replan_peer(key, now);
     }
   }
+  planned_through_ = now;
+  if (incomplete_peers_ == 0 && !faults_.pending_joins()) return std::nullopt;
+  std::optional<std::uint64_t> at;
+  if (const auto next = planner_.peek()) at = next->at;
   // Fault boundaries are planning barriers, as in the legacy engine.
-  if (const auto boundary = faults_.next_boundary_after(now)) {
-    loop_.schedule(*boundary, EventKind::kPeerFault, 0);
+  if (faults_.active()) {
+    if (const auto boundary = faults_.next_boundary_after(now)) {
+      at = at ? std::min(*at, *boundary) : *boundary;
+    }
   }
-  return finish_event_planning(loop_, now, options_.refresh_interval,
-                               any_incomplete || faults_.pending_joins());
+  const std::size_t interval =
+      std::max<std::size_t>(1, options_.refresh_interval);
+  const std::uint64_t refresh = ((now + interval - 1) / interval) * interval;
+  at = at ? std::min(*at, refresh) : refresh;
+  return std::max(*at, now);
 }
 
 bool ShardedDelivery::run(std::size_t max_ticks) {
@@ -516,6 +701,50 @@ ShardedDelivery::LinkTotals ShardedDelivery::link_totals() const {
 std::vector<std::uint64_t> ShardedDelivery::shard_busy_ns() const {
   if (!pool_) return {};
   return pool_->busy_ns();
+}
+
+void ShardedDelivery::rebalance_shards() {
+  // LPT over the deterministic work units (busy_ns is wall-machine noise;
+  // the assignment must be identical across runs). Callers guarantee a
+  // refresh boundary: every download is about to be torn down, so no live
+  // link changes local/cross type under the new placement.
+  std::vector<std::uint64_t> cost(peers_.size(), 0);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    cost[i] = peers_[i].work_units;
+  }
+  shard_assignment_ = balance_by_cost(cost, shards_);
+  for (ShardWork& work : shard_work_) work.peers.clear();
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    shard_work_[shard_assignment_[i]].peers.push_back(i);  // ascending
+  }
+  // Decay: half-life of one epoch, so placement tracks current load
+  // instead of being pinned by ancient history.
+  for (PeerEntry& entry : peers_) entry.work_units /= 2;
+}
+
+std::vector<std::uint64_t> ShardedDelivery::shard_cost_units() const {
+  std::vector<std::uint64_t> cost(shards_, 0);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    cost[shard_assignment_[i]] += peers_[i].work_units;
+  }
+  return cost;
+}
+
+MemoryAudit ShardedDelivery::memory_audit() const {
+  MemoryAudit audit;
+  audit.peers = peers_.size();
+  for (const PeerEntry& entry : peers_) {
+    audit.decoder_bytes += entry.peer->memory_bytes();
+    for (const auto& [sender_id, download] : entry.downloads) {
+      audit.endpoint_bytes += download->sender->memory_bytes() +
+                              download->receiver->memory_bytes();
+      // Each link counts its pool(s) exactly once; the transports exclude
+      // them (see Transport::memory_bytes).
+      audit.link_bytes += download->local ? download->local->memory_bytes()
+                                          : download->cross->memory_bytes();
+    }
+  }
+  return audit;
 }
 
 }  // namespace icd::core

@@ -58,6 +58,16 @@ struct ShardOptions {
   /// Control-frame batching budget in bytes per train (0 = off). Applied
   /// to every download link's two transports.
   std::size_t batch_budget = 0;
+  /// Cost-balanced peer placement: every `rebalance_epochs` refreshes the
+  /// coordinator reassigns peers to shards by measured per-peer work
+  /// (longest-processing-time over deterministic work units) instead of
+  /// the admission-time id % shards placement. 0 = off (historical).
+  /// Placement is semantics-free — a download behaves identically over a
+  /// local ChannelLink and a cross-shard ShardLink — and the rebalance
+  /// runs at a refresh (itself a planning barrier, with every download
+  /// torn down), so per-peer results are bit-for-bit unchanged; only
+  /// which thread does the work moves.
+  std::size_t rebalance_epochs = 0;
 };
 
 class ShardedDelivery {
@@ -98,7 +108,7 @@ class ShardedDelivery {
   SessionResult session_result(std::size_t id) const {
     const PeerEntry& entry = peers_.at(id);
     return SessionResult{entry.peer->has_content(), entry.completed_tick,
-                         entry.failed_peers};
+                         entry.failed_peers, entry.peer->memory_bytes()};
   }
   /// Whether the peer is currently down (crashed or stalled) under the
   /// fault plan.
@@ -114,14 +124,29 @@ class ShardedDelivery {
     return origins_.front()->parameters();
   }
   std::size_t shards() const { return shards_; }
+  /// Current shard owning `peer_id`. Admission places id % shards; a
+  /// cost rebalance (ShardOptions::rebalance_epochs) may move it.
   std::size_t shard_of(std::size_t peer_id) const {
-    return peer_id % shards_;
+    return shard_assignment_[peer_id];
   }
 
   /// May be called between ticks only (the coordinator thread owns all
   /// state while the workers are parked).
   LinkTotals active_link_totals() const;
   LinkTotals link_totals() const;
+
+  /// Per-peer memory audit across decoders, endpoints and links (scale
+  /// budget). Coordinator-only, between ticks.
+  MemoryAudit memory_audit() const;
+  /// Incremental planning-queue counters (run_until's jump planner).
+  const PlanningQueue::Stats& planner_stats() const {
+    return planner_.stats();
+  }
+  /// Deterministic per-shard service cost: the sum of the owned peers'
+  /// accumulated work units (halved at each rebalance so stale history
+  /// decays). The rebalance input, exposed for tests/benches; unlike
+  /// busy_ns it is identical across runs and machines.
+  std::vector<std::uint64_t> shard_cost_units() const;
 
   /// Cumulative per-shard worker thread-CPU nanoseconds (empty when
   /// shards = 1 runs inline) and wall time spent inside the parallel
@@ -163,9 +188,16 @@ class ShardedDelivery {
     std::size_t origin_index = 0;
     /// Active downloads, keyed by the serving peer id.
     std::map<std::size_t, std::unique_ptr<Download>> downloads;
-    /// Origin symbol drawn by the coordinator this tick, applied by the
-    /// owning shard in the send phase.
-    std::optional<codec::EncodedSymbol> pending_origin;
+    /// Origin symbol id reserved by the coordinator this tick; the owning
+    /// shard runs the (pure, const) encode in the send phase, so the
+    /// XOR-heavy origin encoding parallelizes across the pool while the
+    /// id sequence — and thus the symbol-to-peer assignment — stays the
+    /// coordinator's deterministic draw order.
+    std::optional<std::uint64_t> pending_origin_id;
+    /// Deterministic service-cost accumulator (rebalance input): bumped by
+    /// the owning shard only — local service 2, cross receive 1, cross
+    /// send 1 (charged to the sender), origin apply 1.
+    std::uint64_t work_units = 0;
     /// Snapshot the phases read instead of cross-shard peer state.
     bool complete_at_tick_start = false;
     /// Down (crashed or stalled) under the fault plan this tick — written
@@ -212,12 +244,33 @@ class ShardedDelivery {
   }
   void phase_send(std::size_t shard);
   void phase_receive(std::size_t shard);
+  /// Multi-shard (shards >= 2) phases: placement-independent two-phase
+  /// servicing. The send phase only *reads* swarm state (sender halves of
+  /// every download, local and cross alike, draw symbols from working
+  /// sets nothing mutates until the barrier); the receive phase mutates
+  /// only the iterated peer's own state (its origin apply, its receiver
+  /// halves). No intra-tick ordering between peers can leak into results,
+  /// so which shard a peer lives on — and hence the cost rebalance — is a
+  /// planning concern, not a semantics one. shards == 1 keeps the legacy
+  /// sequential phases above (the bit-for-bit contract with
+  /// ContentDeliveryService).
+  void phase_send_multi(std::size_t shard);
+  void phase_receive_multi(std::size_t shard);
   /// Mirrors ContentDeliveryService::service_downloads for the fully-local
   /// downloads of one peer (the shards=1 bit-for-bit contract).
   void service_local_downloads(PeerEntry& entry, EventLoop& scheduler);
-  /// See ContentDeliveryService::next_event_time; additionally covers the
-  /// cross-shard ShardLinks (both directions' delay lines and rings),
-  /// inspected by the coordinator while the workers are parked.
+  /// Reassigns peers to shards by accumulated work units (LPT); called at
+  /// a refresh boundary only, before the refresh loop rebuilds downloads.
+  void rebalance_shards();
+  /// One peer's earliest upcoming event, re-keyed to the peer id — the
+  /// incremental planner's per-key value (see
+  /// ContentDeliveryService::plan_peer_events); additionally covers the
+  /// cross-shard ShardLinks (both directions' delay lines and rings).
+  std::optional<Event> plan_peer_events(std::size_t i, std::uint64_t now);
+  void replan_peer(std::size_t i, std::uint64_t now);
+  /// See ContentDeliveryService::next_event_time — same incremental
+  /// planning queue, same rebuild triggers; inspected by the coordinator
+  /// while the workers are parked.
   std::optional<std::uint64_t> next_event_time();
   void flush_batches(Download& download);
   static void accumulate_link(Download& download, LinkTotals& totals);
@@ -226,6 +279,11 @@ class ShardedDelivery {
   DeliveryOptions options_;
   std::size_t shards_;
   std::size_t batch_budget_;
+  std::size_t rebalance_epochs_;
+  /// Peer id -> owning shard (admission: id % shards; rebalance may move).
+  std::vector<std::size_t> shard_assignment_;
+  /// Refreshes executed (the rebalance epoch clock).
+  std::size_t refresh_count_ = 0;
   std::vector<std::unique_ptr<OriginServer>> origins_;
   std::vector<PeerEntry> peers_;
   std::vector<ShardWork> shard_work_;
@@ -238,10 +296,19 @@ class ShardedDelivery {
   /// Fault bookkeeping (inert when options_.faults is null). Mutated on
   /// the coordinator only; the phases read per-tick snapshots instead.
   FaultTracker faults_;
-  /// Coordinator event loop: global clock, jump accounting, and the
-  /// cross-tick planning queue run_until peeks. The per-shard service
-  /// queues live in ShardWork (worker-thread-local).
+  /// Coordinator event loop: global clock and jump accounting. The
+  /// per-shard service queues live in ShardWork (worker-thread-local).
   EventLoop loop_;
+  /// Incremental cross-tick planning queue (see
+  /// ContentDeliveryService): one live entry per peer, dirty-flag /
+  /// boundary-triggered full rebuilds, due keys replanned per round.
+  PlanningQueue planner_;
+  EventLoop plan_scratch_;
+  std::vector<std::uint64_t> plan_due_scratch_;
+  bool planner_dirty_ = true;
+  std::uint64_t planned_through_ = 0;
+  std::vector<char> plan_incomplete_;
+  std::size_t incomplete_peers_ = 0;
   /// Present only when shards > 1.
   std::optional<util::ShardPool> pool_;
   std::function<void(std::size_t)> send_fn_;

@@ -48,6 +48,9 @@ class BloomFilter {
   std::size_t inserted_count() const { return inserted_; }
   std::uint64_t seed() const { return seed_; }
 
+  /// Heap bytes the bit array pins (the scale-audit surface).
+  std::size_t memory_bytes() const { return (bits_.size() + 7) / 8; }
+
   /// Fraction of bits set; used to estimate the realized fp probability
   /// (1 - e^{-kn/m})^k without knowing n.
   double fill_ratio() const;

@@ -52,6 +52,13 @@ class MinwiseSketch {
   std::uint64_t seed() const { return seed_; }
   const std::vector<std::uint64_t>& minima() const { return minima_; }
 
+  /// Heap bytes pinned per sketch. The permutation family is shared
+  /// process-wide (util::shared_permutation_family) and deliberately not
+  /// charged per peer.
+  std::size_t memory_bytes() const {
+    return minima_.capacity() * sizeof(std::uint64_t);
+  }
+
   /// Unbiased estimate of |A ∩ B| / |A ∪ B| from two sketches. Positions
   /// never touched on either side are skipped; two empty sketches resemble
   /// each other completely by convention.

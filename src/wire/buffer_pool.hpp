@@ -90,6 +90,13 @@ class BufferPool {
   std::size_t pooled() const { return free_.size(); }
   const Stats& stats() const { return stats_; }
 
+  /// Heap bytes the freelist pins (scale audit; counted once per link).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = free_.capacity() * sizeof(std::vector<std::uint8_t>);
+    for (const auto& buffer : free_) bytes += buffer.capacity();
+    return bytes;
+  }
+
  private:
   void check_owner(const char* op) {
 #if defined(ICD_POOL_OWNER_CHECKS)

@@ -204,6 +204,13 @@ class TimedFrameQueue {
   /// Teardown: clamps every arrival to `now`, preserving order.
   void collapse_to(std::uint64_t now);
 
+  /// Heap bytes the delay line pins (frames + per-entry bookkeeping).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = queue_.size() * sizeof(TimedFrame);
+    for (const TimedFrame& entry : queue_) bytes += entry.frame.capacity();
+    return bytes;
+  }
+
  private:
   void place(TimedFrame frame);
 
@@ -361,6 +368,17 @@ class LossyChannel {
   std::size_t delivered_bytes() const { return delivered_bytes_; }
   /// Frames whose departure the token bucket pushed past their send tick.
   std::size_t throttled() const { return shaper_.throttled(); }
+
+  /// Heap bytes this direction pins: queued / in-flight frame buffers plus
+  /// the timed-queue entries (scale audit; the shared BufferPool is charged
+  /// once by the owning link, not here).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = in_flight_ ? in_flight_->capacity() : 0;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      bytes += queue_[i].capacity() + sizeof(std::vector<std::uint8_t>);
+    }
+    return bytes + timed_queue_.memory_bytes();
+  }
 
   const ChannelConfig& config() const { return config_; }
 

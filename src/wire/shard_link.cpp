@@ -49,15 +49,16 @@ bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
     return true;
   }
   if (config_.timed()) {
-    // Timed shaping mirrors LossyChannel's virtual clock: pace the
-    // departure (lost frames consumed link capacity too), schedule the
-    // arrival (reorder draws swap adjacent arrivals), and hold the frame
-    // in the sender-local delay line until its tick — advance_to() is
-    // what commits it to the ring.
+    // Timed shaping mirrors LossyChannel's virtual clock — including its
+    // RNG draw pattern (an unconditional loss draw per frame), so a
+    // download shaped by either link type consumes identical draw
+    // sequences: pace the departure (lost frames consumed link capacity
+    // too), schedule the arrival (reorder draws swap adjacent arrivals),
+    // and hold the frame in the sender-local delay line until its tick —
+    // advance_to()/commit_through() is what commits it to the ring.
     const std::size_t size = frame.size();
     const std::uint64_t depart = shaper_.pace_departure(size);
-    if (ge_ ? ge_->drop(rng_)
-            : (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate))) {
+    if (ge_ ? ge_->drop(rng_) : rng_.next_bool(config_.loss_rate)) {
       release_buffer(std::move(frame));
       return true;
     }
@@ -73,24 +74,25 @@ bool ShardLink::End::send_datagram(std::vector<std::uint8_t> frame) {
   // Loss and reordering are drawn sender-side (single-threaded per
   // direction); a dropped frame still counted as sent by the base class,
   // matching LossyChannel's "handed to the link" semantics.
-  if (ge_ ? ge_->drop(rng_)
-          : (config_.loss_rate > 0.0 && rng_.next_bool(config_.loss_rate))) {
+  if (ge_ ? ge_->drop(rng_) : rng_.next_bool(config_.loss_rate)) {
     release_buffer(std::move(frame));
     return true;
   }
+  // One-hop residency, mirroring LossyChannel's event clock: the new
+  // frame pushes its predecessor out of flight and onto the ring (the two
+  // may swap — adjacent reordering); the frame itself stays in flight
+  // until displaced or until the owner's next advance completes the hop.
   if (held_) {
-    // The held frame departs behind its successor: one adjacent swap.
-    std::vector<std::uint8_t> delayed = std::move(*held_);
-    held_.reset();
-    enqueue(std::move(frame));
-    enqueue(std::move(delayed));
-    return true;
-  }
-  if (config_.reorder_rate > 0.0 && rng_.next_bool(config_.reorder_rate)) {
+    std::vector<std::uint8_t> predecessor = std::move(*held_);
     held_ = std::move(frame);
-    return true;
+    if (config_.reorder_rate > 0.0 && rng_.next_bool(config_.reorder_rate)) {
+      std::swap(predecessor, *held_);
+    }
+    enqueue(std::move(predecessor));
+  } else {
+    held_ = std::move(frame);
   }
-  enqueue(std::move(frame));
+  held_tick_ = shaper_.now();
   return true;
 }
 
@@ -115,7 +117,24 @@ void ShardLink::End::release_arrived() {
 
 void ShardLink::End::advance_to(std::uint64_t t) {
   shaper_.advance_to(t);
+  if (held_ && t > held_tick_) {
+    // The hop completes: LossyChannel's "an empty receive advances the
+    // event clock", decided producer-side from the tick alone (the
+    // consuming phase drains to empty every tick it runs).
+    std::vector<std::uint8_t> frame = std::move(*held_);
+    held_.reset();
+    enqueue(std::move(frame));
+  }
   release_arrived();
+}
+
+void ShardLink::End::commit_through(std::uint64_t t) {
+  // Push-only look-ahead (the clock stays put): frames whose arrival is
+  // due by t cross the ring now so the peer end can drain them in its
+  // next phase — see ShardLink::commit_b_through.
+  while (auto frame = delayed_.pop_due(t)) {
+    enqueue(std::move(*frame));
+  }
 }
 
 std::optional<std::vector<std::uint8_t>> ShardLink::End::next_datagram() {

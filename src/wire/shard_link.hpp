@@ -25,11 +25,20 @@
 /// Channel shaping is applied on the sending side, single-threaded per
 /// direction: Bernoulli loss and an adjacent-swap reorder (one frame held
 /// back, with probability reorder_rate it departs behind its successor)
-/// from the direction's own ChannelConfig-seeded RNG. Unlike LossyChannel
-/// there is no one-hop residency clock — the tick barrier between the
-/// sending and receiving phases already guarantees a frame is never
-/// received in the phase that sent it. A full frame ring drops the frame
-/// (counted; the protocol absorbs it as loss).
+/// from the direction's own ChannelConfig-seeded RNG. LossyChannel's
+/// one-hop residency clock is emulated producer-side: the most recently
+/// sent frame stays held until the next send displaces it or the owning
+/// end's next advance_*_to() completes the hop — which, through the
+/// engine's two-phase tick pattern, reproduces the exact per-tick
+/// delivery schedule a local ChannelLink gives the same download. That
+/// schedule equivalence is what lets the sharded engine treat peer
+/// placement (and hence the cost rebalance) as a planning concern: with
+/// deterministic shaping (no loss/jitter/reorder draws) a download's
+/// trajectory is bit-for-bit identical over either link type. Stochastic
+/// shaping stays deterministic per placement but draws its RNG streams in
+/// link-local order, so moving a peer re-rolls them — exactly like
+/// changing the edge seed. A full frame ring drops the frame (counted;
+/// the protocol absorbs it as loss).
 ///
 /// Timed configs (ChannelConfig delay/jitter/rate) are shaped sender-side
 /// too: frames are paced through a wire::LinkShaper token bucket, held in
@@ -79,6 +88,19 @@ class ShardLink {
     return a_.send_ready_at(bytes);
   }
 
+  /// Timed reverse-direction commit: pushes b's delay-line frames with
+  /// arrival <= t onto the ring *without* advancing b's clock. The b end
+  /// acts in the receive phase, after the a end's drain — so the a-side
+  /// owner calls this at the top of its send phase with t = now, making
+  /// a frame arriving at tick T drainable in phase T, exactly when a
+  /// local ChannelLink's advance_to(T) would surface it. Keying off the
+  /// draining tick (not a look-ahead from the previous one) keeps jumped
+  /// runs identical to lockstep. Phase-safe despite the a-side call: the
+  /// b owner only produces onto this ring in the receive phase, behind
+  /// the barrier. No-op for untimed directions (their residency holdback
+  /// releases through advance_b_to instead).
+  void commit_b_through(std::uint64_t t) { b_.commit_through(t); }
+
   /// The earliest virtual time at which either direction can deliver
   /// anything — the event-loop planning surface, mirroring
   /// ChannelLink::next_event_time(). Frames already committed to a ring
@@ -112,6 +134,20 @@ class ShardLink {
     b_.set_blackout(active);
   }
 
+  /// Heap bytes the whole edge pins: both ends (transport scratch, private
+  /// per-end pool, delay line, holdback) plus the four fixed SPSC slot
+  /// arrays. Frame payloads momentarily inside a ring are in transit
+  /// between shards and cannot be inspected from one thread; at rest the
+  /// rings are empty, so the slot arrays are the steady-state cost.
+  /// Coordinator-only, like every between-ticks inspection.
+  std::size_t memory_bytes() const {
+    const std::size_t ring_bytes =
+        (a_to_b_.frames_ring.capacity() + a_to_b_.recycle.capacity() +
+         b_to_a_.frames_ring.capacity() + b_to_a_.recycle.capacity()) *
+        sizeof(std::vector<std::uint8_t>);
+    return a_.memory_bytes() + b_.memory_bytes() + ring_bytes;
+  }
+
   /// Frames per direction a burst can queue before overflow; handshake
   /// fragment trains (multi-KB ART summaries) set the floor.
   static constexpr std::size_t kRingFrames = 1024;
@@ -136,15 +172,25 @@ class ShardLink {
 
     bool timed() const { return config_.timed(); }
     void advance_to(std::uint64_t t);
+    void commit_through(std::uint64_t t);
     std::uint64_t send_ready_at(std::size_t bytes) const {
       return shaper_.send_ready_at(bytes);
     }
     /// Earliest arrival still waiting in this end's outgoing delay line.
-    /// The event-clock reorder holdback reports 0: it departs with the
-    /// next send or flush, so the planner must treat it as pending now.
+    /// The event-clock residency holdback completes its hop at the owning
+    /// end's first advance past the hold tick.
     std::optional<std::uint64_t> delayed_next_arrival() const {
-      if (held_) return 0;
+      if (held_) return held_tick_ + 1;
       return delayed_.next_arrival();
+    }
+
+    /// Heap bytes this end pins beyond the base Transport accounting: its
+    /// private BufferPool (ends do not share pools across the thread
+    /// seam, so each end charges its own), the reorder holdback, and the
+    /// timed delay line.
+    std::size_t memory_bytes() const {
+      return Transport::memory_bytes() + pool().memory_bytes() +
+             (held_ ? held_->capacity() : 0) + delayed_.memory_bytes();
     }
 
    protected:
@@ -167,10 +213,14 @@ class ShardLink {
     /// config enables it (see wire::GilbertElliott).
     std::optional<GilbertElliott> ge_;
     bool blackout_ = false;
-    /// Reorder holdback: the frame that may be overtaken by its successor
-    /// (event-clock configs only; timed configs draw reorder as arrival
-    /// swaps in the delay line, like LossyChannel).
+    /// One-hop residency holdback (event-clock configs only; timed
+    /// configs pace through the delay line instead): the most recently
+    /// sent frame, "in flight" until the next send displaces it or the
+    /// owner's next advance completes the hop — LossyChannel's event
+    /// clock, seen from the producing side of the ring. Reorder swaps the
+    /// departing predecessor with the frame replacing it.
     std::optional<std::vector<std::uint8_t>> held_;
+    std::uint64_t held_tick_ = 0;
     /// Timed configs: sender-local delay line, sorted by (arrival, seq).
     TimedFrameQueue delayed_;
     std::uint64_t next_seq_ = 0;

@@ -144,6 +144,21 @@ class Transport {
   std::size_t mtu() const { return mtu_; }
   const TransportStats& stats() const { return stats_; }
   const BufferPool& pool() const { return *pool_; }
+  /// Heap bytes this transport pins: reassembly partials, the live
+  /// receive frame, the control train, and decode scratch. The shared
+  /// BufferPool is deliberately EXCLUDED — both ends of a link share one
+  /// pool, so the owning link counts it exactly once (see
+  /// ChannelLink::memory_bytes / MemoryAudit).
+  std::size_t memory_bytes() const {
+    std::size_t bytes = rx_frame_.capacity() + train_.capacity() +
+                        rx_constituents_.capacity() * sizeof(std::uint64_t);
+    for (const auto& [sequence, partial] : partials_) {
+      bytes += sizeof(Partial) + 4 * sizeof(void*);
+      for (const auto& part : partial.parts) bytes += part.capacity();
+      bytes += partial.parts.capacity() * sizeof(std::vector<std::uint8_t>);
+    }
+    return bytes;
+  }
   /// Mutable pool access for engines that re-home a pool across tick
   /// phases (BufferPool::debug_release_owner).
   BufferPool& pool_mutable() { return *pool_; }
@@ -339,6 +354,15 @@ class ChannelLink {
   void set_blackout(bool active) {
     a_to_b_.set_blackout(active);
     b_to_a_.set_blackout(active);
+  }
+
+  /// Heap bytes the whole edge pins: both channels' queued frames, both
+  /// transports' reassembly/scratch state, and the shared BufferPool
+  /// charged exactly once (the transports exclude it; see
+  /// Transport::memory_bytes).
+  std::size_t memory_bytes() const {
+    return a_to_b_.memory_bytes() + b_to_a_.memory_bytes() +
+           pool_->memory_bytes() + a_.memory_bytes() + b_.memory_bytes();
   }
 
  private:

@@ -102,8 +102,13 @@ TEST(ShardLink, CarriesFramesBothWaysAndRecyclesBuffers) {
   wire::ShardLink link(config);
 
   // a -> b and b -> a, single-threaded (coordinator role on both ends).
+  // The last frame sent stays in flight for one hop (LossyChannel's event
+  // clock, emulated producer-side): the owner's next advance releases it.
   ASSERT_TRUE(link.a().send(wire::Request{7}));
   ASSERT_TRUE(link.b().send(wire::Request{9}));
+  EXPECT_FALSE(link.b().receive().has_value());
+  link.advance_a_to(1);
+  link.advance_b_to(1);
   auto at_b = link.b().receive();
   ASSERT_TRUE(at_b.has_value());
   EXPECT_EQ(std::get<wire::Request>(*at_b).symbols_desired, 7u);
@@ -112,7 +117,9 @@ TEST(ShardLink, CarriesFramesBothWaysAndRecyclesBuffers) {
   EXPECT_EQ(std::get<wire::Request>(*at_a).symbols_desired, 9u);
 
   // Steady state: buffers must recycle through the rings — after warmup a
-  // burst of sends allocates nothing new from the pools.
+  // burst of sends allocates nothing new from the pools. Each send
+  // displaces its predecessor out of flight and onto the ring.
+  ASSERT_TRUE(link.a().send(wire::Request{1000}));
   for (int round = 0; round < 50; ++round) {
     ASSERT_TRUE(link.a().send(wire::Request{static_cast<std::uint64_t>(
         round)}));
