@@ -3,9 +3,17 @@
 //   A2  Recode/BF restricted-domain allowance (the "appropriate small size")
 //   A3  CPI solve-time growth with discrepancy (the Theta(d^3) of §5.1)
 //   A4  sketch size vs Recode/MW end-to-end overhead
+//   A5  flat-arena vs list-based peeling solver (full-decode wall time)
 #include <chrono>
 #include <cstdio>
+#include <span>
+#include <vector>
 
+#include "codec/block_source.hpp"
+#include "codec/degree.hpp"
+#include "codec/encoder.hpp"
+#include "codec/peeling.hpp"
+#include "codec/solver_reference.hpp"
 #include "overlay/scenario.hpp"
 #include "overlay/sim_config.hpp"
 #include "overlay/transfer.hpp"
@@ -116,6 +124,52 @@ void ablate_sketch_size() {
   }
 }
 
+void ablate_solver_layout() {
+  std::printf("\n=== Ablation A5: peeling solver layout (full decode, "
+              "robust soliton, 8 B payloads) ===\n");
+  std::printf("%8s %14s %14s %10s\n", "blocks", "flat-arena ms",
+              "list-based ms", "speedup");
+  for (const std::size_t blocks : {1000u, 4000u, 16000u}) {
+    util::Xoshiro256 rng(1000);
+    std::vector<std::uint8_t> content(blocks * 8);
+    for (auto& byte : content) byte = static_cast<std::uint8_t>(rng());
+    const codec::BlockSource source(content, 8);
+    const auto dist = codec::DegreeDistribution::robust_soliton(blocks);
+    codec::Encoder encoder(source, dist, 1000);
+    std::vector<codec::EncodedSymbol> symbols;
+    std::vector<std::vector<std::uint32_t>> neighbors;
+    for (std::size_t i = 0; i < 2 * blocks; ++i) {
+      symbols.push_back(encoder.next());
+      neighbors.push_back(codec::symbol_neighbors(encoder.parameters(), dist,
+                                                  symbols.back().id));
+    }
+
+    auto start = Clock::now();
+    codec::PeelingDecoder<std::uint32_t> flat;
+    for (std::size_t i = 0; flat.known_count() < blocks && i < symbols.size();
+         ++i) {
+      flat.add_equation(std::span<const std::uint32_t>(neighbors[i]),
+                        std::span<const std::uint8_t>(symbols[i].payload));
+    }
+    const double flat_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+
+    start = Clock::now();
+    codec::ReferencePeelingDecoder<std::uint32_t> list;
+    for (std::size_t i = 0; list.known_count() < blocks && i < symbols.size();
+         ++i) {
+      list.add_equation(std::span<const std::uint32_t>(neighbors[i]),
+                        std::span<const std::uint8_t>(symbols[i].payload));
+    }
+    const double list_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    std::printf("%8zu %14.2f %14.2f %9.2fx\n", blocks, flat_ms, list_ms,
+                list_ms / flat_ms);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -123,5 +177,6 @@ int main() {
   ablate_domain_allowance();
   ablate_cpi_cost();
   ablate_sketch_size();
+  ablate_solver_layout();
   return 0;
 }

@@ -13,6 +13,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -21,7 +24,9 @@
 #include "codec/degree.hpp"
 #include "codec/encoder.hpp"
 #include "codec/inactivation.hpp"
+#include "codec/peeling.hpp"
 #include "codec/recoder.hpp"
+#include "codec/solver_reference.hpp"
 #include "sketch/minwise.hpp"
 #include "util/permutation.hpp"
 #include "util/random.hpp"
@@ -212,6 +217,121 @@ void print_sketch_decode(bench::JsonReport& report, bool smoke) {
   report.add("sketch_decode_cache_speedup", speedup);
 }
 
+/// Peeling data plane: feed identical pre-derived equation streams through
+/// the flat-arena PeelingDecoder and the list-based reference, reporting
+/// substitution throughput (incidences/s — the O(1) unit of the
+/// counter/accumulator core) and the speedup. CI gates the throughput
+/// floor.
+void print_substitution_throughput(bench::JsonReport& report, bool smoke) {
+  const std::size_t blocks = smoke ? 2000 : 20000;
+  constexpr std::size_t kBlockSize = 8;  // keep XOR cost off the lane
+  const auto dist = codec::DegreeDistribution::robust_soliton(blocks);
+  const auto source = make_source(blocks, kBlockSize);
+  codec::Encoder encoder(source, dist, 21);
+  std::vector<codec::EncodedSymbol> symbols;
+  std::vector<std::vector<std::uint32_t>> neighbors;
+  for (std::size_t i = 0; i < 2 * blocks; ++i) {
+    symbols.push_back(encoder.next());
+    neighbors.push_back(
+        codec::symbol_neighbors(encoder.parameters(), dist, symbols.back().id));
+  }
+
+  auto start = Clock::now();
+  codec::PeelingDecoder<std::uint32_t> solver;
+  std::size_t consumed = 0;
+  while (solver.known_count() < blocks && consumed < symbols.size()) {
+    solver.add_equation(
+        std::span<const std::uint32_t>(neighbors[consumed]),
+        std::span<const std::uint8_t>(symbols[consumed].payload));
+    ++consumed;
+  }
+  const double solver_s = seconds_since(start);
+  const double incidences =
+      static_cast<double>(solver.stats().substitutions);
+
+  start = Clock::now();
+  codec::ReferencePeelingDecoder<std::uint32_t> reference;
+  std::size_t ref_consumed = 0;
+  while (reference.known_count() < blocks && ref_consumed < symbols.size()) {
+    reference.add_equation(
+        std::span<const std::uint32_t>(neighbors[ref_consumed]),
+        std::span<const std::uint8_t>(symbols[ref_consumed].payload));
+    ++ref_consumed;
+  }
+  const double reference_s = seconds_since(start);
+
+  const double per_s = incidences / solver_s;
+  std::printf("=== peeling substitution (%zu blocks): %.1f M incidences/s "
+              "flat-arena vs %.1f M list-based (%.2fx) ===\n\n",
+              blocks, per_s / 1e6, incidences / reference_s / 1e6,
+              reference_s / solver_s);
+  report.add("substitution_incidences_per_s", per_s);
+  report.add("substitution_speedup_vs_reference", reference_s / solver_s);
+}
+
+/// Inactivation solve phase at a forced residual of u unknowns: constant
+/// degree 3 never peels from cold (every recovery comes out of the GF(2)
+/// elimination), and try_solve runs after every arrival past l — the
+/// endpoint-driven pattern. Only the try_solve calls are timed, isolating
+/// incremental elimination-state maintenance vs the reference's
+/// from-scratch rebuild. CI gates solve_incremental_speedup.
+void print_solve_lanes(bench::JsonReport& report, bool smoke) {
+  std::printf("=== inactivation solve phase: incremental vs scratch "
+              "elimination (constant degree 3) ===\n");
+  std::printf("%8s %16s %14s %10s\n", "u", "incremental ms", "scratch ms",
+              "speedup");
+  std::vector<std::size_t> sweep = {64u, 256u, 1024u};
+  if (smoke) sweep = {64u};
+  double gated_speedup = 0;
+  for (const std::size_t u : sweep) {
+    const int trials = u >= 1024 ? 1 : 3;
+    double incremental_s = 0, scratch_s = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const auto dist = codec::DegreeDistribution::constant(3);
+      util::Xoshiro256 rng(0x501 + 131 * static_cast<std::uint64_t>(trial));
+      std::vector<std::uint8_t> content(u * 8);
+      for (auto& byte : content) byte = static_cast<std::uint8_t>(rng());
+      const codec::BlockSource source(content, 8);
+      codec::Encoder encoder(source, dist,
+                             0xE11 + static_cast<std::uint64_t>(trial));
+      codec::InactivationDecoder incremental(encoder.parameters(), dist);
+      codec::ReferenceInactivationDecoder scratch(encoder.parameters(), dist);
+      const std::size_t max_symbols = 40 * u + 1000;
+      while (!incremental.complete() &&
+             incremental.received_count() < max_symbols) {
+        const auto symbol = encoder.next();
+        incremental.add_symbol(symbol);
+        scratch.add_symbol(symbol);
+        if (incremental.received_count() < u) continue;
+        auto start = Clock::now();
+        incremental.try_solve();
+        incremental_s += seconds_since(start);
+        start = Clock::now();
+        scratch.try_solve();
+        scratch_s += seconds_since(start);
+      }
+      if (!incremental.complete() || !scratch.complete()) {
+        std::fprintf(stderr, "solve lane u=%zu trial %d did not converge\n",
+                     u, trial);
+        std::exit(1);
+      }
+    }
+    const double speedup = scratch_s / incremental_s;
+    std::printf("%8zu %16.3f %14.3f %9.1fx\n", u,
+                incremental_s * 1e3 / trials, scratch_s * 1e3 / trials,
+                speedup);
+    report.add("solve_incremental_ms_u" + std::to_string(u),
+               incremental_s * 1e3 / trials);
+    report.add("solve_scratch_ms_u" + std::to_string(u),
+               scratch_s * 1e3 / trials);
+    report.add("solve_speedup_u" + std::to_string(u), speedup);
+    if (u == sweep.front()) gated_speedup = speedup;
+  }
+  // The CI-gated lane: measured at the u every mode sweeps.
+  report.add("solve_incremental_speedup", gated_speedup);
+  std::printf("\n");
+}
+
 void BM_Encode(benchmark::State& state) {
   const auto blocks = static_cast<std::size_t>(state.range(0));
   const auto source = make_source(blocks, 1400);
@@ -283,6 +403,8 @@ int main(int argc, char** argv) {
   print_inactivation_table(smoke);
   print_decode_rate(report, smoke);
   print_sketch_decode(report, smoke);
+  print_substitution_throughput(report, smoke);
+  print_solve_lanes(report, smoke);
   report.write("BENCH_codec.json");
 
   if (!smoke) {

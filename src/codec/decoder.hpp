@@ -39,6 +39,9 @@ class Decoder {
   /// Symbols that arrived fully redundant.
   std::size_t redundant_count() const { return peeler_.redundant_count(); }
 
+  /// Solver op counters (equations, substitution incidences, recoveries).
+  const DecoderStats& stats() const { return peeler_.stats(); }
+
   /// Recovered source blocks in index order; only valid when complete().
   std::vector<std::vector<std::uint8_t>> blocks() const;
 

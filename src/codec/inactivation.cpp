@@ -1,7 +1,8 @@
 #include "codec/inactivation.hpp"
 
+#include <bit>
 #include <stdexcept>
-#include <unordered_map>
+#include <utility>
 
 #include "util/random.hpp"
 
@@ -13,87 +14,149 @@ InactivationDecoder::InactivationDecoder(CodeParameters params,
   if (params_.block_count == 0) {
     throw std::invalid_argument("InactivationDecoder: block_count must be > 0");
   }
+  words_ = (std::size_t{params_.block_count} + 63) / 64;
+  pivot_row_of_.assign(params_.block_count, kNoRow);
 }
 
 bool InactivationDecoder::add_symbol(const EncodedSymbol& symbol) {
   ++received_count_;
-  auto keys = symbol_neighbors(params_, dist_, symbol.id);
-  equations_.push_back(keys);
-  payloads_.push_back(symbol.payload);
-  return peeler_.add_equation(std::move(keys), symbol.payload);
+  symbol_neighbors_into(neighbor_scratch_, pick_scratch_, params_, dist_,
+                        symbol.id);
+  return peeler_.add_equation(
+      std::span<const std::uint32_t>(neighbor_scratch_),
+      std::span<const std::uint8_t>(symbol.payload));
+}
+
+std::uint32_t InactivationDecoder::lowest_set_bit(const Row& row) const {
+  for (std::size_t w = 0; w < words_; ++w) {
+    if (row.bits[w] != 0) {
+      return static_cast<std::uint32_t>(w * 64 + std::countr_zero(row.bits[w]));
+    }
+  }
+  return kNoRow;
+}
+
+void InactivationDecoder::xor_row(Row& dst, const Row& src) {
+  ++row_reductions_;
+  for (std::size_t w = 0; w < words_; ++w) dst.bits[w] ^= src.bits[w];
+  xor_into(dst.payload, src.payload);
+}
+
+void InactivationDecoder::remove_row(std::uint32_t index) {
+  const std::uint32_t last = static_cast<std::uint32_t>(rows_.size() - 1);
+  if (index != last) {
+    rows_[index] = std::move(rows_[last]);
+    pivot_row_of_[rows_[index].pivot] = index;
+  }
+  rows_.pop_back();
+}
+
+void InactivationDecoder::sweep_recovered() {
+  const auto& log = peeler_.recovery_log();
+  for (; log_cursor_ < log.size(); ++log_cursor_) {
+    if (rows_.empty()) continue;
+    const std::uint32_t col = log[log_cursor_];
+    const std::uint32_t owner = pivot_row_of_[col];
+    if (owner != kNoRow) {
+      // The column is a pivot: by the RREF invariant it is set only in its
+      // own row. Clear it there, then re-pivot the row on its lowest
+      // remaining bit (all non-pivot columns, so no other row needs
+      // reducing first) or drop the row if it became zero.
+      Row& row = rows_[owner];
+      flip_bit(row, col);
+      xor_into(row.payload, peeler_.value(col));
+      pivot_row_of_[col] = kNoRow;
+      const std::uint32_t fresh = lowest_set_bit(row);
+      if (fresh == kNoRow) {
+        remove_row(owner);
+        continue;
+      }
+      row.pivot = fresh;
+      pivot_row_of_[fresh] = owner;
+      for (std::uint32_t r = 0; r < rows_.size(); ++r) {
+        if (r != owner && bit(rows_[r], fresh)) xor_row(rows_[r], row);
+      }
+    } else {
+      // Non-pivot column: substitute the value into every row naming it.
+      for (Row& row : rows_) {
+        if (bit(row, col)) {
+          flip_bit(row, col);
+          xor_into(row.payload, peeler_.value(col));
+        }
+      }
+    }
+  }
+}
+
+void InactivationDecoder::fold_new_equations() {
+  const std::size_t eq_count = peeler_.equation_count();
+  for (; eq_cursor_ < eq_count; ++eq_cursor_) {
+    // Equations retired by peeling would reduce to zero rows — skip them.
+    if (!peeler_.equation_live(eq_cursor_)) continue;
+    Row row;
+    row.bits.assign(words_, 0);
+    for (const std::uint32_t key : peeler_.equation_keys(eq_cursor_)) {
+      if (!peeler_.is_known(key)) flip_bit(row, key);
+    }
+    row.payload = peeler_.equation_payload(eq_cursor_);
+    ++rows_folded_;
+
+    // One reduction pass against the current pivot set. A pivot row holds
+    // no pivot column but its own, so each XOR only introduces non-pivot
+    // bits: a single ascending scan of a per-word snapshot suffices —
+    // snapshot bits owning a pivot stay set until processed, and any bits
+    // that toggle under the XORs are non-pivot and need no reduction.
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t snapshot = row.bits[w];
+      while (snapshot != 0) {
+        const std::uint32_t col =
+            static_cast<std::uint32_t>(w * 64 + std::countr_zero(snapshot));
+        snapshot &= snapshot - 1;
+        const std::uint32_t owner = pivot_row_of_[col];
+        if (owner != kNoRow) xor_row(row, rows_[owner]);
+      }
+    }
+
+    const std::uint32_t fresh = lowest_set_bit(row);
+    if (fresh == kNoRow) continue;  // linearly dependent on stored rows
+    for (std::uint32_t r = 0; r < rows_.size(); ++r) {
+      if (bit(rows_[r], fresh)) xor_row(rows_[r], row);
+    }
+    row.pivot = fresh;
+    pivot_row_of_[fresh] = static_cast<std::uint32_t>(rows_.size());
+    rows_.push_back(std::move(row));
+  }
+}
+
+void InactivationDecoder::finish() {
+  // rank == unknowns: every unknown column owns a pivot, known columns are
+  // swept to zero, so each row is a singleton and its payload is the
+  // value. Mark in ascending block order (the reference's order); cascades
+  // inside mark_known only pre-recover later blocks with the same unique
+  // solution values, turning those calls into no-ops.
+  for (std::uint32_t b = 0; b < params_.block_count; ++b) {
+    const std::uint32_t owner = pivot_row_of_[b];
+    if (owner == kNoRow) continue;
+    peeler_.mark_known(b, std::move(rows_[owner].payload));
+  }
+  rows_.clear();
+  rows_.shrink_to_fit();
+  pivot_row_of_.assign(params_.block_count, kNoRow);
+  log_cursor_ = peeler_.recovery_log().size();
+  eq_cursor_ = peeler_.equation_count();
 }
 
 bool InactivationDecoder::try_solve() {
   if (complete()) return true;
+  ++solve_calls_;
+  // Rank gap: each recovery consumed at least one equation, so rank can
+  // reach the unknown count only once received >= block_count.
   if (received_count_ < params_.block_count) return false;
-
-  // Residual unknowns -> dense column indices.
-  std::unordered_map<std::uint32_t, std::size_t> column_of;
-  std::vector<std::uint32_t> unknown_ids;
-  for (std::uint32_t b = 0; b < params_.block_count; ++b) {
-    if (!peeler_.is_known(b)) {
-      column_of.emplace(b, unknown_ids.size());
-      unknown_ids.push_back(b);
-    }
-  }
-  const std::size_t u = unknown_ids.size();
-  const std::size_t words = (u + 63) / 64;
-
-  // Reduce every stored equation by the known values; keep the nonzero
-  // residual rows as (bitmask over unknowns, payload).
-  struct Row {
-    std::vector<std::uint64_t> bits;
-    std::vector<std::uint8_t> payload;
-  };
-  std::vector<Row> rows;
-  rows.reserve(equations_.size());
-  for (std::size_t e = 0; e < equations_.size(); ++e) {
-    Row row{std::vector<std::uint64_t>(words, 0), payloads_[e]};
-    bool nonzero = false;
-    for (const std::uint32_t b : equations_[e]) {
-      const auto it = column_of.find(b);
-      if (it == column_of.end()) {
-        xor_into(row.payload, peeler_.value(b));
-      } else {
-        row.bits[it->second >> 6] ^= std::uint64_t{1} << (it->second & 63);
-        nonzero = true;
-      }
-    }
-    if (nonzero) rows.push_back(std::move(row));
-  }
-  if (rows.size() < u) return false;  // rank can't reach u yet
-
-  // Forward elimination with partial pivoting by column.
-  std::vector<std::size_t> pivot_row_of(u, SIZE_MAX);
-  std::size_t next_row = 0;
-  for (std::size_t col = 0; col < u && next_row < rows.size(); ++col) {
-    const std::size_t word = col >> 6;
-    const std::uint64_t mask = std::uint64_t{1} << (col & 63);
-    std::size_t pivot = next_row;
-    while (pivot < rows.size() && !(rows[pivot].bits[word] & mask)) ++pivot;
-    if (pivot == rows.size()) continue;  // rank-deficient in this column
-    std::swap(rows[pivot], rows[next_row]);
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      if (r != next_row && (rows[r].bits[word] & mask)) {
-        for (std::size_t w = 0; w < words; ++w) {
-          rows[r].bits[w] ^= rows[next_row].bits[w];
-        }
-        xor_into(rows[r].payload, rows[next_row].payload);
-      }
-    }
-    pivot_row_of[col] = next_row;
-    ++next_row;
-  }
-  for (std::size_t col = 0; col < u; ++col) {
-    if (pivot_row_of[col] == SIZE_MAX) return false;  // still underdetermined
-  }
-
-  // Full elimination above leaves each pivot row with a single set bit:
-  // its payload is the unknown's value.
-  for (std::size_t col = 0; col < u; ++col) {
-    peeler_.mark_known(unknown_ids[col],
-                       std::move(rows[pivot_row_of[col]].payload));
-  }
+  sweep_recovered();
+  fold_new_equations();
+  const std::size_t unknowns = params_.block_count - peeler_.known_count();
+  if (rows_.size() < unknowns) return false;
+  finish();
   return complete();
 }
 
@@ -107,6 +170,27 @@ std::vector<std::vector<std::uint8_t>> InactivationDecoder::blocks() const {
     out.push_back(peeler_.value(b));
   }
   return out;
+}
+
+DecoderStats InactivationDecoder::stats() const {
+  DecoderStats stats = peeler_.stats();
+  stats.rows_folded = rows_folded_;
+  stats.row_reductions = row_reductions_;
+  stats.solve_calls = solve_calls_;
+  return stats;
+}
+
+std::size_t InactivationDecoder::memory_bytes() const {
+  std::size_t bytes = peeler_.memory_bytes();
+  bytes += rows_.capacity() * sizeof(Row);
+  for (const Row& row : rows_) {
+    bytes += row.bits.capacity() * sizeof(std::uint64_t) +
+             row.payload.capacity();
+  }
+  bytes += pivot_row_of_.capacity() * sizeof(std::uint32_t);
+  bytes += neighbor_scratch_.capacity() * sizeof(std::uint32_t);
+  bytes += pick_scratch_.capacity() * sizeof(std::uint64_t);
+  return bytes;
 }
 
 double measure_inactivation_overhead(std::uint32_t block_count,

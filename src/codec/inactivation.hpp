@@ -7,6 +7,7 @@
 #include "codec/degree.hpp"
 #include "codec/encoder.hpp"
 #include "codec/peeling.hpp"
+#include "codec/solver_stats.hpp"
 #include "codec/symbol.hpp"
 
 /// Inactivation decoding: the substitution rule backed by Gaussian
@@ -17,9 +18,18 @@
 /// techniques for generating distributions ... will slightly improve all of
 /// our results". The orthogonal classical improvement implemented here is
 /// to stop waiting for fresh symbols once the received set is information-
-/// theoretically sufficient, and solve the remaining unknowns directly —
-/// trading O(u^3 / 64) bit-matrix work (u = residual unknowns, typically a
-/// few percent of l) for lower overhead. bench_ablations compares the two.
+/// theoretically sufficient, and solve the remaining unknowns directly.
+///
+/// The elimination state is *incremental* (see DESIGN.md "Solver
+/// internals"): residual rows are maintained in reduced row-echelon form
+/// across try_solve() calls instead of being rebuilt from scratch. Each
+/// buffered peeler equation is folded exactly once (one reduction pass
+/// against the current pivot set), peeling recoveries between calls are
+/// swept out of the stored rows by consuming the peeler's recovery log, and
+/// a rank-gap early-exit makes the call-per-arrival pattern of
+/// measure_inactivation_overhead O(u^3) total rather than O(n·u^3). The
+/// residual system reads the peeler's own CSR equation plane — no duplicate
+/// equation/payload copies, and add_symbol copies the payload exactly once.
 namespace icd::codec {
 
 class InactivationDecoder {
@@ -27,13 +37,15 @@ class InactivationDecoder {
   InactivationDecoder(CodeParameters params, DegreeDistribution dist);
 
   /// Feeds one symbol through the peeling front end. Returns true if it
-  /// recovered at least one block immediately.
+  /// recovered at least one block immediately. The payload is copied
+  /// exactly once, into the peeler's pooled storage.
   bool add_symbol(const EncodedSymbol& symbol);
 
   /// Attempts to finish decoding by Gaussian elimination over the residual
-  /// unknowns. Cheap to call repeatedly: it exits immediately unless the
-  /// received-equation count can possibly cover the unknowns. Returns
-  /// complete().
+  /// unknowns. Cheap to call repeatedly: the elimination state persists,
+  /// so a call only pays for rows that arrived (or keys that peeled) since
+  /// the previous call, and exits immediately while the received-equation
+  /// count cannot cover the unknowns. Returns complete().
   bool try_solve();
 
   std::size_t recovered_count() const { return peeler_.known_count(); }
@@ -47,14 +59,63 @@ class InactivationDecoder {
 
   const CodeParameters& parameters() const { return params_; }
 
+  /// Peeling counters plus elimination counters (rows folded, row
+  /// reductions, try_solve calls).
+  DecoderStats stats() const;
+
+  /// Heap bytes pinned: the peeler plus the persistent elimination state.
+  std::size_t memory_bytes() const;
+
  private:
+  static constexpr std::uint32_t kNoRow = 0xffffffffu;
+
+  /// One pivot row of the persistent RREF state: a bit per source block
+  /// (known columns are swept to zero) and the matching payload. `pivot`
+  /// is the column this row owns; a pivot column is set in no other row.
+  struct Row {
+    std::vector<std::uint64_t> bits;
+    std::vector<std::uint8_t> payload;
+    std::uint32_t pivot = 0;
+  };
+
+  bool bit(const Row& row, std::uint32_t col) const {
+    return ((row.bits[col >> 6] >> (col & 63)) & 1) != 0;
+  }
+  void flip_bit(Row& row, std::uint32_t col) const {
+    row.bits[col >> 6] ^= std::uint64_t{1} << (col & 63);
+  }
+  std::uint32_t lowest_set_bit(const Row& row) const;
+  void xor_row(Row& dst, const Row& src);
+  void remove_row(std::uint32_t index);
+
+  /// Consumes peeler recoveries since the last call, clearing the now-known
+  /// columns from the stored rows (re-pivoting or dropping rows as needed).
+  void sweep_recovered();
+  /// Folds peeler equations buffered since the last call into the RREF
+  /// state: one reduction pass against the current pivots each.
+  void fold_new_equations();
+  /// rank == unknowns: every row is a singleton; mark all values known.
+  void finish();
+
   CodeParameters params_;
   DegreeDistribution dist_;
   PeelingDecoder<std::uint32_t> peeler_;
-  /// Raw equations kept for the elimination phase.
-  std::vector<std::vector<std::uint32_t>> equations_;
-  std::vector<std::vector<std::uint8_t>> payloads_;
   std::size_t received_count_ = 0;
+
+  // Persistent elimination state.
+  std::size_t words_ = 0;  // ceil(block_count / 64)
+  std::vector<Row> rows_;
+  std::vector<std::uint32_t> pivot_row_of_;  // block -> row index or kNoRow
+  std::size_t eq_cursor_ = 0;   // next peeler equation id to fold
+  std::size_t log_cursor_ = 0;  // next recovery-log entry to sweep
+
+  // add_symbol scratch (neighbor derivation).
+  std::vector<std::uint32_t> neighbor_scratch_;
+  std::vector<std::uint64_t> pick_scratch_;
+
+  std::uint64_t rows_folded_ = 0;
+  std::uint64_t row_reductions_ = 0;
+  std::uint64_t solve_calls_ = 0;
 };
 
 /// Measures decoding overhead with inactivation: symbols consumed per

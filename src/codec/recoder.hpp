@@ -110,6 +110,9 @@ class RecodeDecoder {
     return peeler_.recovery_log();
   }
 
+  /// Solver op counters (equations, substitution incidences, recoveries).
+  const DecoderStats& stats() const { return peeler_.stats(); }
+
   /// Heap bytes pinned (held payloads + buffered recode equations).
   std::size_t memory_bytes() const { return peeler_.memory_bytes(); }
 

@@ -1,0 +1,304 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "codec/degree.hpp"
+#include "codec/encoder.hpp"
+#include "codec/symbol.hpp"
+
+/// The list-based solvers the flat-arena data plane replaced, kept
+/// verbatim as the semantic ground truth:
+///
+///   * `ReferencePeelingDecoder` — per-equation heap vectors of unknown
+///     keys, `std::find`+`erase` substitution, an `unordered_map<Key,
+///     vector<eq_id>>` waiting index. The randomized solver property test
+///     (tests/solver_property_test.cpp) runs every scripted add /
+///     mark_known / release sequence through this and the production
+///     `PeelingDecoder`, asserting identical recovery logs, counters, and
+///     values.
+///   * `ReferenceInactivationDecoder` — stores its own copy of every
+///     equation and payload and re-runs Gaussian elimination from scratch
+///     on every try_solve call. The BENCH_codec solve lanes time it
+///     against the incremental production solver
+///     (`solve_incremental_speedup`, CI-gated).
+///
+/// Nothing on the delivery path instantiates these; they exist so the
+/// optimized solvers stay pinned bit-for-bit to known-good behavior.
+namespace icd::codec {
+
+template <typename Key>
+class ReferencePeelingDecoder {
+ public:
+  ReferencePeelingDecoder() = default;
+
+  bool mark_known(const Key& key, std::vector<std::uint8_t> value) {
+    if (known_.contains(key)) return false;
+    recover(key, std::move(value));
+    drain();
+    return true;
+  }
+
+  bool add_equation(std::vector<Key> keys, std::vector<std::uint8_t> payload) {
+    return add_equation_impl(keys, std::move(payload));
+  }
+
+  bool add_equation(std::span<const Key> keys,
+                    std::span<const std::uint8_t> payload) {
+    return add_equation_impl(
+        keys, std::vector<std::uint8_t>(payload.begin(), payload.end()));
+  }
+
+  bool is_known(const Key& key) const { return known_.contains(key); }
+
+  const std::vector<std::uint8_t>& value(const Key& key) const {
+    const auto it = known_.find(key);
+    if (it == known_.end()) {
+      throw std::out_of_range("ReferencePeelingDecoder: key not recovered");
+    }
+    return it->second;
+  }
+
+  std::size_t known_count() const { return known_.size(); }
+  std::size_t buffered_count() const { return live_equations_; }
+  std::size_t redundant_count() const { return redundant_; }
+  const std::vector<Key>& recovery_log() const { return log_; }
+
+  void release_solver_state() {
+    equations_.clear();
+    equations_.shrink_to_fit();
+    waiting_.clear();
+    waiting_.rehash(0);
+    pending_.clear();
+    pending_.shrink_to_fit();
+    live_equations_ = 0;
+  }
+
+ private:
+  struct Equation {
+    std::vector<Key> unknowns;
+    std::vector<std::uint8_t> payload;
+    bool retired = false;
+  };
+
+  void recover(const Key& key, std::vector<std::uint8_t> value) {
+    known_.emplace(key, std::move(value));
+    pending_.push_back(key);
+    log_.push_back(key);
+  }
+
+  bool add_equation_impl(std::span<const Key> keys,
+                         std::vector<std::uint8_t> payload) {
+    bool sorted_distinct = true;
+    for (std::size_t i = 0; i + 1 < keys.size(); ++i) {
+      if (!(keys[i] < keys[i + 1])) {
+        sorted_distinct = false;
+        break;
+      }
+    }
+
+    std::vector<Key> unknowns;
+    unknowns.reserve(keys.size());
+    const auto substitute = [&](const Key& k) {
+      const auto it = known_.find(k);
+      if (it == known_.end()) {
+        unknowns.push_back(k);
+      } else {
+        xor_into(payload, it->second);
+      }
+    };
+    if (sorted_distinct) {
+      for (const Key& k : keys) substitute(k);
+    } else {
+      std::unordered_map<Key, int> counts;
+      for (const Key& k : keys) ++counts[k];
+      for (const auto& [k, c] : counts) {
+        if (c % 2 == 1) substitute(k);
+      }
+    }
+
+    if (unknowns.empty()) {
+      ++redundant_;
+      return false;
+    }
+    if (unknowns.size() == 1) {
+      recover(unknowns.front(), std::move(payload));
+      drain();
+      return true;
+    }
+
+    const std::size_t eq_id = equations_.size();
+    for (const Key& k : unknowns) waiting_[k].push_back(eq_id);
+    equations_.push_back(Equation{std::move(unknowns), std::move(payload),
+                                  /*retired=*/false});
+    ++live_equations_;
+    return false;
+  }
+
+  void drain() {
+    while (!pending_.empty()) {
+      const Key key = pending_.front();
+      pending_.pop_front();
+      const auto wit = waiting_.find(key);
+      if (wit == waiting_.end()) continue;
+      const std::vector<std::size_t> eq_ids = std::move(wit->second);
+      waiting_.erase(wit);
+      for (const std::size_t eq_id : eq_ids) {
+        Equation& eq = equations_[eq_id];
+        if (eq.retired) continue;
+        auto pos = std::find(eq.unknowns.begin(), eq.unknowns.end(), key);
+        if (pos == eq.unknowns.end()) continue;  // already substituted
+        eq.unknowns.erase(pos);
+        xor_into(eq.payload, known_.at(key));
+        if (eq.unknowns.size() == 1) {
+          const Key last = eq.unknowns.front();
+          eq.retired = true;
+          --live_equations_;
+          if (!known_.contains(last)) {
+            recover(last, std::move(eq.payload));
+          }
+        } else if (eq.unknowns.empty()) {
+          eq.retired = true;
+          --live_equations_;
+        }
+      }
+    }
+  }
+
+  std::unordered_map<Key, std::vector<std::uint8_t>> known_;
+  std::vector<Equation> equations_;
+  std::unordered_map<Key, std::vector<std::size_t>> waiting_;  // key -> eq ids
+  std::deque<Key> pending_;
+  std::vector<Key> log_;
+  std::size_t live_equations_ = 0;
+  std::size_t redundant_ = 0;
+};
+
+/// Scratch-elimination inactivation decoder: keeps duplicate copies of
+/// every equation and payload next to the peeler's own storage and
+/// rebuilds + re-reduces the whole residual system on each try_solve.
+class ReferenceInactivationDecoder {
+ public:
+  ReferenceInactivationDecoder(CodeParameters params, DegreeDistribution dist)
+      : params_(params), dist_(std::move(dist)) {
+    if (params_.block_count == 0) {
+      throw std::invalid_argument(
+          "ReferenceInactivationDecoder: block_count must be > 0");
+    }
+  }
+
+  bool add_symbol(const EncodedSymbol& symbol) {
+    ++received_count_;
+    auto keys = symbol_neighbors(params_, dist_, symbol.id);
+    equations_.push_back(keys);
+    payloads_.push_back(symbol.payload);
+    return peeler_.add_equation(std::move(keys), symbol.payload);
+  }
+
+  bool try_solve() {
+    if (complete()) return true;
+    if (received_count_ < params_.block_count) return false;
+
+    // Residual unknowns -> dense column indices.
+    std::unordered_map<std::uint32_t, std::size_t> column_of;
+    std::vector<std::uint32_t> unknown_ids;
+    for (std::uint32_t b = 0; b < params_.block_count; ++b) {
+      if (!peeler_.is_known(b)) {
+        column_of.emplace(b, unknown_ids.size());
+        unknown_ids.push_back(b);
+      }
+    }
+    const std::size_t u = unknown_ids.size();
+    const std::size_t words = (u + 63) / 64;
+
+    // Reduce every stored equation by the known values; keep the nonzero
+    // residual rows as (bitmask over unknowns, payload).
+    struct Row {
+      std::vector<std::uint64_t> bits;
+      std::vector<std::uint8_t> payload;
+    };
+    std::vector<Row> rows;
+    rows.reserve(equations_.size());
+    for (std::size_t e = 0; e < equations_.size(); ++e) {
+      Row row{std::vector<std::uint64_t>(words, 0), payloads_[e]};
+      bool nonzero = false;
+      for (const std::uint32_t b : equations_[e]) {
+        const auto it = column_of.find(b);
+        if (it == column_of.end()) {
+          xor_into(row.payload, peeler_.value(b));
+        } else {
+          row.bits[it->second >> 6] ^= std::uint64_t{1} << (it->second & 63);
+          nonzero = true;
+        }
+      }
+      if (nonzero) rows.push_back(std::move(row));
+    }
+    if (rows.size() < u) return false;  // rank can't reach u yet
+
+    // Forward elimination with partial pivoting by column.
+    std::vector<std::size_t> pivot_row_of(u, SIZE_MAX);
+    std::size_t next_row = 0;
+    for (std::size_t col = 0; col < u && next_row < rows.size(); ++col) {
+      const std::size_t word = col >> 6;
+      const std::uint64_t mask = std::uint64_t{1} << (col & 63);
+      std::size_t pivot = next_row;
+      while (pivot < rows.size() && !(rows[pivot].bits[word] & mask)) ++pivot;
+      if (pivot == rows.size()) continue;  // rank-deficient in this column
+      std::swap(rows[pivot], rows[next_row]);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r != next_row && (rows[r].bits[word] & mask)) {
+          for (std::size_t w = 0; w < words; ++w) {
+            rows[r].bits[w] ^= rows[next_row].bits[w];
+          }
+          xor_into(rows[r].payload, rows[next_row].payload);
+        }
+      }
+      pivot_row_of[col] = next_row;
+      ++next_row;
+    }
+    for (std::size_t col = 0; col < u; ++col) {
+      if (pivot_row_of[col] == SIZE_MAX) return false;  // underdetermined
+    }
+
+    // Full elimination above leaves each pivot row with a single set bit:
+    // its payload is the unknown's value.
+    for (std::size_t col = 0; col < u; ++col) {
+      peeler_.mark_known(unknown_ids[col],
+                         std::move(rows[pivot_row_of[col]].payload));
+    }
+    return complete();
+  }
+
+  std::size_t recovered_count() const { return peeler_.known_count(); }
+  std::size_t received_count() const { return received_count_; }
+  bool complete() const { return recovered_count() == params_.block_count; }
+
+  std::vector<std::vector<std::uint8_t>> blocks() const {
+    if (!complete()) {
+      throw std::logic_error("ReferenceInactivationDecoder::blocks: incomplete");
+    }
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(params_.block_count);
+    for (std::uint32_t b = 0; b < params_.block_count; ++b) {
+      out.push_back(peeler_.value(b));
+    }
+    return out;
+  }
+
+  const CodeParameters& parameters() const { return params_; }
+
+ private:
+  CodeParameters params_;
+  DegreeDistribution dist_;
+  ReferencePeelingDecoder<std::uint32_t> peeler_;
+  /// Raw equations kept for the elimination phase.
+  std::vector<std::vector<std::uint32_t>> equations_;
+  std::vector<std::vector<std::uint8_t>> payloads_;
+  std::size_t received_count_ = 0;
+};
+
+}  // namespace icd::codec

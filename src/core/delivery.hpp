@@ -189,7 +189,8 @@ class ContentDeliveryService {
   SessionResult session_result(std::size_t id) const {
     const PeerEntry& entry = peers_.at(id);
     return SessionResult{entry.peer->has_content(), entry.completed_tick,
-                         entry.failed_peers, entry.peer->memory_bytes()};
+                         entry.failed_peers, entry.peer->memory_bytes(),
+                         entry.peer->decoder_stats()};
   }
   /// Decoder + endpoint + link bytes currently pinned, per layer and per
   /// peer — the scale audit both engines surface identically.

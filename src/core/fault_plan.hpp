@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "codec/solver_stats.hpp"
+
 /// Deterministic fault injection for the delivery engines.
 ///
 /// A FaultPlan is a declarative schedule of membership and link faults —
@@ -112,6 +114,9 @@ struct SessionResult {
   /// per-peer half of the scale memory audit; see MemoryAudit). Defaulted
   /// so callers that only care about completion can keep brace-initing.
   std::size_t memory_bytes = 0;
+  /// Solver op counters across both of the peer's peeling levels
+  /// (substitution incidences, recoveries, redundant arrivals).
+  codec::DecoderStats decoder_stats;
 };
 
 /// The mutable fault bookkeeping both engines embed: a cursor over the

@@ -149,6 +149,12 @@ class Peer {
     return bytes;
   }
 
+  /// Combined solver op counters of both peeling levels (recode + block),
+  /// the decoder_stats surface of SessionResult.
+  codec::DecoderStats decoder_stats() const {
+    return recode_decoder_.stats() + block_decoder_.stats();
+  }
+
   /// Releases solver-only storage once this peer has the full content and
   /// its last download link has been torn down (no further symbols can
   /// ever arrive): buffered equations and waiting indexes in both

@@ -108,7 +108,8 @@ class ShardedDelivery {
   SessionResult session_result(std::size_t id) const {
     const PeerEntry& entry = peers_.at(id);
     return SessionResult{entry.peer->has_content(), entry.completed_tick,
-                         entry.failed_peers, entry.peer->memory_bytes()};
+                         entry.failed_peers, entry.peer->memory_bytes(),
+                         entry.peer->decoder_stats()};
   }
   /// Whether the peer is currently down (crashed or stalled) under the
   /// fault plan.

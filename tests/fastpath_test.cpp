@@ -13,6 +13,8 @@
 #include <new>
 #include <vector>
 
+#include "codec/block_source.hpp"
+#include "codec/inactivation.hpp"
 #include "codec/symbol.hpp"
 #include "core/endpoint.hpp"
 #include "core/origin.hpp"
@@ -25,15 +27,26 @@
 
 namespace {
 std::atomic<std::size_t> g_allocations{0};
+// Payload-copy accounting: allocations at least g_large_threshold bytes
+// count separately, so tests can budget "one payload-sized copy per
+// symbol" without noise from small container nodes.
+std::atomic<std::size_t> g_large_allocations{0};
+std::atomic<std::size_t> g_large_threshold{SIZE_MAX};
 
 void* counted_alloc(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size >= g_large_threshold.load(std::memory_order_relaxed)) {
+    g_large_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
 
 void* counted_aligned_alloc(std::size_t size, std::align_val_t align) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size >= g_large_threshold.load(std::memory_order_relaxed)) {
+    g_large_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
   const auto alignment = static_cast<std::size_t>(align);
   // aligned_alloc requires size to be a multiple of the alignment.
   const std::size_t rounded = ((size ? size : 1) + alignment - 1) /
@@ -429,6 +442,45 @@ TEST_P(SendPathAllocations, SteadyStateSendsAreAllocationFree) {
 
 INSTANTIATE_TEST_SUITE_P(AllStrategies, SendPathAllocations,
                          ::testing::ValuesIn(overlay::kAllStrategies));
+
+// --- Inactivation decoder payload copies ------------------------------------
+
+TEST(DecoderAllocations, InactivationAddSymbolCopiesPayloadOnce) {
+  // The residual elimination state reads the peeler's own equation plane,
+  // so add_symbol must copy the payload exactly once (into the peeler's
+  // pooled storage) — not a second time into solver-private equation
+  // copies. Budget: at most one payload-sized allocation per symbol, plus
+  // tiny slack for geometric container growth crossing the threshold; the
+  // old duplicate-storage path needed two per symbol.
+  const std::uint32_t kBlocks = 32;
+  const std::size_t kBlockSize = 4096;
+  util::Xoshiro256 rng(0x51);
+  std::vector<std::uint8_t> content(kBlocks * kBlockSize);
+  for (auto& byte : content) byte = static_cast<std::uint8_t>(rng());
+  const codec::BlockSource source(content, kBlockSize);
+  const auto dist = codec::DegreeDistribution::robust_soliton(kBlocks);
+  codec::Encoder encoder(source, dist, 0x52);
+  codec::InactivationDecoder decoder(encoder.parameters(), dist);
+
+  // Warm the decoder and pre-generate the measured symbols so encoder
+  // allocations don't pollute the budget.
+  for (std::uint32_t i = 0; i < kBlocks / 2; ++i) {
+    decoder.add_symbol(encoder.next());
+  }
+  constexpr std::size_t kMeasured = 24;
+  std::vector<codec::EncodedSymbol> symbols;
+  symbols.reserve(kMeasured);
+  for (std::size_t i = 0; i < kMeasured; ++i) symbols.push_back(encoder.next());
+
+  g_large_allocations.store(0, std::memory_order_relaxed);
+  g_large_threshold.store(kBlockSize, std::memory_order_relaxed);
+  for (const auto& symbol : symbols) decoder.add_symbol(symbol);
+  g_large_threshold.store(SIZE_MAX, std::memory_order_relaxed);
+
+  EXPECT_LE(g_large_allocations.load(std::memory_order_relaxed),
+            kMeasured + 2)
+      << "payload copied more than once per add_symbol";
+}
 
 }  // namespace
 }  // namespace icd

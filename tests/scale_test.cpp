@@ -354,6 +354,12 @@ TEST(ScaleMemory, AuditShrinksAfterCompletionAndBoundsBytesPerPeer) {
   // And the per-session result surfaces the per-peer figure.
   EXPECT_GT(service.session_result(0).memory_bytes, 0u);
   EXPECT_LT(service.session_result(0).memory_bytes, 64 * 1024u);
+  // Solver op counters ride along: a completed peer fed equations through
+  // both peeling levels and recovered at least every source block.
+  const auto stats = service.session_result(0).decoder_stats;
+  EXPECT_GT(stats.equations_added, 0u);
+  EXPECT_GE(stats.recovered, service.parameters().block_count);
+  EXPECT_GT(stats.substitutions, 0u);
 }
 
 }  // namespace
